@@ -1,0 +1,56 @@
+// Shared plumbing for the figure-reproduction benches: grid execution,
+// uniform headers, CSV dumps.
+//
+// Environment knobs (all benches):
+//   DUFP_REPS=N     runs per cell (default 10, the paper's protocol)
+//   DUFP_SOCKETS=N  sockets simulated (default 4 = yeti-2)
+//   DUFP_QUIET=1    suppress progress notes on stderr
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "common/table.h"
+#include "harness/experiment.h"
+#include "harness/runner.h"
+#include "workloads/profiles.h"
+
+namespace dufp::bench {
+
+inline void print_banner(const std::string& what, const std::string& paper_ref) {
+  std::printf("=============================================================\n");
+  std::printf("%s\n", what.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("Machine: simulated Grid'5000 yeti-2 (%d x Xeon Gold 6130), "
+              "%d repetitions per cell\n",
+              harness::sockets_from_env(), harness::repetitions_from_env());
+  std::printf("=============================================================\n");
+}
+
+/// Runs the full evaluation grid the paper's Fig. 3 / Fig. 4 share:
+/// every application x {DUF, DUFP} x {0, 5, 10, 20} %.
+inline std::vector<harness::Evaluation> run_full_grid() {
+  std::vector<harness::Evaluation> evals;
+  const auto modes = std::vector<harness::PolicyMode>{
+      harness::PolicyMode::duf, harness::PolicyMode::dufp};
+  for (auto app : workloads::all_apps()) {
+    harness::note_progress(workloads::app_name(app));
+    evals.push_back(harness::evaluate_app(app, modes,
+                                          harness::paper_tolerances(),
+                                          harness::repetitions_from_env()));
+  }
+  return evals;
+}
+
+/// Formats "val [min..max]" for error-bar style cells.
+inline std::string with_bar(double val, double lo, double hi) {
+  return strf("%6.2f [%6.2f..%6.2f]", val, lo, hi);
+}
+
+inline std::string tol_label(double tol) {
+  return strf("%d%%", static_cast<int>(tol * 100 + 0.5));
+}
+
+}  // namespace dufp::bench

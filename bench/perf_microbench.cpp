@@ -1,0 +1,123 @@
+// Performance microbenchmarks (google-benchmark): cost of the building
+// blocks that run on every simulated millisecond or every control
+// interval.  Keeps the simulator's throughput honest — the figure benches
+// execute hundreds of millions of socket-ticks.
+#include <benchmark/benchmark.h>
+
+#include "core/dufp.h"
+#include "hwmodel/socket_model.h"
+#include "msr/sim_msr.h"
+#include "perfmon/sampler.h"
+#include "rapl/rapl_engine.h"
+#include "sim/simulation.h"
+#include "workloads/profiles.h"
+
+using namespace dufp;
+
+namespace {
+
+hw::PhaseDemand bench_demand() {
+  hw::PhaseDemand d;
+  d.w_cpu = 0.6;
+  d.w_mem = 0.3;
+  d.w_unc = 0.0;
+  d.w_fixed = 0.1;
+  d.cpu_activity = 0.95;
+  d.mem_activity = 0.8;
+  d.flops_rate_ref = 50e9;
+  d.bytes_rate_ref = 25e9;
+  return d;
+}
+
+void BM_PowerModelForward(benchmark::State& state) {
+  const hw::SocketConfig cfg;
+  const hw::PowerModel model(cfg.power, cfg.cores, cfg.f_ref_mhz(),
+                             cfg.fu_ref_mhz());
+  const auto d = bench_demand();
+  double f = 1000.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.package_power_w(f, 2000.0, d));
+    f = f >= 2800.0 ? 1000.0 : f + 100.0;
+  }
+}
+BENCHMARK(BM_PowerModelForward);
+
+void BM_PowerModelInverse(benchmark::State& state) {
+  const hw::SocketConfig cfg;
+  const hw::PowerModel model(cfg.power, cfg.cores, cfg.f_ref_mhz(),
+                             cfg.fu_ref_mhz());
+  const auto d = bench_demand();
+  double target = 70.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.core_mhz_for_power(target, 2000.0, d));
+    target = target >= 115.0 ? 70.0 : target + 5.0;
+  }
+}
+BENCHMARK(BM_PowerModelInverse);
+
+void BM_SocketEvaluate(benchmark::State& state) {
+  const hw::SocketConfig cfg;
+  hw::SocketModel socket(cfg, 0);
+  socket.set_demand(bench_demand());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(socket.evaluate());
+  }
+}
+BENCHMARK(BM_SocketEvaluate);
+
+void BM_GovernorTick(benchmark::State& state) {
+  const hw::SocketConfig cfg;
+  hw::SocketModel socket(cfg, 0);
+  socket.set_demand(bench_demand());
+  msr::SimulatedMsr dev(cfg.cores);
+  rapl::RaplEngine engine(socket, dev);
+  for (auto _ : state) {
+    engine.tick();
+    const auto inst = socket.evaluate();
+    engine.record(inst, 0.001);
+    benchmark::DoNotOptimize(inst.pkg_power_w);
+  }
+}
+BENCHMARK(BM_GovernorTick);
+
+void BM_DufpDecide(benchmark::State& state) {
+  core::PolicyConfig policy;
+  policy.tolerated_slowdown = 0.10;
+  core::DufpController controller(policy, core::UncoreLimits{},
+                                  core::CapLimits{});
+  perfmon::Sample s;
+  s.flops_rate = 50e9;
+  s.bytes_rate = 25e9;
+  s.pkg_power_w = 100.0;
+  s.interval_s = 0.2;
+  double wiggle = 0.0;
+  for (auto _ : state) {
+    s.flops_rate = 50e9 * (1.0 + 0.02 * wiggle);
+    wiggle = wiggle >= 1.0 ? -1.0 : wiggle + 0.1;
+    benchmark::DoNotOptimize(controller.decide(s));
+  }
+}
+BENCHMARK(BM_DufpDecide);
+
+void BM_SimulatedSecond(benchmark::State& state) {
+  // Whole-stack throughput: one simulated second of one socket running
+  // CG under DUFP (1000 ticks + 5 control intervals).
+  const auto& prof = workloads::profile(workloads::AppId::cg);
+  for (auto _ : state) {
+    state.PauseTiming();
+    hw::MachineConfig machine;
+    machine.sockets = 1;
+    sim::SimulationOptions opts;
+    opts.seed = 7;
+    sim::Simulation s(machine, prof, opts);
+    state.ResumeTiming();
+    for (int i = 0; i < 1000 && s.step(); ++i) {
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatedSecond)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+// Machine-budget demo: distribute a machine-wide power budget across
+// sockets running *different* applications — the GEOPM/DAPS family of
+// related work (Sec. VI), built on this library's zones and MSR layer.
+//
+// Two sockets run HPL (compute-hungry) and two run CG (cap-tolerant)
+// under a machine budget below 4 x 125 W.  Compared policies:
+//   equal-split: every socket gets budget/4, statically;
+//   balancer:    shares follow each socket's frequency depression.
+//
+// Usage: budget_balancer_demo [budget_w]   (default: 420)
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+#include "common/table.h"
+#include "core/budget_balancer.h"
+#include "powercap/zone.h"
+#include "sim/simulation.h"
+#include "workloads/profiles.h"
+
+using namespace dufp;
+
+namespace {
+
+struct Outcome {
+  double hpl_finish_s = 0.0;
+  double cg_finish_s = 0.0;
+  double avg_power_w = 0.0;
+};
+
+Outcome run(double budget_w, bool balanced) {
+  hw::MachineConfig machine;  // 4 sockets
+  sim::SimulationOptions opts;
+  opts.seed = 77;
+  std::vector<const workloads::WorkloadProfile*> apps{
+      &workloads::profile(workloads::AppId::hpl),
+      &workloads::profile(workloads::AppId::hpl),
+      &workloads::profile(workloads::AppId::cg),
+      &workloads::profile(workloads::AppId::cg)};
+  sim::Simulation s(machine, apps, opts);
+
+  std::vector<std::unique_ptr<powercap::PackageZone>> zones;
+  std::vector<powercap::PackageZone*> zone_ptrs;
+  std::vector<const msr::MsrDevice*> msrs;
+  for (int i = 0; i < s.socket_count(); ++i) {
+    zones.push_back(std::make_unique<powercap::PackageZone>(s.msr(i), i));
+    zone_ptrs.push_back(zones.back().get());
+    msrs.push_back(&s.msr(i));
+  }
+
+  std::unique_ptr<core::BudgetBalancer> balancer;
+  if (balanced) {
+    core::BalancerConfig cfg;
+    cfg.machine_budget_w = budget_w;
+    balancer = std::make_unique<core::BudgetBalancer>(
+        cfg, zone_ptrs, msrs, machine.socket.core_max_mhz,
+        machine.socket.core_base_mhz);
+    auto* b = balancer.get();
+    s.schedule_periodic(SimTime::from_millis(200),
+                        [b](SimTime now) { b->on_interval(now); });
+  } else {
+    const double each = budget_w / s.socket_count();
+    for (auto* z : zone_ptrs) {
+      z->set_power_limit_w(powercap::ConstraintId::long_term, each);
+      z->set_power_limit_w(powercap::ConstraintId::short_term, each);
+    }
+  }
+
+  // Step manually so per-application finish times can be recorded.
+  Outcome out;
+  bool more = true;
+  while (more) {
+    more = s.step();
+    const double t = s.now().seconds();
+    if (out.hpl_finish_s == 0.0 && s.workload(0).finished() &&
+        s.workload(1).finished()) {
+      out.hpl_finish_s = t;
+    }
+    if (out.cg_finish_s == 0.0 && s.workload(2).finished() &&
+        s.workload(3).finished()) {
+      out.cg_finish_s = t;
+    }
+  }
+  double energy = 0.0;
+  for (int i = 0; i < s.socket_count(); ++i) {
+    energy += s.socket(i).pkg_energy_j();
+  }
+  out.avg_power_w = energy / s.now().seconds();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double budget = argc > 1 ? std::atof(argv[1]) : 420.0;
+  std::printf(
+      "Machine budget %.0f W over 4 sockets (2x HPL + 2x CG); hardware\n"
+      "default would be 4 x 125 = 500 W.\n\n", budget);
+
+  const auto equal = run(budget, false);
+  const auto bal = run(budget, true);
+
+  TextTable t({"policy", "HPL finish (s)", "CG finish (s)",
+               "avg power (W)"});
+  t.add_row("equal split",
+            {equal.hpl_finish_s, equal.cg_finish_s, equal.avg_power_w});
+  t.add_row("balancer", {bal.hpl_finish_s, bal.cg_finish_s, bal.avg_power_w});
+  t.print(std::cout);
+
+  std::printf(
+      "\nThe balancer steers watts toward whichever sockets are most\n"
+      "frequency-starved at each moment: the compute-hungry HPL pair\n"
+      "while both applications run, then the CG pair once HPL completes\n"
+      "and its sockets idle.  Same total budget, better turnaround for\n"
+      "the starved application — the \"complementary\"\n"
+      "budget-distribution layer the paper positions DUFP under\n"
+      "(Sec. VI).\n");
+  return 0;
+}

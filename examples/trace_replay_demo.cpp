@@ -1,0 +1,87 @@
+// Trace replay demo: "measure" an application by tracing a simulated run
+// at the controller's own cadence, rebuild a workload model from that
+// trace alone (workloads/trace_replay), and check that DUFP behaves the
+// same on the replayed model as on the original — the workflow a user
+// would follow to study their *own* application with this library.
+//
+// Usage: trace_replay_demo [app]   (default: FT)
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.h"
+#include "harness/experiment.h"
+#include "harness/runner.h"
+#include "sim/trace.h"
+#include "workloads/profiles.h"
+#include "workloads/trace_replay.h"
+
+using namespace dufp;
+
+int main(int argc, char** argv) {
+  const std::string app_name = argc > 1 ? argv[1] : "FT";
+  const auto app = workloads::app_by_name(app_name);
+  const auto& original = workloads::profile(app);
+
+  // 1. "Measure": default-configuration run, sampled every 200 ms.
+  std::printf("Tracing one default run of %s at 200 ms resolution...\n",
+              original.name().c_str());
+  harness::RunConfig cfg = harness::default_run_config(original);
+  cfg.machine.sockets = 1;
+  cfg.seed = 71;
+  sim::VectorTraceSink sink(/*decimation=*/200);  // one record per 200 ms
+  cfg.trace = &sink;
+  harness::run_once(cfg);
+
+  std::vector<workloads::TraceSample> trace;
+  for (const auto& e : sink.entries()) {
+    workloads::TraceSample s;
+    s.seconds = 0.2;
+    s.gflops = e.sockets[0].flops_grate;
+    // Reconstruct traffic from power is noisy; use the recorded speed and
+    // the dram power residual instead — here we take the direct route a
+    // real profiler would: the bandwidth counter (dram power is its
+    // affine image in this model).
+    s.gbps = (e.sockets[0].dram_power_w - 9.0) / 0.16;
+    if (s.gbps < 0.1) s.gbps = 0.1;
+    s.cpu_activity = 0.9;
+    s.mem_activity = s.gbps > 40.0 ? 1.0 : 0.5;
+    trace.push_back(s);
+  }
+  std::printf("  %zu samples captured\n", trace.size());
+
+  // 2. Rebuild a model from the trace alone.
+  const auto replayed = workloads::profile_from_trace(
+      trace, {}, original.name() + "-replayed");
+  std::printf("  replay model: %zu distinct phases, %zu steps, %.1f s\n\n",
+              replayed.phases().size(), replayed.sequence().size(),
+              replayed.nominal_total_seconds());
+
+  // 3. Compare DUFP on the original vs the replayed model.
+  auto evaluate = [](const workloads::WorkloadProfile& prof) {
+    harness::RunConfig c = harness::default_run_config(prof);
+    c.machine.sockets = 1;
+    c.seed = 72;
+    const auto def = harness::run_repeated(c, 3);
+    c.mode = harness::PolicyMode::dufp;
+    c.tolerated_slowdown = 0.10;
+    const auto dufp = harness::run_repeated(c, 3);
+    return std::pair<double, double>{
+        harness::percent_over(dufp.exec_seconds.mean, def.exec_seconds.mean),
+        -harness::percent_over(dufp.avg_pkg_power_w.mean,
+                               def.avg_pkg_power_w.mean)};
+  };
+
+  const auto orig = evaluate(original);
+  const auto repl = evaluate(replayed);
+
+  TextTable t({"model", "DUFP slowdown %", "DUFP power savings %"});
+  t.add_row("original profile", {orig.first, orig.second});
+  t.add_row("replayed from trace", {repl.first, repl.second});
+  t.print(std::cout);
+
+  std::printf(
+      "\nIf the two rows agree, the 200 ms observables are sufficient to\n"
+      "predict how DUFP will treat an application — which is the premise\n"
+      "of the whole approach.\n");
+  return 0;
+}

@@ -1,0 +1,21 @@
+#include "common/clock.h"
+
+#include <cstdio>
+
+#include "common/expect.h"
+
+namespace dufp {
+
+std::string SimTime::to_string() const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3fs", seconds());
+  return buf;
+}
+
+SimTime SimClock::advance(SimDuration step) {
+  DUFP_EXPECT(step.micros() > 0);
+  now_ += step;
+  return now_;
+}
+
+}  // namespace dufp

@@ -1,0 +1,45 @@
+#include "common/csv.h"
+
+#include <stdexcept>
+
+#include "common/table.h"
+
+namespace dufp {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path) : file_(path) {
+  if (!file_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  os_ = &file_;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) *os_ << ',';
+    *os_ << csv_escape(cells[i]);
+  }
+  *os_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::write_row(const std::string& label,
+                          const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(fmt_double(v, precision));
+  write_row(cells);
+}
+
+}  // namespace dufp

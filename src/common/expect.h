@@ -1,0 +1,45 @@
+// Precondition / postcondition helpers in the spirit of the C++ Core
+// Guidelines I.6 (Expects) and I.8 (Ensures).
+//
+// DUFP_EXPECT is used for caller-facing contract violations: it throws
+// std::invalid_argument so that misuse of the public API is diagnosable in
+// tests rather than UB.  DUFP_ASSERT is for internal invariants and throws
+// std::logic_error; both are always on (this library is control-plane code
+// running at 5 Hz, never in a hot loop).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dufp::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::string msg;
+  msg += kind;
+  msg += " failed: ";
+  msg += expr;
+  msg += " at ";
+  msg += file;
+  msg += ":";
+  msg += std::to_string(line);
+  if (kind[0] == 'E')  // Expects
+    throw std::invalid_argument(msg);
+  throw std::logic_error(msg);
+}
+
+}  // namespace dufp::detail
+
+#define DUFP_EXPECT(cond)                                                \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::dufp::detail::contract_failure("Expects", #cond, __FILE__,       \
+                                       __LINE__);                        \
+  } while (false)
+
+#define DUFP_ASSERT(cond)                                                \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::dufp::detail::contract_failure("Assert", #cond, __FILE__,        \
+                                       __LINE__);                        \
+  } while (false)

@@ -1,0 +1,45 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+namespace dufp {
+namespace {
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::debug: return "DEBUG";
+    case LogLevel::info: return "INFO ";
+    case LogLevel::warn: return "WARN ";
+    case LogLevel::error: return "ERROR";
+    case LogLevel::off: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::log(LogLevel level, const std::string& msg) {
+  if (level < level_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(stderr, "[dufp %s] %s\n", level_name(level), msg.c_str());
+}
+
+void log_debug(const std::string& msg) {
+  Logger::instance().log(LogLevel::debug, msg);
+}
+void log_info(const std::string& msg) {
+  Logger::instance().log(LogLevel::info, msg);
+}
+void log_warn(const std::string& msg) {
+  Logger::instance().log(LogLevel::warn, msg);
+}
+void log_error(const std::string& msg) {
+  Logger::instance().log(LogLevel::error, msg);
+}
+
+}  // namespace dufp

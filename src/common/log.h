@@ -1,0 +1,35 @@
+// Minimal leveled logger.
+//
+// The runtime agent and the harness log through this; benchmarks keep it at
+// `warn` so figure output stays machine-readable.  Thread-safe: a single
+// mutex serializes writes (the log is never on a hot path).
+#pragma once
+
+#include <mutex>
+#include <string>
+
+namespace dufp {
+
+enum class LogLevel { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  void log(LogLevel level, const std::string& msg);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::warn;
+  std::mutex mu_;
+};
+
+void log_debug(const std::string& msg);
+void log_info(const std::string& msg);
+void log_warn(const std::string& msg);
+void log_error(const std::string& msg);
+
+}  // namespace dufp

@@ -1,0 +1,100 @@
+// Fixed-capacity ring buffer used by the RAPL running-average windows and
+// the controllers' short histories.  Header-only; trivially copyable
+// payloads expected but not required.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/expect.h"
+
+namespace dufp {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : buf_(capacity) {
+    DUFP_EXPECT(capacity > 0);
+  }
+
+  std::size_t capacity() const { return buf_.size(); }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == buf_.size(); }
+
+  /// Append, evicting the oldest element when full.  Returns true if an
+  /// element was evicted.
+  bool push(const T& v) {
+    const bool evicting = full();
+    buf_[head_] = v;
+    head_ = (head_ + 1) % buf_.size();
+    if (evicting) {
+      tail_ = head_;
+    } else {
+      ++size_;
+    }
+    return evicting;
+  }
+
+  /// Element `i` positions back from the newest (0 = newest).
+  const T& from_newest(std::size_t i) const {
+    DUFP_EXPECT(i < size_);
+    const std::size_t idx = (head_ + buf_.size() - 1 - i) % buf_.size();
+    return buf_[idx];
+  }
+
+  /// Element `i` positions forward from the oldest (0 = oldest).
+  const T& from_oldest(std::size_t i) const {
+    DUFP_EXPECT(i < size_);
+    return buf_[(tail_ + i) % buf_.size()];
+  }
+
+  const T& newest() const { return from_newest(0); }
+  const T& oldest() const { return from_oldest(0); }
+
+  void clear() {
+    head_ = tail_ = 0;
+    size_ = 0;
+  }
+
+  /// Visit all elements oldest → newest.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t i = 0; i < size_; ++i) f(from_oldest(i));
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t head_ = 0;  ///< next write slot
+  std::size_t tail_ = 0;  ///< oldest element
+  std::size_t size_ = 0;
+};
+
+/// Windowed arithmetic mean over the last `capacity` samples, O(1) update.
+class WindowedMean {
+ public:
+  explicit WindowedMean(std::size_t capacity) : ring_(capacity) {}
+
+  void add(double v) {
+    if (ring_.full()) sum_ -= ring_.oldest();
+    ring_.push(v);
+    sum_ += v;
+  }
+
+  double mean() const {
+    return ring_.empty() ? 0.0 : sum_ / static_cast<double>(ring_.size());
+  }
+  std::size_t size() const { return ring_.size(); }
+  std::size_t capacity() const { return ring_.capacity(); }
+  bool full() const { return ring_.full(); }
+  void clear() {
+    ring_.clear();
+    sum_ = 0.0;
+  }
+
+ private:
+  RingBuffer<double> ring_;
+  double sum_ = 0.0;
+};
+
+}  // namespace dufp

@@ -1,0 +1,50 @@
+// Deterministic random number generation.
+//
+// Experiments must be reproducible run-to-run: every source of randomness
+// (measurement noise, workload jitter) draws from an explicitly seeded
+// xoshiro256** stream.  We do not use std::mt19937 because its distribution
+// implementations are not specified bit-exactly across standard libraries,
+// and cross-toolchain reproducibility matters for the recorded
+// EXPERIMENTS.md numbers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace dufp {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference
+/// implementation), seeded via SplitMix64 so any 64-bit seed yields a
+/// well-mixed state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Marsaglia polar method (deterministic given the
+  /// stream position).
+  double gaussian();
+
+  /// Normal with the given mean / standard deviation.
+  double gaussian(double mean, double stddev);
+
+  /// Derive an independent stream for a sub-component.  Streams derived
+  /// with distinct tags are statistically independent of the parent and of
+  /// each other.
+  Rng fork(std::uint64_t tag);
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace dufp

@@ -1,0 +1,31 @@
+// String helpers shared by the config parser, table writers and CLIs.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dufp {
+
+/// Strip leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Split on a delimiter; empty fields preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Case-insensitive ASCII comparison.
+bool iequals(std::string_view a, std::string_view b);
+
+/// Lowercased copy.
+std::string to_lower(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string strf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Parses "12.5", "12.5W", "110" etc.; returns false on garbage.
+bool parse_double(std::string_view s, double& out);
+
+/// Parses a non-negative integer.
+bool parse_u64(std::string_view s, unsigned long long& out);
+
+}  // namespace dufp

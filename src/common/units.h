@@ -1,0 +1,50 @@
+// Unit conventions used across the library.
+//
+// We deliberately use plain `double` with a strict naming convention rather
+// than heavyweight quantity types (CG F.15: simple, conventional ways of
+// passing information).  The convention:
+//
+//   *_w     watts            *_j     joules
+//   *_mhz   megahertz        *_ghz   gigahertz (only at API boundaries)
+//   *_s     seconds          *_us    microseconds (integer)
+//   *_gbps  gigabytes/second *_gflops  1e9 FLOP/s
+//
+// Conversion helpers below keep the factors out of call sites.
+#pragma once
+
+#include <cstdint>
+
+namespace dufp {
+
+/// Microseconds per second; the simulation clock counts integer microseconds.
+inline constexpr std::int64_t kMicrosPerSecond = 1'000'000;
+
+constexpr double mhz_to_ghz(double mhz) { return mhz / 1000.0; }
+constexpr double ghz_to_mhz(double ghz) { return ghz * 1000.0; }
+
+constexpr double us_to_seconds(std::int64_t us) {
+  return static_cast<double>(us) / static_cast<double>(kMicrosPerSecond);
+}
+constexpr std::int64_t seconds_to_us(double s) {
+  return static_cast<std::int64_t>(s * static_cast<double>(kMicrosPerSecond) +
+                                   (s >= 0 ? 0.5 : -0.5));
+}
+
+constexpr double uw_to_watts(std::uint64_t uw) {
+  return static_cast<double>(uw) * 1e-6;
+}
+constexpr std::uint64_t watts_to_uw(double w) {
+  return static_cast<std::uint64_t>(w * 1e6 + 0.5);
+}
+
+constexpr double uj_to_joules(std::uint64_t uj) {
+  return static_cast<double>(uj) * 1e-6;
+}
+
+/// FLOP/s expressed in GFLOP/s at reporting boundaries.
+constexpr double flops_to_gflops(double flops) { return flops * 1e-9; }
+
+/// Bytes/s expressed in GB/s (1e9 bytes, as PAPI-derived tools report).
+constexpr double bps_to_gbps(double bps) { return bps * 1e-9; }
+
+}  // namespace dufp

@@ -1,0 +1,154 @@
+#include "core/agent.h"
+
+#include "common/expect.h"
+
+namespace dufp::core {
+
+using powercap::ConstraintId;
+
+Agent::Agent(AgentMode mode, const PolicyConfig& policy,
+             powercap::PackageZone& zone, powercap::UncoreControl& uncore,
+             perfmon::IntervalSampler sampler,
+             powercap::PstateControl* pstate)
+    : mode_(mode),
+      policy_(policy),
+      zone_(zone),
+      uncore_(uncore),
+      pstate_(pstate),
+      sampler_(std::move(sampler)),
+      default_long_w_(zone.power_limit_w(ConstraintId::long_term)),
+      default_short_w_(zone.power_limit_w(ConstraintId::short_term)),
+      default_long_window_us_(zone.time_window_us(0)),
+      default_short_window_us_(zone.time_window_us(1)),
+      uncore_max_mhz_(uncore.window_max_mhz()) {
+  UncoreLimits ul;
+  ul.min_mhz = uncore.window_min_mhz();
+  ul.max_mhz = uncore_max_mhz_;
+
+  DUFP_EXPECT(!policy_.manage_core_frequency || pstate_ != nullptr);
+  if (pstate_ != nullptr) {
+    // The current request at startup is the performance governor's
+    // maximum — remembered as the release target.
+    pstate_max_mhz_ = pstate_->requested_mhz();
+  }
+
+  if (mode_ == AgentMode::dufp) {
+    CapLimits cl;
+    cl.default_long_w = default_long_w_;
+    cl.default_short_w = default_short_w_;
+    cl.min_cap_w = policy.min_cap_w;
+    dufp_.emplace(policy_, ul, cl);
+  } else if (mode_ == AgentMode::dnpc) {
+    DnpcLimits dl;
+    dl.default_cap_w = default_long_w_;
+    dl.min_cap_w = policy.min_cap_w;
+    dnpc_.emplace(policy_, dl);
+  } else {
+    duf_tracker_.emplace(policy_);
+    duf_.emplace(policy_, ul);
+  }
+}
+
+void Agent::apply_uncore(const DufController::Decision& d) {
+  switch (d.action) {
+    case UncoreAction::decrease:
+      ++stats_.uncore_decreases;
+      uncore_.pin_mhz(d.target_mhz);
+      break;
+    case UncoreAction::increase:
+      ++stats_.uncore_increases;
+      uncore_.pin_mhz(d.target_mhz);
+      break;
+    case UncoreAction::reset:
+      ++stats_.uncore_resets;
+      uncore_.pin_mhz(uncore_max_mhz_);
+      break;
+    case UncoreAction::hold:
+    case UncoreAction::none:
+      break;
+  }
+}
+
+void Agent::restore_default_cap() {
+  zone_.set_power_limit_w(ConstraintId::long_term, default_long_w_);
+  zone_.set_power_limit_w(ConstraintId::short_term, default_short_w_);
+  zone_.set_time_window_us(0, default_long_window_us_);
+  zone_.set_time_window_us(1, default_short_window_us_);
+}
+
+void Agent::apply_cap(const DufpController::Decision& d) {
+  if (d.tighten_short_term) {
+    ++stats_.short_term_tightenings;
+    zone_.set_power_limit_w(ConstraintId::short_term,
+                            zone_.power_limit_w(ConstraintId::long_term));
+  }
+
+  switch (d.cap_action) {
+    case CapAction::decrease:
+      ++stats_.cap_decreases;
+      zone_.set_power_limit_w(ConstraintId::long_term, d.cap_long_w);
+      zone_.set_power_limit_w(ConstraintId::short_term, d.cap_short_w);
+      break;
+    case CapAction::increase:
+      ++stats_.cap_increases;
+      zone_.set_power_limit_w(ConstraintId::long_term, d.cap_long_w);
+      zone_.set_power_limit_w(ConstraintId::short_term, d.cap_short_w);
+      break;
+    case CapAction::reset:
+      ++stats_.cap_resets;
+      restore_default_cap();
+      break;
+    case CapAction::hold:
+    case CapAction::none:
+      break;
+  }
+
+  if (d.verify_uncore_reset) {
+    // Interaction rule 2: after a joint reset the uncore may not have
+    // reached its maximum (the cap's effect can still be visible); check
+    // and re-pin once.
+    if (uncore_.current_mhz() < uncore_max_mhz_ - 1e-9) {
+      ++stats_.uncore_reset_retries;
+      uncore_.pin_mhz(uncore_max_mhz_);
+    }
+  }
+
+  // DUFP-F frequency management.
+  if (pstate_ != nullptr) {
+    if (d.pstate_release) {
+      ++stats_.pstate_releases;
+      pstate_->release(pstate_max_mhz_);
+    } else if (d.pstate_request_mhz > 0.0 &&
+               d.pstate_request_mhz < pstate_max_mhz_) {
+      ++stats_.pstate_pins;
+      pstate_->set_mhz(d.pstate_request_mhz);
+    }
+  }
+}
+
+void Agent::on_interval(SimTime now) {
+  const auto maybe_sample = sampler_.sample(now);
+  if (!maybe_sample.has_value()) return;  // baseline interval
+  const perfmon::Sample& sample = *maybe_sample;
+  last_sample_ = sample;
+  ++stats_.intervals;
+
+  if (mode_ == AgentMode::dufp) {
+    const auto d = dufp_->decide(sample);
+    apply_uncore(d.uncore);
+    apply_cap(d);
+  } else if (mode_ == AgentMode::dnpc) {
+    const double before = dnpc_->cap_w();
+    const auto d = dnpc_->decide(sample);
+    if (d.changed) {
+      (d.cap_w < before ? stats_.cap_decreases : stats_.cap_increases)++;
+      zone_.set_power_limit_w(powercap::ConstraintId::long_term, d.cap_w);
+      zone_.set_power_limit_w(powercap::ConstraintId::short_term, d.cap_w);
+    }
+  } else {
+    const auto u = duf_tracker_->update(sample);
+    apply_uncore(duf_->decide(u));
+  }
+}
+
+}  // namespace dufp::core

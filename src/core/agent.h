@@ -1,0 +1,106 @@
+// The per-socket runtime agent: owns the measurement sampler and the
+// controller, and actuates through the powercap zone (package power
+// limits) and the uncore MSR — exactly the actuation paths the paper's
+// tool uses (Sec. IV-C).  One Agent instance runs per user-specified
+// socket, each fully independent, mirroring "one instance of DUFP is
+// started on each user-specified socket" (Sec. III).
+//
+// The Agent is substrate-agnostic: it sees only CounterSource, Zone and
+// MsrDevice interfaces, so the identical class would drive PAPI +
+// powercap + /dev/cpu/*/msr on hardware.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/dnpc.h"
+#include "core/dufp.h"
+#include "core/policy.h"
+#include "perfmon/sampler.h"
+#include "powercap/pstate_control.h"
+#include "powercap/uncore_control.h"
+#include "powercap/zone.h"
+
+namespace dufp::core {
+
+enum class AgentMode {
+  duf,   ///< uncore frequency scaling only (the DUF baseline)
+  dufp,  ///< uncore + dynamic power capping (the paper's contribution)
+  dnpc,  ///< frequency-model dynamic capping baseline (related work)
+};
+
+struct AgentStats {
+  std::uint64_t intervals = 0;
+
+  std::uint64_t uncore_decreases = 0;
+  std::uint64_t uncore_increases = 0;
+  std::uint64_t uncore_resets = 0;
+
+  std::uint64_t cap_decreases = 0;
+  std::uint64_t cap_increases = 0;
+  std::uint64_t cap_resets = 0;
+  std::uint64_t cap_overshoot_resets = 0;
+  std::uint64_t short_term_tightenings = 0;
+  std::uint64_t uncore_reset_retries = 0;  ///< interaction rule 2 firings
+  std::uint64_t pstate_pins = 0;           ///< DUFP-F frequency requests
+  std::uint64_t pstate_releases = 0;
+};
+
+class Agent {
+ public:
+  /// Captures the zone's current limits / windows as the hardware
+  /// defaults to restore on reset.  `pstate` is only required when
+  /// policy.manage_core_frequency is set (the DUFP-F extension); pass
+  /// nullptr otherwise.
+  Agent(AgentMode mode, const PolicyConfig& policy,
+        powercap::PackageZone& zone, powercap::UncoreControl& uncore,
+        perfmon::IntervalSampler sampler,
+        powercap::PstateControl* pstate = nullptr);
+
+  /// One control interval: sample, decide, actuate.  The first call only
+  /// establishes the counter baseline.
+  void on_interval(SimTime now);
+
+  AgentMode mode() const { return mode_; }
+  const AgentStats& stats() const { return stats_; }
+  const PolicyConfig& policy() const { return policy_; }
+
+  /// Last sample observed (empty before the second interval).
+  const std::optional<perfmon::Sample>& last_sample() const {
+    return last_sample_;
+  }
+
+  double default_long_w() const { return default_long_w_; }
+  double default_short_w() const { return default_short_w_; }
+
+ private:
+  void apply_uncore(const DufController::Decision& d);
+  void apply_cap(const DufpController::Decision& d);
+  void restore_default_cap();
+
+  AgentMode mode_;
+  PolicyConfig policy_;
+  powercap::PackageZone& zone_;
+  powercap::UncoreControl& uncore_;
+  powercap::PstateControl* pstate_;  ///< nullable (DUFP-F only)
+  perfmon::IntervalSampler sampler_;
+
+  double default_long_w_;
+  double default_short_w_;
+  std::uint64_t default_long_window_us_;
+  std::uint64_t default_short_window_us_;
+  double uncore_max_mhz_;
+  double pstate_max_mhz_ = 0.0;
+
+  // DUFP mode holds the full controller; DUF mode a tracker + DUF pair;
+  // DNPC mode the frequency-model baseline.
+  std::optional<DufpController> dufp_;
+  std::optional<PhaseTracker> duf_tracker_;
+  std::optional<DufController> duf_;
+  std::optional<DnpcController> dnpc_;
+
+  AgentStats stats_;
+  std::optional<perfmon::Sample> last_sample_;
+};
+
+}  // namespace dufp::core

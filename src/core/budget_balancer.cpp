@@ -1,0 +1,83 @@
+#include "core/budget_balancer.h"
+
+#include <algorithm>
+
+#include "common/expect.h"
+#include "msr/registers.h"
+
+namespace dufp::core {
+
+BudgetBalancer::BudgetBalancer(const BalancerConfig& config,
+                               std::vector<powercap::PackageZone*> zones,
+                               std::vector<const msr::MsrDevice*> msrs,
+                               double core_max_mhz, double core_base_mhz)
+    : config_(config),
+      zones_(std::move(zones)),
+      msrs_(std::move(msrs)),
+      core_max_mhz_(core_max_mhz),
+      core_base_mhz_(core_base_mhz) {
+  DUFP_EXPECT(!zones_.empty());
+  DUFP_EXPECT(zones_.size() == msrs_.size());
+  DUFP_EXPECT(core_max_mhz > 0.0 && core_base_mhz > 0.0);
+  DUFP_EXPECT(config.min_cap_w > 0.0);
+  DUFP_EXPECT(config.min_cap_w <= config.max_cap_w);
+  DUFP_EXPECT(config.machine_budget_w >=
+              config.min_cap_w * static_cast<double>(zones_.size()));
+  DUFP_EXPECT(config.smoothing > 0.0 && config.smoothing <= 1.0);
+
+  const double equal =
+      std::min(config.max_cap_w,
+               config.machine_budget_w / static_cast<double>(zones_.size()));
+  allocation_.assign(zones_.size(), equal);
+  last_aperf_.assign(zones_.size(), 0);
+  last_mperf_.assign(zones_.size(), 0);
+}
+
+void BudgetBalancer::on_interval(SimTime /*now*/) {
+  const std::size_t n = zones_.size();
+
+  std::vector<double> freq_mhz(n, core_max_mhz_);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto aperf = msrs_[i]->read(0, msr::kIa32Aperf);
+    const auto mperf = msrs_[i]->read(0, msr::kIa32Mperf);
+    if (have_baseline_ && mperf > last_mperf_[i]) {
+      const double da = static_cast<double>(aperf - last_aperf_[i]);
+      const double dm = static_cast<double>(mperf - last_mperf_[i]);
+      freq_mhz[i] = core_base_mhz_ * da / dm;
+    }
+    last_aperf_[i] = aperf;
+    last_mperf_[i] = mperf;
+  }
+  if (!have_baseline_) {
+    have_baseline_ = true;
+    return;
+  }
+  ++intervals_;
+
+  // Weight each socket by its frequency depression; the budget above the
+  // per-socket floors is split proportionally.
+  double weight_sum = 0.0;
+  std::vector<double> weight(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double depression =
+        std::max(0.0, (core_max_mhz_ - freq_mhz[i]) / core_max_mhz_);
+    weight[i] = depression + config_.base_weight;
+    weight_sum += weight[i];
+  }
+
+  const double spare =
+      config_.machine_budget_w -
+      config_.min_cap_w * static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double target = config_.min_cap_w + spare * weight[i] / weight_sum;
+    target = std::clamp(target, config_.min_cap_w, config_.max_cap_w);
+    allocation_[i] = allocation_[i] * (1.0 - config_.smoothing) +
+                     target * config_.smoothing;
+    zones_[i]->set_power_limit_w(powercap::ConstraintId::long_term,
+                                 allocation_[i]);
+    zones_[i]->set_power_limit_w(powercap::ConstraintId::short_term,
+                                 allocation_[i]);
+  }
+}
+
+}  // namespace dufp::core

@@ -1,0 +1,67 @@
+// Machine-level power budget distribution across sockets — the
+// GEOPM/DAPS family of the paper's related work (Sec. VI: "power budget
+// allocation strategies across nodes ... complementary to DUFP").
+//
+// Given a machine-wide budget below the sum of the per-socket defaults,
+// the balancer periodically redistributes it: each socket's share follows
+// its *frequency depression* (how far its measured clock sits below the
+// all-core maximum — read from APERF/MPERF), so throttled sockets receive
+// budget that under-consuming sockets are not using.  Per-socket caps are
+// written through the same powercap zones DUFP uses, which makes the
+// balancer composable with it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.h"
+#include "msr/device.h"
+#include "powercap/zone.h"
+
+namespace dufp::core {
+
+struct BalancerConfig {
+  double machine_budget_w = 440.0;  ///< total across all sockets
+  double min_cap_w = 65.0;          ///< per-socket floor
+  double max_cap_w = 125.0;         ///< per-socket ceiling (hw default)
+  /// Exponential smoothing of the allocation (0 = frozen, 1 = jumpy).
+  double smoothing = 0.5;
+  /// Extra weight floor so an idle socket keeps a live allocation.
+  double base_weight = 0.1;
+};
+
+class BudgetBalancer {
+ public:
+  /// `zones` and `msrs` are index-aligned per socket (non-owning; must
+  /// outlive the balancer).  `core_max_mhz` / `core_base_mhz` describe
+  /// the machine (frequency depression is measured against the former).
+  BudgetBalancer(const BalancerConfig& config,
+                 std::vector<powercap::PackageZone*> zones,
+                 std::vector<const msr::MsrDevice*> msrs,
+                 double core_max_mhz, double core_base_mhz);
+
+  /// One balancing interval: measure per-socket clocks, recompute the
+  /// split, program the caps.  The first call only establishes counter
+  /// baselines.
+  void on_interval(SimTime now);
+
+  /// Current allocation (watts per socket).
+  const std::vector<double>& allocation_w() const { return allocation_; }
+
+  std::uint64_t intervals() const { return intervals_; }
+
+ private:
+  BalancerConfig config_;
+  std::vector<powercap::PackageZone*> zones_;
+  std::vector<const msr::MsrDevice*> msrs_;
+  double core_max_mhz_;
+  double core_base_mhz_;
+
+  bool have_baseline_ = false;
+  std::vector<std::uint64_t> last_aperf_;
+  std::vector<std::uint64_t> last_mperf_;
+  std::vector<double> allocation_;
+  std::uint64_t intervals_ = 0;
+};
+
+}  // namespace dufp::core

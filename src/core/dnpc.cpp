@@ -1,0 +1,53 @@
+#include "core/dnpc.h"
+
+#include <algorithm>
+
+#include "common/expect.h"
+
+namespace dufp::core {
+
+DnpcController::DnpcController(const PolicyConfig& policy,
+                               const DnpcLimits& limits)
+    : policy_(policy),
+      limits_(limits),
+      cap_w_(limits.default_cap_w),
+      observed_max_mhz_(limits.max_core_mhz) {
+  DUFP_EXPECT(limits.min_cap_w > 0.0);
+  DUFP_EXPECT(limits.min_cap_w < limits.default_cap_w);
+  DUFP_EXPECT(limits.max_core_mhz >= 0.0);
+}
+
+double DnpcController::estimated_degradation(double core_mhz) const {
+  if (core_mhz <= 0.0 || observed_max_mhz_ <= 0.0) return 0.0;
+  const double ratio = std::min(core_mhz / observed_max_mhz_, 1.0);
+  return 1.0 - ratio;
+}
+
+DnpcController::Decision DnpcController::decide(
+    const perfmon::Sample& sample) {
+  Decision d;
+  observed_max_mhz_ = std::max(observed_max_mhz_, sample.core_mhz);
+  const double est = estimated_degradation(sample.core_mhz);
+  const double tol = policy_.tolerated_slowdown;
+  const double eps = policy_.epsilon;
+
+  double next = cap_w_;
+  if (est > tol + eps) {
+    // Predicted to exceed the limit next period: raise the cap.
+    next = std::min(limits_.default_cap_w, cap_w_ + policy_.cap_step_w);
+  } else if (est < tol - eps || tol < eps) {
+    // Comfortably within the limit (or a zero limit, where only the
+    // epsilon band is available): take more power.
+    if (est <= std::max(tol, eps)) {
+      next = std::max(limits_.min_cap_w, cap_w_ - policy_.cap_step_w);
+    }
+  }
+  if (next != cap_w_) {
+    cap_w_ = next;
+    d.cap_w = next;
+    d.changed = true;
+  }
+  return d;
+}
+
+}  // namespace dufp::core

@@ -1,0 +1,58 @@
+// DNPC-style baseline (Sharma, Lan, Wu, Taylor — "A dynamic power capping
+// library for HPC applications", CLUSTER'21), the closest related work
+// the paper discusses (Sec. VI).
+//
+// DNPC adapts the package cap under a user-defined performance-
+// degradation limit, but estimates degradation from a *linear
+// frequency-performance model*: predicted slowdown = 1 − f/f_max.  The
+// paper's critique — that this model is wrong for memory-intensive and
+// vectorized codes — is exactly what the baseline bench demonstrates: on
+// bandwidth-bound applications DNPC leaves most of the free capping
+// headroom unused (the frequency drops, so it predicts slowdown that
+// never materializes), while DUFP's FLOPS-based feedback takes it.
+//
+// Reimplemented from the published description; the original library does
+// not support our (simulated) platform either.
+#pragma once
+
+#include "core/policy.h"
+#include "perfmon/sampler.h"
+
+namespace dufp::core {
+
+struct DnpcLimits {
+  double default_cap_w = 125.0;
+  double min_cap_w = 65.0;
+  /// Initial f_max hint of the frequency model; 0 = learn it from the
+  /// highest clock observed (self-calibrating, like the original tool
+  /// measuring an uncapped period first).
+  double max_core_mhz = 0.0;
+};
+
+class DnpcController {
+ public:
+  DnpcController(const PolicyConfig& policy, const DnpcLimits& limits);
+
+  struct Decision {
+    /// Cap to program (both constraints), or 0 when unchanged.
+    double cap_w = 0.0;
+    bool changed = false;
+  };
+
+  /// One control period: estimate next-period degradation from the
+  /// measured frequency and step the cap accordingly.
+  Decision decide(const perfmon::Sample& sample);
+
+  double cap_w() const { return cap_w_; }
+
+  /// The linear model's degradation estimate for a given clock.
+  double estimated_degradation(double core_mhz) const;
+
+ private:
+  PolicyConfig policy_;
+  DnpcLimits limits_;
+  double cap_w_;
+  double observed_max_mhz_;
+};
+
+}  // namespace dufp::core

@@ -1,0 +1,91 @@
+#include "core/duf.h"
+
+#include <algorithm>
+
+#include "common/expect.h"
+
+namespace dufp::core {
+
+DufController::DufController(const PolicyConfig& policy,
+                             const UncoreLimits& limits)
+    : policy_(policy), limits_(limits), target_mhz_(limits.max_mhz) {
+  DUFP_EXPECT(limits.min_mhz > 0.0 && limits.min_mhz < limits.max_mhz);
+  DUFP_EXPECT(policy.uncore_step_mhz > 0.0);
+  DUFP_EXPECT(policy.tolerated_slowdown >= 0.0 &&
+              policy.tolerated_slowdown < 1.0);
+}
+
+void DufController::force_reset() {
+  target_mhz_ = limits_.max_mhz;
+  last_action_ = UncoreAction::reset;
+  cooldown_ = 0;
+  since_decrease_ = 1'000'000;
+  consecutive_beyond_ = 0;
+}
+
+DufController::Decision DufController::decide(const PhaseTracker::Update& u) {
+  Decision d;
+
+  if (u.phase_change) {
+    force_reset();
+    d.action = UncoreAction::reset;
+    d.target_mhz = target_mhz_;
+    return d;
+  }
+
+  // DUF applies the tolerance to bandwidth as well as FLOPS, for every
+  // phase (Sec. III, first interaction bullet).
+  const double drop = std::max(u.flops_drop, u.bw_drop);
+  const ToleranceZone zone =
+      classify_drop(drop, policy_.tolerated_slowdown, policy_.epsilon);
+
+  if (since_decrease_ < 1'000'000) ++since_decrease_;
+  consecutive_beyond_ =
+      zone == ToleranceZone::beyond ? consecutive_beyond_ + 1 : 0;
+
+  if (zone == ToleranceZone::beyond) {
+    // Back off only when this controller's own recent probe plausibly
+    // caused the violation, or the violation persists (see
+    // PolicyConfig::attribution_window_intervals).  In a highly
+    // CPU-intensive phase a FLOPS-only drop cannot be the uncore's doing
+    // (the phase barely touches it) — unless it persists, leave the
+    // response to the power-cap path.
+    const bool bw_beyond =
+        classify_drop(u.bw_drop, policy_.tolerated_slowdown,
+                      policy_.epsilon) == ToleranceZone::beyond;
+    const bool persistent =
+        consecutive_beyond_ >= policy_.persistent_violation_intervals;
+    const bool mine =
+        since_decrease_ <= policy_.attribution_window_intervals &&
+        !(u.highly_cpu && !bw_beyond);
+    if ((mine || persistent) && target_mhz_ < limits_.max_mhz - 1e-9) {
+      target_mhz_ =
+          std::min(limits_.max_mhz, target_mhz_ + policy_.uncore_step_mhz);
+      d.action = UncoreAction::increase;
+      cooldown_ = policy_.uncore_cooldown_intervals;
+    } else {
+      d.action = UncoreAction::hold;
+      if (mine || persistent) cooldown_ = policy_.uncore_cooldown_intervals;
+    }
+  } else if (zone == ToleranceZone::boundary) {
+    // "Equivalent to the slowdown with respect to the measurement error":
+    // keep steady.
+    d.action = UncoreAction::hold;
+  } else if (cooldown_ > 0) {
+    --cooldown_;
+    d.action = UncoreAction::hold;
+  } else if (target_mhz_ > limits_.min_mhz + 1e-9) {
+    target_mhz_ =
+        std::max(limits_.min_mhz, target_mhz_ - policy_.uncore_step_mhz);
+    d.action = UncoreAction::decrease;
+    since_decrease_ = 0;
+  } else {
+    d.action = UncoreAction::hold;
+  }
+
+  last_action_ = d.action;
+  d.target_mhz = target_mhz_;
+  return d;
+}
+
+}  // namespace dufp::core

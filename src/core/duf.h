@@ -1,0 +1,56 @@
+// DUF: dynamic uncore frequency scaling (André, Dulong, Guermouche,
+// Trahay — the paper's prior tool, summarized in Sec. II-C).  Periodically
+// compares the FLOPS/s *and memory bandwidth* of the current phase against
+// the per-phase maxima; while both are within the tolerated slowdown the
+// uncore frequency is stepped down, a violation steps it back up, a phase
+// change resets it to the maximum.
+#pragma once
+
+#include "core/policy.h"
+#include "core/tracker.h"
+
+namespace dufp::core {
+
+enum class UncoreAction { none, hold, decrease, increase, reset };
+
+struct UncoreLimits {
+  double min_mhz = 1200.0;
+  double max_mhz = 2400.0;
+};
+
+class DufController {
+ public:
+  DufController(const PolicyConfig& policy, const UncoreLimits& limits);
+
+  struct Decision {
+    UncoreAction action = UncoreAction::none;
+    double target_mhz = 0.0;  ///< frequency to pin (min = max = target)
+  };
+
+  /// One control interval.  `u` must come from the shared PhaseTracker fed
+  /// with the same sample.
+  Decision decide(const PhaseTracker::Update& u);
+
+  double target_mhz() const { return target_mhz_; }
+
+  /// True when the previous interval's action was an increase — the signal
+  /// DUFP's interaction rule 1 consumes.
+  bool last_action_was_increase() const {
+    return last_action_ == UncoreAction::increase;
+  }
+
+  /// Forces the controller's notion of the target back to max (used by
+  /// DUFP when it resets both actuators).
+  void force_reset();
+
+ private:
+  PolicyConfig policy_;
+  UncoreLimits limits_;
+  double target_mhz_;
+  UncoreAction last_action_ = UncoreAction::none;
+  int cooldown_ = 0;
+  int since_decrease_ = 1'000'000;  ///< intervals since my last decrease
+  int consecutive_beyond_ = 0;
+};
+
+}  // namespace dufp::core

@@ -1,0 +1,198 @@
+#include "core/dufp.h"
+
+#include <algorithm>
+
+#include "common/expect.h"
+
+namespace dufp::core {
+
+DufpController::DufpController(const PolicyConfig& policy,
+                               const UncoreLimits& uncore,
+                               const CapLimits& caps)
+    : policy_(policy),
+      caps_(caps),
+      tracker_(policy),
+      duf_(policy, uncore),
+      cap_long_w_(caps.default_long_w),
+      cap_short_w_(caps.default_short_w) {
+  DUFP_EXPECT(caps.min_cap_w > 0.0);
+  DUFP_EXPECT(caps.min_cap_w < caps.default_long_w);
+  DUFP_EXPECT(caps.default_long_w <= caps.default_short_w);
+  DUFP_EXPECT(policy.cap_step_w > 0.0);
+}
+
+void DufpController::apply_reset_state(bool violation) {
+  cap_long_w_ = caps_.default_long_w;
+  cap_short_w_ = caps_.default_short_w;
+  // Only violation-driven resets carry a probing cooldown; a reset caused
+  // by a phase change must not stop the controller from immediately
+  // exploring the new phase (FT's transposes last ~9 intervals — a
+  // cooldown would consume most of the capping opportunity).
+  cooldown_ = violation ? policy_.cap_cooldown_intervals : 0;
+  pending_short_check_ = true;
+  since_decrease_ = 1'000'000;
+  consecutive_beyond_ = 0;
+}
+
+void DufpController::apply_decrease(Decision& d) {
+  const double next =
+      std::max(caps_.min_cap_w, cap_long_w_ - policy_.cap_step_w);
+  if (next >= cap_long_w_ - 1e-9) {
+    d.cap_action = CapAction::hold;  // already at the floor
+    return;
+  }
+  cap_long_w_ = next;
+  // Decreasing sets both constraints to the same value (Sec. III).
+  cap_short_w_ = next;
+  d.cap_action = CapAction::decrease;
+  d.cap_long_w = cap_long_w_;
+  d.cap_short_w = cap_short_w_;
+  since_decrease_ = 0;
+}
+
+void DufpController::apply_increase(Decision& d) {
+  const double next =
+      std::min(caps_.default_long_w, cap_long_w_ + policy_.cap_step_w);
+  if (next >= caps_.default_long_w - 1e-9) {
+    // Reaching the default long-term value turns the increase into a full
+    // reset (Sec. III).
+    apply_reset_state(/*violation=*/true);
+    d.cap_action = CapAction::reset;
+    d.cap_reset = true;
+    return;
+  }
+  cap_long_w_ = next;
+  cap_short_w_ = next;
+  d.cap_action = CapAction::increase;
+  d.cap_long_w = cap_long_w_;
+  d.cap_short_w = cap_short_w_;
+  cooldown_ = policy_.cap_cooldown_intervals;
+}
+
+void DufpController::plan_pstate(Decision& d,
+                                 const perfmon::Sample& sample) const {
+  if (!policy_.manage_core_frequency) return;
+  // Any reset or increase hands frequency control back to the hardware;
+  // while the cap is active and the controller is steady, pin the clock
+  // one step above the observed equilibrium so RAPL stops hunting.
+  if (d.cap_action == CapAction::reset ||
+      d.cap_action == CapAction::increase) {
+    d.pstate_release = true;
+    return;
+  }
+  const bool cap_active = cap_long_w_ < caps_.default_long_w - 1e-9;
+  if (cap_active && d.cap_action == CapAction::hold &&
+      sample.core_mhz > 0.0) {
+    d.pstate_request_mhz = sample.core_mhz + policy_.pstate_headroom_mhz;
+  }
+}
+
+DufpController::Decision DufpController::decide(
+    const perfmon::Sample& sample) {
+  Decision d;
+
+  // Interaction rule 1 needs to know what the uncore controller did LAST
+  // interval, so capture the flag before this interval's uncore decision.
+  const bool uncore_increased_last = duf_.last_action_was_increase();
+
+  const PhaseTracker::Update u = tracker_.update(sample);
+  d.uncore = duf_.decide(u);
+
+  // 1. Post-reset short-term adjustment.
+  if (pending_short_check_) {
+    pending_short_check_ = false;
+    if (sample.pkg_power_w < cap_long_w_) {
+      cap_short_w_ = cap_long_w_;
+      d.tighten_short_term = true;
+    }
+  }
+
+  // 2. Overshoot guard (Sec. IV-D): consumed power above the programmed
+  //    cap means the cap is not being honoured — reset it.  The margin
+  //    absorbs the sub-interval settling transient of a legitimate
+  //    decrease (the firmware re-converges within a few milliseconds, so
+  //    the 200 ms interval average overshoots by well under the margin).
+  if (sample.pkg_power_w > cap_long_w_ + policy_.overshoot_margin_w) {
+    apply_reset_state(/*violation=*/true);
+    d.cap_action = CapAction::reset;
+    d.cap_reset = true;
+    prev_flops_ = sample.flops_rate;
+    plan_pstate(d, sample);
+    return d;
+  }
+
+  // 3. Phase change: reset the cap; interaction rule 2 asks the agent to
+  //    verify the uncore really reached its maximum.
+  if (u.phase_change) {
+    apply_reset_state(/*violation=*/false);
+    d.cap_action = CapAction::reset;
+    d.cap_reset = true;
+    d.verify_uncore_reset = true;
+    prev_flops_ = sample.flops_rate;
+    plan_pstate(d, sample);
+    return d;
+  }
+
+  // 4. Highly memory-intensive fast path: capping is free (Sec. II-A),
+  //    so keep decreasing regardless of the FLOPS comparison.
+  if (u.highly_memory) {
+    apply_decrease(d);
+    prev_flops_ = sample.flops_rate;
+    plan_pstate(d, sample);
+    return d;
+  }
+
+  const double tol = policy_.tolerated_slowdown;
+  const double eps = policy_.epsilon;
+
+  // 5. Tolerance comparison.  The cap path only consults bandwidth on
+  //    highly CPU-intensive phases (Sec. III) — unlike the uncore path,
+  //    which guards bandwidth everywhere.
+  const ToleranceZone flops_zone = classify_drop(u.flops_drop, tol, eps);
+  const bool bw_violated =
+      u.highly_cpu &&
+      classify_drop(u.bw_drop, tol, eps) == ToleranceZone::beyond;
+
+  if (since_decrease_ < 1'000'000) ++since_decrease_;
+  const bool beyond = flops_zone == ToleranceZone::beyond || bw_violated;
+  consecutive_beyond_ = beyond ? consecutive_beyond_ + 1 : 0;
+
+  if (beyond) {
+    // Beyond the tolerated slowdown.  Highly CPU-intensive phases reset
+    // outright (any sustained violation there is expensive); others step
+    // the cap back up — but only when this controller's own probe
+    // plausibly caused the drop, or the violation persists (violation
+    // attribution, see PolicyConfig).
+    if (u.highly_cpu) {
+      apply_reset_state(/*violation=*/true);
+      d.cap_action = CapAction::reset;
+      d.cap_reset = true;
+    } else if (since_decrease_ <= policy_.attribution_window_intervals ||
+               consecutive_beyond_ >=
+                   policy_.persistent_violation_intervals) {
+      apply_increase(d);
+    } else {
+      d.cap_action = CapAction::hold;
+    }
+  } else if (flops_zone == ToleranceZone::boundary) {
+    // Equivalent to the slowdown within the measurement error: steady.
+    d.cap_action = CapAction::hold;
+  } else if (uncore_increased_last && prev_flops_.has_value() &&
+             sample.flops_rate <=
+                 *prev_flops_ * (1.0 + policy_.improve_epsilon)) {
+    // 6. Interaction rule 1: the uncore increase did not improve
+    //    performance, so the cap is the limiting actuator — raise it.
+    apply_increase(d);
+  } else if (cooldown_ > 0) {
+    --cooldown_;
+    d.cap_action = CapAction::hold;
+  } else {
+    apply_decrease(d);
+  }
+
+  prev_flops_ = sample.flops_rate;
+  plan_pstate(d, sample);
+  return d;
+}
+
+}  // namespace dufp::core

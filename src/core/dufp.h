@@ -1,0 +1,102 @@
+// DUFP: the paper's contribution (Sec. III, Fig. 2) — DUF's uncore
+// algorithm plus dynamic package power capping under the same
+// user-defined tolerated slowdown.
+//
+// Per interval, in order:
+//   1. post-reset short-term check: one interval after a reset, if
+//      consumed power is already below the cap, pull the short-term
+//      constraint down to the long-term value;
+//   2. overshoot guard: consumed power persistently above the long-term
+//      cap (the cap "didn't take") resets the cap;
+//   3. phase change (OI class flip or FLOPS doubling): reset the cap, and
+//      re-reset the uncore if it failed to reach max (interaction rule 2);
+//   4. highly-memory phases (OI < 0.02): decrease the cap regardless of
+//      FLOPS — such phases tolerate low caps for free (Sec. II-A);
+//   5. tolerance comparison against the phase max: within → decrease
+//      (both constraints to the same value); at the boundary within the
+//      measurement error → hold; beyond → increase, or *reset* for highly
+//      CPU-intensive phases (OI > 100), which also reset when bandwidth
+//      drops beyond the tolerance;
+//   6. interaction rule 1: an uncore increase that did not improve
+//      FLOPS/s makes DUFP raise the cap instead.
+//
+// A cap increase that brings the long-term constraint back to its default
+// restores the full hardware default (both constraints and windows).
+#pragma once
+
+#include <optional>
+
+#include "core/duf.h"
+#include "core/policy.h"
+#include "core/tracker.h"
+#include "perfmon/sampler.h"
+
+namespace dufp::core {
+
+enum class CapAction { none, hold, decrease, increase, reset };
+
+struct CapLimits {
+  double default_long_w = 125.0;
+  double default_short_w = 150.0;
+  double min_cap_w = 65.0;
+};
+
+class DufpController {
+ public:
+  DufpController(const PolicyConfig& policy, const UncoreLimits& uncore,
+                 const CapLimits& caps);
+
+  struct Decision {
+    DufController::Decision uncore;
+
+    CapAction cap_action = CapAction::none;
+    /// Valid for decrease / increase: the constraint values to program.
+    double cap_long_w = 0.0;
+    double cap_short_w = 0.0;
+    /// reset: restore hardware defaults (both constraints and windows).
+    bool cap_reset = false;
+    /// Step 1 above: program short_term := long_term.
+    bool tighten_short_term = false;
+    /// Interaction rule 2: verify the uncore reached max and re-pin it.
+    bool verify_uncore_reset = false;
+
+    /// DUFP-F (policy.manage_core_frequency): explicit P-state request in
+    /// MHz (0 = leave as is), or a release back to the maximum.
+    double pstate_request_mhz = 0.0;
+    bool pstate_release = false;
+  };
+
+  /// One control interval.
+  Decision decide(const perfmon::Sample& sample);
+
+  const DufController& duf() const { return duf_; }
+  const PhaseTracker& tracker() const { return tracker_; }
+  double cap_long_w() const { return cap_long_w_; }
+  double cap_short_w() const { return cap_short_w_; }
+
+ private:
+  void plan_pstate(Decision& d, const perfmon::Sample& sample) const;
+  void apply_reset_state(bool violation);
+  void apply_decrease(Decision& d);
+  void apply_increase(Decision& d);
+
+  PolicyConfig policy_;
+  CapLimits caps_;
+  PhaseTracker tracker_;
+  DufController duf_;
+
+  // Controller's view of the programmed constraints.
+  double cap_long_w_;
+  double cap_short_w_;
+
+  int cooldown_ = 0;
+  // Startup behaves like the instant after a reset: the next interval
+  // checks consumption against the cap and tightens the short-term
+  // constraint if there is headroom (Sec. III).
+  bool pending_short_check_ = true;
+  std::optional<double> prev_flops_;
+  int since_decrease_ = 1'000'000;  ///< intervals since my last decrease
+  int consecutive_beyond_ = 0;
+};
+
+}  // namespace dufp::core

@@ -1,0 +1,110 @@
+#include "harness/experiment.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "common/expect.h"
+
+namespace dufp::harness {
+
+const std::vector<double>& paper_tolerances() {
+  static const std::vector<double> tols{0.0, 0.05, 0.10, 0.20};
+  return tols;
+}
+
+RunConfig default_run_config(const workloads::WorkloadProfile& profile) {
+  RunConfig cfg;
+  cfg.profile = &profile;
+  cfg.machine.sockets = sockets_from_env();
+  return cfg;
+}
+
+Evaluation::Evaluation(workloads::AppId app, RepeatedResult baseline,
+                       std::vector<EvaluationCell> cells)
+    : app_(app), baseline_(std::move(baseline)), cells_(std::move(cells)) {}
+
+const RepeatedResult& Evaluation::at(PolicyMode mode,
+                                     double tolerance) const {
+  for (const auto& c : cells_) {
+    if (c.mode == mode && std::abs(c.tolerance - tolerance) < 1e-9) {
+      return c.result;
+    }
+  }
+  throw std::invalid_argument("Evaluation: no cell for mode/tolerance");
+}
+
+double Evaluation::slowdown_pct(PolicyMode mode, double tolerance) const {
+  return percent_over(at(mode, tolerance).exec_seconds.mean,
+                      baseline_.exec_seconds.mean);
+}
+
+double Evaluation::slowdown_pct_min(PolicyMode mode,
+                                    double tolerance) const {
+  return percent_over(at(mode, tolerance).exec_seconds.min,
+                      baseline_.exec_seconds.mean);
+}
+
+double Evaluation::slowdown_pct_max(PolicyMode mode,
+                                    double tolerance) const {
+  return percent_over(at(mode, tolerance).exec_seconds.max,
+                      baseline_.exec_seconds.mean);
+}
+
+double Evaluation::pkg_power_savings_pct(PolicyMode mode,
+                                         double tolerance) const {
+  return -percent_over(at(mode, tolerance).avg_pkg_power_w.mean,
+                       baseline_.avg_pkg_power_w.mean);
+}
+
+double Evaluation::dram_power_savings_pct(PolicyMode mode,
+                                          double tolerance) const {
+  return -percent_over(at(mode, tolerance).avg_dram_power_w.mean,
+                       baseline_.avg_dram_power_w.mean);
+}
+
+double Evaluation::energy_change_pct(PolicyMode mode,
+                                     double tolerance) const {
+  return percent_over(at(mode, tolerance).total_energy_j.mean,
+                      baseline_.total_energy_j.mean);
+}
+
+Evaluation evaluate_app(workloads::AppId app,
+                        const std::vector<PolicyMode>& modes,
+                        const std::vector<double>& tolerances,
+                        int repetitions, std::uint64_t seed) {
+  const auto& prof = workloads::profile(app);
+  RunConfig base = default_run_config(prof);
+  base.seed = seed;
+
+  note_progress("  " + workloads::app_name(app) + ": baseline");
+  RunConfig def = base;
+  def.mode = PolicyMode::none;
+  RepeatedResult baseline = run_repeated(def, repetitions);
+
+  std::vector<EvaluationCell> cells;
+  for (PolicyMode mode : modes) {
+    for (double tol : tolerances) {
+      note_progress("  " + workloads::app_name(app) + ": " +
+                    policy_mode_name(mode) + " @ " +
+                    std::to_string(static_cast<int>(tol * 100 + 0.5)) + "%");
+      RunConfig cfg = base;
+      cfg.mode = mode;
+      cfg.tolerated_slowdown = tol;
+      EvaluationCell cell;
+      cell.mode = mode;
+      cell.tolerance = tol;
+      cell.result = run_repeated(cfg, repetitions);
+      cells.push_back(std::move(cell));
+    }
+  }
+  return Evaluation(app, std::move(baseline), std::move(cells));
+}
+
+void note_progress(const std::string& what) {
+  if (std::getenv("DUFP_QUIET") != nullptr) return;
+  std::fprintf(stderr, "[dufp-bench] %s\n", what.c_str());
+}
+
+}  // namespace dufp::harness

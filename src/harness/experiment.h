@@ -1,0 +1,66 @@
+// Figure-level experiment orchestration: evaluate an application under
+// the default configuration, DUF, and DUFP across tolerated slowdowns,
+// and derive the percentage metrics the paper's figures plot.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "harness/runner.h"
+
+namespace dufp::harness {
+
+/// The tolerated-slowdown grid of the paper's evaluation (Sec. V).
+const std::vector<double>& paper_tolerances();  // {0, 0.05, 0.10, 0.20}
+
+/// A RunConfig with the yeti-2 machine (socket count from DUFP_SOCKETS),
+/// paper-default policy, and 1 ms tick.
+RunConfig default_run_config(const workloads::WorkloadProfile& profile);
+
+struct EvaluationCell {
+  PolicyMode mode = PolicyMode::duf;
+  double tolerance = 0.0;
+  RepeatedResult result;
+};
+
+class Evaluation {
+ public:
+  Evaluation(workloads::AppId app, RepeatedResult baseline,
+             std::vector<EvaluationCell> cells);
+
+  workloads::AppId app() const { return app_; }
+  const RepeatedResult& baseline() const { return baseline_; }
+  const RepeatedResult& at(PolicyMode mode, double tolerance) const;
+
+  // -- derived percentages (all relative to the default run) -------------------
+
+  /// Execution-time overhead in percent (positive = slower).
+  double slowdown_pct(PolicyMode mode, double tolerance) const;
+  /// Min/max over the kept runs (error bars).
+  double slowdown_pct_min(PolicyMode mode, double tolerance) const;
+  double slowdown_pct_max(PolicyMode mode, double tolerance) const;
+
+  /// Processor power savings in percent (positive = saved).
+  double pkg_power_savings_pct(PolicyMode mode, double tolerance) const;
+  /// DRAM power savings in percent.
+  double dram_power_savings_pct(PolicyMode mode, double tolerance) const;
+  /// CPU+DRAM energy change in percent (negative = saved).
+  double energy_change_pct(PolicyMode mode, double tolerance) const;
+
+ private:
+  workloads::AppId app_;
+  RepeatedResult baseline_;
+  std::vector<EvaluationCell> cells_;
+};
+
+/// Runs the full grid for one application: baseline + {modes} x
+/// {tolerances}, `repetitions` runs each.
+Evaluation evaluate_app(workloads::AppId app,
+                        const std::vector<PolicyMode>& modes,
+                        const std::vector<double>& tolerances,
+                        int repetitions, std::uint64_t seed = 1);
+
+/// Prints a one-line progress note to stderr (benches run minutes).
+void note_progress(const std::string& what);
+
+}  // namespace dufp::harness

@@ -1,0 +1,230 @@
+#include "harness/runner.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "common/expect.h"
+#include "perfmon/sim_counter_source.h"
+#include "powercap/uncore_control.h"
+#include "powercap/zone.h"
+
+namespace dufp::harness {
+
+std::string policy_mode_name(PolicyMode m) {
+  switch (m) {
+    case PolicyMode::none: return "default";
+    case PolicyMode::duf: return "DUF";
+    case PolicyMode::dufp: return "DUFP";
+    case PolicyMode::dufpf: return "DUFP-F";
+    case PolicyMode::dnpc: return "DNPC";
+  }
+  return "?";
+}
+
+double percent_over(double value, double base) {
+  DUFP_EXPECT(base > 0.0);
+  return (value / base - 1.0) * 100.0;
+}
+
+int repetitions_from_env() {
+  if (const char* v = std::getenv("DUFP_REPS")) {
+    const int n = std::atoi(v);
+    if (n > 0) return n;
+  }
+  return 10;
+}
+
+int sockets_from_env() {
+  if (const char* v = std::getenv("DUFP_SOCKETS")) {
+    const int n = std::atoi(v);
+    if (n > 0) return n;
+  }
+  return 4;
+}
+
+namespace {
+
+/// Everything owned by one run: built, wired, then discarded.
+struct RunContext {
+  std::unique_ptr<sim::Simulation> simulation;
+  std::vector<std::unique_ptr<powercap::PackageZone>> zones;
+  std::vector<std::unique_ptr<powercap::UncoreControl>> uncores;
+  std::vector<std::unique_ptr<powercap::PstateControl>> pstates;
+  std::vector<std::unique_ptr<perfmon::SimCounterSource>> sources;
+  std::vector<std::unique_ptr<core::Agent>> agents;
+};
+
+}  // namespace
+
+RunResult run_once(const RunConfig& config) {
+  if (config.profile == nullptr) {
+    throw std::invalid_argument("RunConfig: profile is required");
+  }
+
+  RunContext ctx;
+  sim::SimulationOptions sim_opts = config.sim;
+  sim_opts.seed = config.seed;
+  ctx.simulation = std::make_unique<sim::Simulation>(
+      config.machine, *config.profile, sim_opts);
+  sim::Simulation& s = *ctx.simulation;
+  s.set_trace_sink(config.trace);
+
+  const int n = s.socket_count();
+  for (int i = 0; i < n; ++i) {
+    ctx.zones.push_back(std::make_unique<powercap::PackageZone>(s.msr(i), i));
+    ctx.uncores.push_back(std::make_unique<powercap::UncoreControl>(s.msr(i)));
+    ctx.sources.push_back(std::make_unique<perfmon::SimCounterSource>(
+        s.socket(i), s.msr(i)));
+  }
+
+  // Static whole-run cap (Fig. 1a): programmed before the run, both
+  // constraints to the same value, like the paper's motivation setup.
+  if (config.static_cap_w.has_value()) {
+    for (int i = 0; i < n; ++i) {
+      ctx.zones[static_cast<std::size_t>(i)]->set_power_limit_w(
+          powercap::ConstraintId::long_term, *config.static_cap_w);
+      ctx.zones[static_cast<std::size_t>(i)]->set_power_limit_w(
+          powercap::ConstraintId::short_term, *config.static_cap_w);
+    }
+  }
+
+  // Partial capping of one phase (Fig. 1b/1c).
+  if (config.phase_cap.has_value()) {
+    // Validate the phase name up front.
+    config.profile->phase_index(config.phase_cap->phase);
+    const double cap = config.phase_cap->cap_w;
+    const std::string target = config.phase_cap->phase;
+    std::vector<double> def_long(static_cast<std::size_t>(n));
+    std::vector<double> def_short(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      def_long[static_cast<std::size_t>(i)] =
+          ctx.zones[static_cast<std::size_t>(i)]->power_limit_w(
+              powercap::ConstraintId::long_term);
+      def_short[static_cast<std::size_t>(i)] =
+          ctx.zones[static_cast<std::size_t>(i)]->power_limit_w(
+              powercap::ConstraintId::short_term);
+    }
+    // The listener captures the zone pointers by reference into the
+    // context, which outlives the simulation loop.
+    auto& zones = ctx.zones;
+    s.add_phase_listener([target, cap, def_long, def_short, &zones](
+                             int socket, const std::string& phase,
+                             bool entered) {
+      if (phase != target) return;
+      auto& z = *zones[static_cast<std::size_t>(socket)];
+      if (entered) {
+        z.set_power_limit_w(powercap::ConstraintId::long_term, cap);
+        z.set_power_limit_w(powercap::ConstraintId::short_term, cap);
+      } else {
+        z.set_power_limit_w(powercap::ConstraintId::long_term,
+                            def_long[static_cast<std::size_t>(socket)]);
+        z.set_power_limit_w(powercap::ConstraintId::short_term,
+                            def_short[static_cast<std::size_t>(socket)]);
+      }
+    });
+  }
+
+  // Controllers.
+  if (config.mode != PolicyMode::none) {
+    core::PolicyConfig policy = config.policy;
+    policy.tolerated_slowdown = config.tolerated_slowdown;
+    if (config.mode == PolicyMode::dufpf) {
+      policy.manage_core_frequency = true;
+    }
+    core::AgentMode mode = core::AgentMode::dufp;
+    if (config.mode == PolicyMode::duf) mode = core::AgentMode::duf;
+    if (config.mode == PolicyMode::dnpc) mode = core::AgentMode::dnpc;
+    for (int i = 0; i < n; ++i) {
+      perfmon::SamplerOptions so;
+      so.noise_sigma = config.sampler_noise_sigma;
+      perfmon::IntervalSampler sampler(
+          *ctx.sources[static_cast<std::size_t>(i)],
+          config.machine.socket.core_base_mhz,
+          s.fork_rng(0x2000 + static_cast<std::uint64_t>(i)), so);
+      powercap::PstateControl* pstate = nullptr;
+      if (policy.manage_core_frequency) {
+        ctx.pstates.push_back(
+            std::make_unique<powercap::PstateControl>(s.msr(i)));
+        pstate = ctx.pstates.back().get();
+      }
+      ctx.agents.push_back(std::make_unique<core::Agent>(
+          mode, policy, *ctx.zones[static_cast<std::size_t>(i)],
+          *ctx.uncores[static_cast<std::size_t>(i)], std::move(sampler),
+          pstate));
+      core::Agent* agent = ctx.agents.back().get();
+      s.schedule_periodic(policy.interval,
+                          [agent](SimTime now) { agent->on_interval(now); });
+    }
+  }
+
+  RunResult result;
+  result.summary = s.run();
+
+  for (const auto& agent : ctx.agents) {
+    result.agent_stats.push_back(agent->stats());
+  }
+
+  // Machine-wide per-phase totals.
+  for (int i = 0; i < n; ++i) {
+    const auto& totals = s.phase_totals(i);
+    const auto& phases = config.profile->phases();
+    for (std::size_t p = 0; p < phases.size(); ++p) {
+      auto& agg = result.phase_totals[phases[p].name];
+      agg.wall_seconds += totals[p].wall_seconds;
+      agg.pkg_energy_j += totals[p].pkg_energy_j;
+      agg.dram_energy_j += totals[p].dram_energy_j;
+    }
+  }
+  // Wall seconds are per-socket-parallel, not additive: report the mean.
+  for (auto& [name, agg] : result.phase_totals) {
+    agg.wall_seconds /= static_cast<double>(n);
+  }
+  return result;
+}
+
+RepeatedResult run_repeated(RunConfig config, int repetitions) {
+  DUFP_EXPECT(repetitions >= 1);
+  std::vector<double> exec;
+  std::vector<double> pkg_power;
+  std::vector<double> dram_power;
+  std::vector<double> pkg_energy;
+  std::vector<double> dram_energy;
+  std::vector<double> total_energy;
+  std::map<std::string, sim::PhaseTotals> phase_sums;
+
+  const std::uint64_t seed0 = config.seed;
+  for (int r = 0; r < repetitions; ++r) {
+    config.seed = seed0 + static_cast<std::uint64_t>(r) * 7919;
+    const RunResult res = run_once(config);
+    exec.push_back(res.summary.exec_seconds);
+    pkg_power.push_back(res.summary.avg_pkg_power_w);
+    dram_power.push_back(res.summary.avg_dram_power_w);
+    pkg_energy.push_back(res.summary.pkg_energy_j);
+    dram_energy.push_back(res.summary.dram_energy_j);
+    total_energy.push_back(res.summary.total_energy_j());
+    for (const auto& [name, t] : res.phase_totals) {
+      auto& agg = phase_sums[name];
+      agg.wall_seconds += t.wall_seconds;
+      agg.pkg_energy_j += t.pkg_energy_j;
+      agg.dram_energy_j += t.dram_energy_j;
+    }
+  }
+
+  RepeatedResult out;
+  out.runs = repetitions;
+  out.exec_seconds = trimmed_summary(exec, exec);
+  out.avg_pkg_power_w = trimmed_summary(exec, pkg_power);
+  out.avg_dram_power_w = trimmed_summary(exec, dram_power);
+  out.pkg_energy_j = trimmed_summary(exec, pkg_energy);
+  out.dram_energy_j = trimmed_summary(exec, dram_energy);
+  out.total_energy_j = trimmed_summary(exec, total_energy);
+  for (auto& [name, t] : phase_sums) {
+    t.wall_seconds /= repetitions;
+    t.pkg_energy_j /= repetitions;
+    t.dram_energy_j /= repetitions;
+    out.mean_phase_totals[name] = t;
+  }
+  return out;
+}
+
+}  // namespace dufp::harness

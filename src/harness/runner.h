@@ -1,0 +1,101 @@
+// Experiment execution: one fully wired run of an application on the
+// simulated yeti-2 under a chosen policy, plus the paper's repetition
+// protocol (10 runs, trim fastest + slowest, average the rest — Sec. V).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/agent.h"
+#include "core/policy.h"
+#include "hwmodel/socket_config.h"
+#include "sim/simulation.h"
+#include "sim/trace.h"
+#include "workloads/profiles.h"
+
+namespace dufp::harness {
+
+enum class PolicyMode {
+  none,   ///< default architecture configuration (the paper's baseline)
+  duf,    ///< dynamic uncore frequency scaling only
+  dufp,   ///< uncore + dynamic power capping
+  dufpf,  ///< DUFP + direct core-frequency management (Sec. VII extension)
+  dnpc,   ///< frequency-model dynamic capping baseline (Sec. VI related work)
+};
+
+std::string policy_mode_name(PolicyMode m);
+
+/// Static per-phase power cap (Fig. 1b/1c): while the named phase runs,
+/// the package limit is `cap_w`; leaving the phase restores the default.
+struct PhaseCapSpec {
+  std::string phase;
+  double cap_w = 0.0;
+};
+
+struct RunConfig {
+  const workloads::WorkloadProfile* profile = nullptr;  ///< required
+  PolicyMode mode = PolicyMode::none;
+  double tolerated_slowdown = 0.0;
+  std::uint64_t seed = 1;
+
+  hw::MachineConfig machine;
+  core::PolicyConfig policy;       ///< interval, steps, thresholds
+  sim::SimulationOptions sim;      ///< tick, jitter, governor
+  double sampler_noise_sigma = 0.001;
+
+  /// Fig. 1a: a static cap programmed before the run starts (applies in
+  /// any mode, including `none`).
+  std::optional<double> static_cap_w;
+
+  /// Fig. 1b/1c: partial capping of one phase.
+  std::optional<PhaseCapSpec> phase_cap;
+
+  /// Optional tracing (not owned).
+  sim::TraceSink* trace = nullptr;
+};
+
+struct RunResult {
+  sim::RunSummary summary;
+  std::vector<core::AgentStats> agent_stats;  ///< empty in mode none
+
+  /// Machine-wide per-phase totals, keyed by phase name (summed over
+  /// sockets and over every visit of the phase).
+  std::map<std::string, sim::PhaseTotals> phase_totals;
+};
+
+/// Executes one run.  Throws std::invalid_argument on malformed configs.
+RunResult run_once(const RunConfig& config);
+
+/// Aggregated repeated-runs metrics following the paper's protocol; the
+/// trimming key is execution time.
+struct RepeatedResult {
+  TrimmedSummary exec_seconds;
+  TrimmedSummary avg_pkg_power_w;
+  TrimmedSummary avg_dram_power_w;
+  TrimmedSummary pkg_energy_j;
+  TrimmedSummary dram_energy_j;
+  TrimmedSummary total_energy_j;
+
+  /// Per-phase wall seconds / package power (means over the kept runs),
+  /// for the partial-capping figures.
+  std::map<std::string, sim::PhaseTotals> mean_phase_totals;
+  int runs = 0;
+};
+
+/// Runs `repetitions` times with seeds seed, seed+1, ... and aggregates.
+RepeatedResult run_repeated(RunConfig config, int repetitions = 10);
+
+/// Relative change in percent: +3.0 means `value` is 3 % above `base`.
+double percent_over(double value, double base);
+
+/// Repetition count for figure benches: DUFP_REPS env var, default 10.
+int repetitions_from_env();
+
+/// Socket count override for quick runs: DUFP_SOCKETS env var, default 4.
+int sockets_from_env();
+
+}  // namespace dufp::harness

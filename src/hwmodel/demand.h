@@ -1,0 +1,54 @@
+// What a workload phase asks of a socket at the reference operating point.
+// Produced by the workload layer, consumed by the socket model each tick.
+#pragma once
+
+namespace dufp::hw {
+
+/// Per-socket resource demand of the currently running phase, expressed at
+/// the reference operating point (all-core turbo, max uncore, no cap).
+///
+/// The time-composition weights follow the classic leading-loads /
+/// frequency-scaling decomposition: a fraction of execution time scales
+/// with 1/f_core (w_cpu), a fraction with 1/bandwidth (w_mem), a fraction
+/// with 1/f_uncore (w_unc: LLC-hit-latency-bound work — mesh and L3 clock
+/// with the uncore), and a fraction is invariant (w_fixed: dependency
+/// chains, synchronization).  They must sum to 1.
+struct PhaseDemand {
+  double w_cpu = 1.0;
+  double w_mem = 0.0;
+  double w_unc = 0.0;
+  double w_fixed = 0.0;
+
+  double flops_rate_ref = 0.0;  ///< FLOP/s per socket at reference point
+  double bytes_rate_ref = 0.0;  ///< DRAM bytes/s per socket at reference
+
+  double cpu_activity = 1.0;  ///< core dynamic-power activity factor [0,1]
+  double mem_activity = 0.0;  ///< uncore dynamic-power activity factor [0,1]
+
+  /// True when no application is running (simulation warm-up / drain).
+  bool idle = false;
+
+  static PhaseDemand make_idle() {
+    PhaseDemand d;
+    d.w_cpu = 0.0;
+    d.w_unc = 0.0;
+    d.w_fixed = 1.0;
+    d.cpu_activity = 0.02;
+    d.mem_activity = 0.02;
+    d.idle = true;
+    return d;
+  }
+};
+
+/// Instantaneous socket state derived from demand + actuator settings.
+struct SocketInstant {
+  double core_mhz = 0.0;    ///< effective core clock (all cores)
+  double uncore_mhz = 0.0;  ///< effective uncore clock
+  double speed = 0.0;       ///< phase progress rate vs reference (<= ~1)
+  double flops_rate = 0.0;  ///< observed FLOP/s
+  double bytes_rate = 0.0;  ///< observed DRAM traffic, bytes/s
+  double pkg_power_w = 0.0;
+  double dram_power_w = 0.0;
+};
+
+}  // namespace dufp::hw

@@ -1,0 +1,49 @@
+#include "hwmodel/machine_model.h"
+
+#include "common/expect.h"
+
+namespace dufp::hw {
+
+MachineModel::MachineModel(const MachineConfig& config) : config_(config) {
+  DUFP_EXPECT(config.sockets > 0);
+  sockets_.reserve(static_cast<std::size_t>(config.sockets));
+  for (int i = 0; i < config.sockets; ++i) {
+    sockets_.push_back(std::make_unique<SocketModel>(config.socket, i));
+  }
+}
+
+SocketModel& MachineModel::socket(int i) {
+  DUFP_EXPECT(i >= 0 && i < socket_count());
+  return *sockets_[static_cast<std::size_t>(i)];
+}
+
+const SocketModel& MachineModel::socket(int i) const {
+  DUFP_EXPECT(i >= 0 && i < socket_count());
+  return *sockets_[static_cast<std::size_t>(i)];
+}
+
+double MachineModel::total_pkg_power_w() const {
+  double sum = 0.0;
+  for (const auto& s : sockets_) sum += s->evaluate().pkg_power_w;
+  return sum;
+}
+
+double MachineModel::total_dram_power_w() const {
+  double sum = 0.0;
+  for (const auto& s : sockets_) sum += s->evaluate().dram_power_w;
+  return sum;
+}
+
+double MachineModel::total_pkg_energy_j() const {
+  double sum = 0.0;
+  for (const auto& s : sockets_) sum += s->pkg_energy_j();
+  return sum;
+}
+
+double MachineModel::total_dram_energy_j() const {
+  double sum = 0.0;
+  for (const auto& s : sockets_) sum += s->dram_energy_j();
+  return sum;
+}
+
+}  // namespace dufp::hw

@@ -1,0 +1,36 @@
+// A multi-socket machine (yeti-2 by default): owns the per-socket models.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hwmodel/socket_config.h"
+#include "hwmodel/socket_model.h"
+
+namespace dufp::hw {
+
+class MachineModel {
+ public:
+  explicit MachineModel(const MachineConfig& config);
+
+  const MachineConfig& config() const { return config_; }
+  int socket_count() const { return static_cast<int>(sockets_.size()); }
+
+  SocketModel& socket(int i);
+  const SocketModel& socket(int i) const;
+
+  /// Aggregate instantaneous package power across sockets (each socket
+  /// evaluated at its current settings).
+  double total_pkg_power_w() const;
+  double total_dram_power_w() const;
+
+  /// Aggregate accumulated energies.
+  double total_pkg_energy_j() const;
+  double total_dram_energy_j() const;
+
+ private:
+  MachineConfig config_;
+  std::vector<std::unique_ptr<SocketModel>> sockets_;
+};
+
+}  // namespace dufp::hw

@@ -1,0 +1,53 @@
+#include "hwmodel/perf_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.h"
+
+namespace dufp::hw {
+
+PerfModel::PerfModel(const MemoryModelParams& params, double f_ref_mhz,
+                     double fu_ref_mhz)
+    : params_(params), f_ref_mhz_(f_ref_mhz), fu_ref_mhz_(fu_ref_mhz) {
+  DUFP_EXPECT(f_ref_mhz > 0.0 && fu_ref_mhz > 0.0);
+  DUFP_EXPECT(params_.peak_bw_gbps > 0.0);
+  DUFP_EXPECT(params_.fu_sat_mhz > 0.0);
+  ref_bw_bps_ = 0.0;  // placate uninitialized-member lints
+  ref_bw_bps_ = bandwidth_bps(f_ref_mhz_, fu_ref_mhz_);
+}
+
+double PerfModel::bandwidth_bps(double core_mhz, double uncore_mhz) const {
+  DUFP_EXPECT(core_mhz > 0.0 && uncore_mhz > 0.0);
+  const double uncore_scale =
+      std::min(uncore_mhz, params_.fu_sat_mhz) / params_.fu_sat_mhz;
+  const double concurrency = std::clamp(
+      params_.conc_base + params_.conc_slope * core_mhz / f_ref_mhz_, 0.0,
+      1.0);
+  return params_.peak_bw_gbps * 1e9 * uncore_scale * concurrency;
+}
+
+double PerfModel::speed(double core_mhz, double uncore_mhz,
+                        const PhaseDemand& demand) const {
+  return 1.0 / dilation(core_mhz, uncore_mhz, demand);
+}
+
+double PerfModel::traffic_factor(double uncore_mhz,
+                                 const PhaseDemand& demand) const {
+  DUFP_EXPECT(uncore_mhz > 0.0);
+  const double shortfall = std::max(0.0, 1.0 - uncore_mhz / fu_ref_mhz_);
+  const double act2 = demand.mem_activity * demand.mem_activity;
+  return std::max(0.0, 1.0 - params_.prefetch_coeff * act2 * shortfall);
+}
+
+double PerfModel::dilation(double core_mhz, double uncore_mhz,
+                           const PhaseDemand& demand) const {
+  DUFP_EXPECT(core_mhz > 0.0 && uncore_mhz > 0.0);
+  const double bw = bandwidth_bps(core_mhz, uncore_mhz);
+  const double cpu_term = demand.w_cpu * (f_ref_mhz_ / core_mhz);
+  const double mem_term = demand.w_mem * (ref_bw_bps_ / bw);
+  const double unc_term = demand.w_unc * (fu_ref_mhz_ / uncore_mhz);
+  return cpu_term + mem_term + unc_term + demand.w_fixed;
+}
+
+}  // namespace dufp::hw

@@ -1,0 +1,47 @@
+// Analytic package / DRAM power functions.  Pure: all state is passed in,
+// which lets the RAPL firmware governor evaluate "what would power be at
+// frequency f" when searching for the highest compliant P-state.
+#pragma once
+
+#include "hwmodel/demand.h"
+#include "hwmodel/socket_config.h"
+
+namespace dufp::hw {
+
+class PowerModel {
+ public:
+  PowerModel(const PowerModelParams& params, int cores, double f_ref_mhz,
+             double fu_ref_mhz);
+
+  /// Package power at the given operating point under `demand`.
+  double package_power_w(double core_mhz, double uncore_mhz,
+                         const PhaseDemand& demand) const;
+
+  /// DRAM domain power at the given achieved bandwidth.
+  double dram_power_w(double bytes_per_second) const;
+
+  /// Core-domain component only (used by tests and diagnostics).
+  double core_power_w(double core_mhz, const PhaseDemand& demand) const;
+
+  /// Uncore-domain component only.
+  double uncore_power_w(double uncore_mhz, const PhaseDemand& demand) const;
+
+  /// Analytic inverse of package_power_w in the core-frequency argument:
+  /// the (unquantized) core clock at which package power equals
+  /// `target_w`, given the uncore clock and demand.  Clamped to the
+  /// reference clock when every frequency complies; returns 0 when none
+  /// does.  Exactness matters: the firmware governor calls this every
+  /// millisecond.
+  double core_mhz_for_power(double target_w, double uncore_mhz,
+                            const PhaseDemand& demand) const;
+
+  const PowerModelParams& params() const { return params_; }
+
+ private:
+  PowerModelParams params_;
+  int cores_;
+  double f_ref_mhz_;
+  double fu_ref_mhz_;
+};
+
+}  // namespace dufp::hw

@@ -1,0 +1,112 @@
+// Static description of one simulated socket, with defaults matching the
+// paper's testbed: Intel Xeon Gold 6130 (Skylake-SP), 16 cores, uncore
+// 1.2-2.4 GHz, RAPL PKG 125 W long-term / 150 W short-term (Table I).
+#pragma once
+
+#include <string>
+
+namespace dufp::hw {
+
+/// Package power model:
+///   P_pkg(fc, fu, demand) = static
+///     + n_cores * (core_idle + core_dyn * cpu_activity * s(fc))
+///     + uncore_base * (fu/fu_ref)^alpha_u + uncore_act * mem_activity
+///
+/// Core dynamic power follows the physical CV²f DVFS curve:
+///   s(f) = (f/f_ref) * V(f)²,
+///   V(f) = max(v_min_frac, 1 - v_slope * (1 - f/f_ref))  (relative to
+///   the reference-point voltage).
+/// The affine V(f) with a floor is flatter than a pure power law at low
+/// clocks — deep power caps buy ever less power per lost megahertz, a big
+/// part of why the paper floors the cap at 65 W (Sec. IV-A).
+///
+/// The frequency-scaled uncore term models mesh + LLC clocks (they gate
+/// very little with traffic — which is what makes uncore scaling
+/// profitable even for compute-bound codes like EP), while the
+/// traffic-proportional term models the IMC and I/O PHYs, whose power
+/// follows bandwidth rather than the uncore clock.
+struct PowerModelParams {
+  double static_w = 14.0;        ///< package-level leakage, fixed
+  double core_idle_w = 0.45;     ///< per core: clock tree + L1/L2 floor
+  double core_dyn_w = 3.9;       ///< per core at activity 1 and fc = f_ref
+  double v_slope = 0.45;         ///< relative voltage slope along DVFS
+  double v_min_frac = 0.72;      ///< voltage floor, relative to V(f_ref)
+  double uncore_base_w = 34.0;   ///< uncore at fu_ref, zero traffic
+  double uncore_act_w = 14.0;    ///< IMC/PHY power at mem_activity 1 (flat)
+  double uncore_alpha = 1.4;     ///< uncore dynamic power exponent
+
+  /// DRAM (per socket, reported through the RAPL DRAM domain):
+  ///   P_dram = background + per_gbps * bandwidth
+  double dram_background_w = 9.0;
+  double dram_w_per_gbps = 0.16;
+};
+
+/// Memory subsystem response:
+///   B(fu, fc) = B_peak * min(fu, fu_sat)/fu_sat * g(fc)
+///   g(fc)     = clamp(conc_base + conc_slope * fc/f_ref, 0, 1)
+///
+/// Bandwidth rises ~linearly with uncore frequency until the DRAM channels
+/// saturate (fu_sat), which is why DUF can shave the last 200 MHz of
+/// uncore almost for free on bandwidth-bound codes but pays immediately
+/// below saturation.  g() models lost memory-level parallelism at low core
+/// frequency: with few in-flight demands per core, deep core throttling
+/// (i.e. aggressive power caps) costs bandwidth — the reason the paper
+/// floors the cap at 65 W (Sec. IV-A).
+struct MemoryModelParams {
+  double peak_bw_gbps = 96.0;  ///< 6 channels DDR4-2666, ~85% efficiency
+  double fu_sat_mhz = 2200.0;  ///< uncore frequency saturating the channels
+  double conc_base = 0.52;
+  double conc_slope = 0.48;
+
+  /// Hardware-prefetcher traffic factor: the IMC byte counters include
+  /// speculative prefetch traffic, which shrinks as the uncore slows
+  /// (prefetchers issue per uncore clock).  Observed traffic is scaled by
+  ///   1 - prefetch_coeff * mem_activity^2 * (1 - fu/fu_ref).
+  /// This makes measured bandwidth drop *faster* than FLOPS under uncore
+  /// scaling on traffic-heavy phases — the asymmetry that trips DUF's
+  /// bandwidth guard before its FLOPS guard, as on real Skylake.
+  double prefetch_coeff = 0.2;
+};
+
+struct SocketConfig {
+  std::string model_name = "Intel Xeon Gold 6130";
+  int cores = 16;
+
+  // Core DVFS domain.  With all 16 cores active the maximum sustained
+  // frequency is the all-core turbo, 2.8 GHz on this part (paper Fig. 5);
+  // nominal (base) frequency is 2.1 GHz, P-state floor 1.0 GHz.
+  double core_min_mhz = 1000.0;
+  double core_max_mhz = 2800.0;
+  double core_base_mhz = 2100.0;
+  double core_step_mhz = 100.0;
+
+  // Uncore domain (Table I).
+  double uncore_min_mhz = 1200.0;
+  double uncore_max_mhz = 2400.0;
+  double uncore_step_mhz = 100.0;
+
+  // RAPL defaults (Table I): long-term = TDP = 125 W over ~1 s, short-term
+  // = 150 W over ~10 ms.
+  double tdp_w = 125.0;
+  double long_term_default_w = 125.0;
+  double long_term_window_s = 0.999424;  // 1 s quantized to RAPL units
+  double short_term_default_w = 150.0;
+  double short_term_window_s = 0.0097656;
+
+  // Reference operating point for the perf/power models: all-core turbo
+  // and maximum uncore.
+  double f_ref_mhz() const { return core_max_mhz; }
+  double fu_ref_mhz() const { return uncore_max_mhz; }
+
+  PowerModelParams power;
+  MemoryModelParams memory;
+};
+
+/// The paper's machine: Grid'5000 yeti-2, 4 sockets.
+struct MachineConfig {
+  std::string name = "yeti-2";
+  int sockets = 4;
+  SocketConfig socket;
+};
+
+}  // namespace dufp::hw

@@ -1,0 +1,117 @@
+// Stateful model of one socket: actuator settings (core frequency limit
+// from the RAPL governor, uncore window from MSR 0x620), current workload
+// demand, and ground-truth accumulators (energy, flops, bytes, cycles)
+// that the RAPL counters and the PAPI-like layer read from.
+#pragma once
+
+#include <cstdint>
+
+#include "hwmodel/demand.h"
+#include "hwmodel/perf_model.h"
+#include "hwmodel/power_model.h"
+#include "hwmodel/socket_config.h"
+
+namespace dufp::hw {
+
+class SocketModel {
+ public:
+  SocketModel(const SocketConfig& config, int socket_id);
+
+  int socket_id() const { return socket_id_; }
+  const SocketConfig& config() const { return config_; }
+  const PowerModel& power_model() const { return power_model_; }
+  const PerfModel& perf_model() const { return perf_model_; }
+
+  // -- actuators --------------------------------------------------------------
+
+  /// RAPL firmware DVFS decision: the highest core frequency the package
+  /// may run at.  Clamped to the P-state range and quantized to the step.
+  void set_core_freq_limit_mhz(double mhz);
+  double core_freq_limit_mhz() const { return core_freq_limit_mhz_; }
+
+  /// Uncore window from MSR_UNCORE_RATIO_LIMIT (min <= max expected; a
+  /// reversed window is normalized like the hardware does).
+  void set_uncore_window_mhz(double min_mhz, double max_mhz);
+  double uncore_window_min_mhz() const { return uncore_min_mhz_; }
+  double uncore_window_max_mhz() const { return uncore_max_mhz_; }
+
+  /// Software P-state request (IA32_PERF_CTL), independent of the RAPL
+  /// limit; the effective clock is the minimum of both.
+  void set_user_pstate_limit_mhz(double mhz);
+  double user_pstate_limit_mhz() const { return user_pstate_mhz_; }
+
+  // -- demand ------------------------------------------------------------------
+
+  void set_demand(const PhaseDemand& demand);
+  const PhaseDemand& demand() const { return demand_; }
+
+  // -- evaluation ---------------------------------------------------------------
+
+  /// Core clock actually applied: P-state governor is `performance`, so
+  /// the request is the all-core max; RAPL's limit caps it.
+  double effective_core_mhz() const;
+
+  /// Uncore clock actually applied: the hardware UFS requests max under
+  /// load (the conservative default behaviour the paper criticizes) and
+  /// min when idle; the MSR window clamps it.
+  double effective_uncore_mhz() const;
+
+  /// Full instantaneous state at the current settings and demand.
+  SocketInstant evaluate() const;
+
+  /// Package power if the core clock were `core_mhz` (current demand and
+  /// uncore setting).  Used by the firmware governor's P-state search.
+  double package_power_at(double core_mhz) const;
+
+  /// Unquantized core clock at which package power would equal `target_w`
+  /// (current demand and uncore setting); see
+  /// PowerModel::core_mhz_for_power.
+  double core_mhz_for_power(double target_w) const;
+
+  // -- ground-truth accounting ---------------------------------------------------
+
+  /// Integrates one time step (the simulation engine calls this once per
+  /// tick with the instant it just evaluated).
+  void accumulate(const SocketInstant& instant, double dt_s);
+
+  double pkg_energy_j() const { return pkg_energy_j_; }
+  double dram_energy_j() const { return dram_energy_j_; }
+  double flops_total() const { return flops_total_; }
+  double bytes_total() const { return bytes_total_; }
+
+  /// APERF-style actual-cycles counter (all cores run at the same clock in
+  /// this model, so one counter serves every core).
+  std::uint64_t aperf_cycles() const {
+    return static_cast<std::uint64_t>(aperf_cycles_);
+  }
+  /// MPERF-style reference-cycles counter (base clock).
+  std::uint64_t mperf_cycles() const {
+    return static_cast<std::uint64_t>(mperf_cycles_);
+  }
+
+  /// Quantizes a core frequency to the P-state grid (clamped to range).
+  double quantize_core_mhz(double mhz) const;
+  /// Quantizes an uncore frequency to the ratio grid (clamped to range).
+  double quantize_uncore_mhz(double mhz) const;
+
+ private:
+  SocketConfig config_;
+  int socket_id_;
+  PowerModel power_model_;
+  PerfModel perf_model_;
+
+  double core_freq_limit_mhz_;
+  double user_pstate_mhz_;
+  double uncore_min_mhz_;
+  double uncore_max_mhz_;
+  PhaseDemand demand_ = PhaseDemand::make_idle();
+
+  double pkg_energy_j_ = 0.0;
+  double dram_energy_j_ = 0.0;
+  double flops_total_ = 0.0;
+  double bytes_total_ = 0.0;
+  double aperf_cycles_ = 0.0;
+  double mperf_cycles_ = 0.0;
+};
+
+}  // namespace dufp::hw

@@ -1,0 +1,45 @@
+// MSR device abstraction.
+//
+// On real hardware this maps to /dev/cpu/<n>/msr pread/pwrite (root +
+// CONFIG_X86_MSR); in this repository it is implemented by the
+// register-accurate SimulatedMsr backend wired to the socket model.  All
+// tooling above (powercap zones, uncore control, energy readers, the DUFP
+// agent) talks only to this interface, so it would run unchanged against a
+// real backend.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace dufp::msr {
+
+/// Error for unknown registers, locked writes, or backend I/O failures.
+class MsrError : public std::runtime_error {
+ public:
+  MsrError(std::uint32_t reg, const std::string& what)
+      : std::runtime_error("MSR 0x" + to_hex(reg) + ": " + what), reg_(reg) {}
+
+  std::uint32_t reg() const { return reg_; }
+
+ private:
+  static std::string to_hex(std::uint32_t v);
+  std::uint32_t reg_;
+};
+
+/// One socket's MSR access point.  `cpu` is the core index *within the
+/// socket* for core-scoped MSRs (APERF/MPERF); package-scoped MSRs ignore
+/// it by convention (any core of the package returns the package value,
+/// matching real RAPL semantics).
+class MsrDevice {
+ public:
+  virtual ~MsrDevice() = default;
+
+  virtual std::uint64_t read(int cpu, std::uint32_t reg) const = 0;
+  virtual void write(int cpu, std::uint32_t reg, std::uint64_t value) = 0;
+
+  /// Number of addressable cores behind this device.
+  virtual int core_count() const = 0;
+};
+
+}  // namespace dufp::msr

@@ -1,0 +1,31 @@
+#include "perfmon/events.h"
+
+#include "common/expect.h"
+
+namespace dufp::perfmon {
+
+std::string_view event_name(Event e) {
+  switch (e) {
+    case Event::fp_ops: return "PAPI_DP_OPS";
+    case Event::dram_bytes: return "DRAM_BYTES";
+    case Event::pkg_energy_uj: return "rapl::PACKAGE_ENERGY";
+    case Event::dram_energy_uj: return "rapl::DRAM_ENERGY";
+    case Event::aperf_cycles: return "IA32_APERF";
+    case Event::mperf_cycles: return "IA32_MPERF";
+    case Event::count_: break;
+  }
+  return "UNKNOWN";
+}
+
+std::uint64_t counter_delta(std::uint64_t before, std::uint64_t after,
+                            std::uint64_t wrap_range) {
+  if (wrap_range == 0) {
+    DUFP_EXPECT(after >= before);
+    return after - before;
+  }
+  DUFP_EXPECT(before < wrap_range && after < wrap_range);
+  if (after >= before) return after - before;
+  return wrap_range - before + after;  // single wrap
+}
+
+}  // namespace dufp::perfmon

@@ -1,0 +1,44 @@
+// Event identifiers for the measurement layer — the subset of PAPI presets
+// / RAPL components DUF and DUFP consume (Sec. IV-C: "DUFP relies on PAPI
+// for power, FLOPS/s and bandwidth measurements").
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace dufp::perfmon {
+
+enum class Event : int {
+  fp_ops = 0,         ///< double-precision FLOP count (PAPI_DP_OPS)
+  dram_bytes,         ///< DRAM traffic in bytes (uncore IMC counters)
+  pkg_energy_uj,      ///< package RAPL energy, microjoules (wraps)
+  dram_energy_uj,     ///< DRAM RAPL energy, microjoules (wraps)
+  aperf_cycles,       ///< IA32_APERF actual cycles
+  mperf_cycles,       ///< IA32_MPERF reference cycles
+  count_              ///< sentinel
+};
+
+inline constexpr int kEventCount = static_cast<int>(Event::count_);
+
+std::string_view event_name(Event e);
+
+/// A raw-counter provider.  The simulated implementation reads the socket
+/// model's ground truth (through the RAPL MSRs where hardware would); a
+/// hardware implementation would read PAPI / perf_event.
+class CounterSource {
+ public:
+  virtual ~CounterSource() = default;
+
+  /// Current raw value of `e` (monotonic modulo wrap).
+  virtual std::uint64_t read(Event e) const = 0;
+
+  /// Wrap modulus for `e`; 0 means the counter does not wrap in practice
+  /// (64-bit).  Energy counters wrap at the RAPL 32-bit range.
+  virtual std::uint64_t wrap_range(Event e) const = 0;
+};
+
+/// Delta between two raw readings honouring the wrap modulus.
+std::uint64_t counter_delta(std::uint64_t before, std::uint64_t after,
+                            std::uint64_t wrap_range);
+
+}  // namespace dufp::perfmon

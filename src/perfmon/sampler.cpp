@@ -1,0 +1,70 @@
+#include "perfmon/sampler.h"
+
+#include <algorithm>
+
+#include "common/expect.h"
+
+namespace dufp::perfmon {
+
+IntervalSampler::IntervalSampler(const CounterSource& source,
+                                 double core_base_mhz, Rng noise_rng,
+                                 SamplerOptions options)
+    : source_(source),
+      core_base_mhz_(core_base_mhz),
+      rng_(noise_rng),
+      options_(options) {
+  DUFP_EXPECT(core_base_mhz > 0.0);
+  DUFP_EXPECT(options.noise_sigma >= 0.0);
+}
+
+void IntervalSampler::reset() { have_baseline_ = false; }
+
+std::optional<Sample> IntervalSampler::sample(SimTime now) {
+  std::array<std::uint64_t, kEventCount> raw{};
+  for (int i = 0; i < kEventCount; ++i) {
+    raw[static_cast<std::size_t>(i)] = source_.read(static_cast<Event>(i));
+  }
+
+  if (!have_baseline_) {
+    have_baseline_ = true;
+    last_time_ = now;
+    last_raw_ = raw;
+    return std::nullopt;
+  }
+
+  const double dt = (now - last_time_).seconds();
+  DUFP_EXPECT(dt > 0.0);
+
+  auto delta = [&](Event e) {
+    const auto i = static_cast<std::size_t>(e);
+    return static_cast<double>(
+        counter_delta(last_raw_[i], raw[i], source_.wrap_range(e)));
+  };
+  auto noisy = [&](double v) {
+    if (options_.noise_sigma <= 0.0) return v;
+    // Truncate at +-4 sigma: real sampling error is bounded, and an
+    // unbounded tail could produce a negative rate.
+    const double eps = std::clamp(rng_.gaussian(0.0, options_.noise_sigma),
+                                  -4.0 * options_.noise_sigma,
+                                  4.0 * options_.noise_sigma);
+    return v * (1.0 + eps);
+  };
+
+  Sample s;
+  s.timestamp = now;
+  s.interval_s = dt;
+  s.flops_rate = noisy(delta(Event::fp_ops) / dt);
+  s.bytes_rate = noisy(delta(Event::dram_bytes) / dt);
+  s.pkg_power_w = noisy(delta(Event::pkg_energy_uj) * 1e-6 / dt);
+  s.dram_power_w = noisy(delta(Event::dram_energy_uj) * 1e-6 / dt);
+
+  const double aperf = delta(Event::aperf_cycles);
+  const double mperf = delta(Event::mperf_cycles);
+  s.core_mhz = mperf > 0.0 ? core_base_mhz_ * aperf / mperf : 0.0;
+
+  last_time_ = now;
+  last_raw_ = raw;
+  return s;
+}
+
+}  // namespace dufp::perfmon

@@ -1,0 +1,67 @@
+// Interval sampling: turns raw monotonic counters into the per-interval
+// rates DUF/DUFP consume (FLOPS/s, bandwidth, power, effective clock).
+//
+// A configurable multiplicative Gaussian error models PAPI sampling jitter
+// (counter read skew, interrupt noise); the paper's controllers explicitly
+// reason about "the considered measurement error" (Sec. III), so the
+// substrate must produce some.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "perfmon/events.h"
+
+namespace dufp::perfmon {
+
+/// One measurement interval, as seen by a controller.
+struct Sample {
+  SimTime timestamp{};     ///< end of the interval
+  double interval_s = 0.0;
+
+  double flops_rate = 0.0;   ///< FLOP/s
+  double bytes_rate = 0.0;   ///< bytes/s
+  double pkg_power_w = 0.0;
+  double dram_power_w = 0.0;
+  double core_mhz = 0.0;     ///< effective clock from APERF/MPERF
+
+  /// Operational intensity = FLOPS/s / bytes/s (paper Fig. 2 caption).
+  /// A starved denominator reports a huge OI, matching how a
+  /// flops-per-byte ratio degenerates on traffic-free phases.
+  double operational_intensity() const {
+    constexpr double kMinBytesRate = 1.0;  // 1 B/s floor
+    return flops_rate / (bytes_rate > kMinBytesRate ? bytes_rate : kMinBytesRate);
+  }
+};
+
+struct SamplerOptions {
+  /// Relative 1-sigma error applied to flops / bytes / energy deltas.
+  double noise_sigma = 0.004;
+};
+
+class IntervalSampler {
+ public:
+  IntervalSampler(const CounterSource& source, double core_base_mhz,
+                  Rng noise_rng, SamplerOptions options = {});
+
+  /// Reads all counters and produces the sample for the interval since the
+  /// previous call.  The first call establishes the baseline and returns
+  /// nullopt.
+  std::optional<Sample> sample(SimTime now);
+
+  /// Forgets the baseline (next sample() re-establishes it).
+  void reset();
+
+ private:
+  const CounterSource& source_;
+  double core_base_mhz_;
+  Rng rng_;
+  SamplerOptions options_;
+  bool have_baseline_ = false;
+  SimTime last_time_{};
+  std::array<std::uint64_t, kEventCount> last_raw_{};
+};
+
+}  // namespace dufp::perfmon

@@ -1,0 +1,55 @@
+#include "perfmon/sim_counter_source.h"
+
+#include "common/expect.h"
+
+namespace dufp::perfmon {
+
+using namespace dufp::msr;
+
+SimCounterSource::SimCounterSource(const hw::SocketModel& socket,
+                                   const msr::MsrDevice& dev)
+    : socket_(socket), dev_(dev) {
+  units_ = decode_rapl_units(dev_.read(0, kMsrRaplPowerUnit));
+}
+
+std::uint64_t SimCounterSource::read(Event e) const {
+  switch (e) {
+    case Event::fp_ops:
+      return static_cast<std::uint64_t>(socket_.flops_total());
+    case Event::dram_bytes:
+      return static_cast<std::uint64_t>(socket_.bytes_total());
+    case Event::pkg_energy_uj: {
+      const std::uint64_t raw =
+          dev_.read(0, kMsrPkgEnergyStatus) & 0xFFFFFFFFULL;
+      return static_cast<std::uint64_t>(static_cast<double>(raw) *
+                                        units_.joules_per_unit() * 1e6);
+    }
+    case Event::dram_energy_uj: {
+      const std::uint64_t raw =
+          dev_.read(0, kMsrDramEnergyStatus) & 0xFFFFFFFFULL;
+      return static_cast<std::uint64_t>(static_cast<double>(raw) *
+                                        units_.joules_per_unit() * 1e6);
+    }
+    case Event::aperf_cycles:
+      return dev_.read(0, kIa32Aperf);
+    case Event::mperf_cycles:
+      return dev_.read(0, kIa32Mperf);
+    case Event::count_:
+      break;
+  }
+  DUFP_ASSERT(false);
+  return 0;
+}
+
+std::uint64_t SimCounterSource::wrap_range(Event e) const {
+  switch (e) {
+    case Event::pkg_energy_uj:
+    case Event::dram_energy_uj:
+      return static_cast<std::uint64_t>(4294967296.0 *
+                                        units_.joules_per_unit() * 1e6);
+    default:
+      return 0;
+  }
+}
+
+}  // namespace dufp::perfmon

@@ -1,0 +1,28 @@
+// CounterSource implementation over the simulated substrate.  Energy and
+// cycle counters are read through the MSR device — the same path the
+// hardware stack would use — while FLOP and byte counts come from the
+// socket model's ground truth (standing in for PAPI's core / uncore PMU
+// events).
+#pragma once
+
+#include "hwmodel/socket_model.h"
+#include "msr/device.h"
+#include "msr/registers.h"
+#include "perfmon/events.h"
+
+namespace dufp::perfmon {
+
+class SimCounterSource final : public CounterSource {
+ public:
+  SimCounterSource(const hw::SocketModel& socket, const msr::MsrDevice& dev);
+
+  std::uint64_t read(Event e) const override;
+  std::uint64_t wrap_range(Event e) const override;
+
+ private:
+  const hw::SocketModel& socket_;
+  const msr::MsrDevice& dev_;
+  msr::RaplUnits units_;
+};
+
+}  // namespace dufp::perfmon

@@ -1,0 +1,23 @@
+#include "powercap/pstate_control.h"
+
+#include "common/expect.h"
+
+namespace dufp::powercap {
+
+using namespace dufp::msr;
+
+PstateControl::PstateControl(msr::MsrDevice& dev) : dev_(dev) {}
+
+void PstateControl::set_mhz(double mhz) {
+  DUFP_EXPECT(mhz > 0.0);
+  dev_.write(0, kIa32PerfCtl,
+             encode_perf_ctl(static_cast<unsigned>(mhz / 100.0 + 0.5)));
+}
+
+double PstateControl::requested_mhz() const {
+  return decode_perf_ctl(dev_.read(0, kIa32PerfCtl)) * 100.0;
+}
+
+void PstateControl::release(double max_mhz) { set_mhz(max_mhz); }
+
+}  // namespace dufp::powercap

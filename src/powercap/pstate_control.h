@@ -1,0 +1,31 @@
+// Core P-state actuation over IA32_PERF_CTL — the direct
+// frequency-control path used by the DUFP-F extension (the paper's
+// Sec. VII future work: "better handling CPU frequency under power
+// capping, instead of relying on power capping to change the CPU
+// frequency").
+#pragma once
+
+#include "msr/device.h"
+#include "msr/registers.h"
+
+namespace dufp::powercap {
+
+class PstateControl {
+ public:
+  explicit PstateControl(msr::MsrDevice& dev);
+
+  /// Requests the given core clock (quantized to 100 MHz ratios by the
+  /// hardware).  The effective clock is min(request, RAPL's own limit).
+  void set_mhz(double mhz);
+
+  /// Currently requested clock.
+  double requested_mhz() const;
+
+  /// Releases the request back to `max_mhz` (performance governor).
+  void release(double max_mhz);
+
+ private:
+  msr::MsrDevice& dev_;
+};
+
+}  // namespace dufp::powercap

@@ -1,0 +1,38 @@
+#include "powercap/uncore_control.h"
+
+#include "common/expect.h"
+
+namespace dufp::powercap {
+
+using namespace dufp::msr;
+
+UncoreControl::UncoreControl(msr::MsrDevice& dev) : dev_(dev) {}
+
+void UncoreControl::pin_mhz(double mhz) { set_window_mhz(mhz, mhz); }
+
+void UncoreControl::set_window_mhz(double min_mhz, double max_mhz) {
+  DUFP_EXPECT(min_mhz > 0.0 && max_mhz >= min_mhz);
+  UncoreRatioLimit lim;
+  lim.min_ratio = uncore_mhz_to_ratio(min_mhz);
+  lim.max_ratio = uncore_mhz_to_ratio(max_mhz);
+  dev_.write(0, kMsrUncoreRatioLimit, encode_uncore_ratio_limit(lim));
+}
+
+double UncoreControl::window_min_mhz() const {
+  const auto lim =
+      decode_uncore_ratio_limit(dev_.read(0, kMsrUncoreRatioLimit));
+  return uncore_ratio_to_mhz(lim.min_ratio);
+}
+
+double UncoreControl::window_max_mhz() const {
+  const auto lim =
+      decode_uncore_ratio_limit(dev_.read(0, kMsrUncoreRatioLimit));
+  return uncore_ratio_to_mhz(lim.max_ratio);
+}
+
+double UncoreControl::current_mhz() const {
+  return uncore_ratio_to_mhz(
+      decode_uncore_perf_status(dev_.read(0, kMsrUncorePerfStatus)));
+}
+
+}  // namespace dufp::powercap

@@ -1,0 +1,32 @@
+// Uncore frequency actuation over MSR 0x620, the access path DUF/DUFP use
+// on hardware ("uncore frequency is directly accessed and modified through
+// the MSR registers", Sec. IV-C).
+#pragma once
+
+#include "msr/device.h"
+#include "msr/registers.h"
+
+namespace dufp::powercap {
+
+class UncoreControl {
+ public:
+  explicit UncoreControl(msr::MsrDevice& dev);
+
+  /// Pins the uncore to a single frequency by writing min = max = `mhz`
+  /// (the DUF actuation style).
+  void pin_mhz(double mhz);
+
+  /// Restores an explicit [min, max] window.
+  void set_window_mhz(double min_mhz, double max_mhz);
+
+  double window_min_mhz() const;
+  double window_max_mhz() const;
+
+  /// Current uncore clock from MSR_UNCORE_PERF_STATUS.
+  double current_mhz() const;
+
+ private:
+  msr::MsrDevice& dev_;
+};
+
+}  // namespace dufp::powercap

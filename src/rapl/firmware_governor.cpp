@@ -1,0 +1,108 @@
+#include "rapl/firmware_governor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/expect.h"
+#include "hwmodel/socket_model.h"
+
+namespace dufp::rapl {
+
+FirmwareGovernor::FirmwareGovernor(hw::SocketModel& socket,
+                                   const GovernorParams& params)
+    : socket_(socket),
+      params_(params),
+      long_window_(window_ticks(1.0)),
+      short_window_(window_ticks(0.01)),
+      current_limit_mhz_(socket.config().core_max_mhz) {
+  DUFP_EXPECT(params.tick_s > 0.0);
+  // Start from the hardware default constraints.
+  msr::PowerLimit def;
+  def.long_term_w = socket.config().long_term_default_w;
+  def.long_term_window_s = socket.config().long_term_window_s;
+  def.long_term_enabled = true;
+  def.long_term_clamped = true;
+  def.short_term_w = socket.config().short_term_default_w;
+  def.short_term_window_s = socket.config().short_term_window_s;
+  def.short_term_enabled = true;
+  def.short_term_clamped = true;
+  set_limit(def);
+}
+
+std::size_t FirmwareGovernor::window_ticks(double window_s) const {
+  const double ticks = window_s / params_.tick_s;
+  return static_cast<std::size_t>(std::max(1.0, std::round(ticks)));
+}
+
+void FirmwareGovernor::set_limit(const msr::PowerLimit& limit) {
+  limit_ = limit;
+  const std::size_t lw = window_ticks(limit.long_term_window_s);
+  const std::size_t sw = window_ticks(limit.short_term_window_s);
+  // Re-create windows only when the span changed; otherwise preserve the
+  // accumulated history (a cap change must not forget recent consumption,
+  // or a decrease would be toothless for a full window).
+  if (lw != 0 && lw != long_window_.capacity()) {
+    long_window_ = WindowedMean(lw);
+  }
+  if (sw != 0 && sw != short_window_.capacity()) {
+    short_window_ = WindowedMean(sw);
+  }
+}
+
+void FirmwareGovernor::tick() {
+  double allowance = std::numeric_limits<double>::infinity();
+  if (limit_.long_term_enabled && limit_.long_term_w > 0.0) {
+    const double avg = long_window_.full() || long_window_.size() > 0
+                           ? long_window_.mean()
+                           : limit_.long_term_w;
+    allowance = std::min(allowance,
+                         limit_.long_term_w +
+                             params_.headroom_gain * (limit_.long_term_w - avg));
+  }
+  if (limit_.short_term_enabled && limit_.short_term_w > 0.0) {
+    const double avg = short_window_.size() > 0 ? short_window_.mean()
+                                                : limit_.short_term_w;
+    allowance = std::min(allowance,
+                         limit_.short_term_w + params_.headroom_gain *
+                                                   (limit_.short_term_w - avg));
+  }
+
+  const auto& cfg = socket_.config();
+  double target = cfg.core_max_mhz;
+  if (std::isfinite(allowance)) {
+    target = highest_compliant_mhz(std::max(allowance, 0.0));
+  }
+
+  // Slew limiting.
+  if (target < current_limit_mhz_) {
+    target = std::max(target, current_limit_mhz_ - params_.throttle_slew_mhz);
+  } else if (target > current_limit_mhz_) {
+    target =
+        std::min(target, current_limit_mhz_ + params_.unthrottle_slew_mhz);
+  }
+  current_limit_mhz_ = socket_.quantize_core_mhz(target);
+  socket_.set_core_freq_limit_mhz(current_limit_mhz_);
+}
+
+double FirmwareGovernor::highest_compliant_mhz(double allowance_w) const {
+  const auto& cfg = socket_.config();
+  // Analytic inverse of the power model, floored to the P-state grid so
+  // the chosen state's power is at or below the allowance.
+  const double exact = socket_.core_mhz_for_power(allowance_w);
+  if (!std::isfinite(exact)) return cfg.core_max_mhz;
+  const double floored =
+      std::floor((exact - cfg.core_min_mhz) / cfg.core_step_mhz) *
+          cfg.core_step_mhz +
+      cfg.core_min_mhz;
+  return std::clamp(floored, cfg.core_min_mhz, cfg.core_max_mhz);
+}
+
+void FirmwareGovernor::record_power(double pkg_power_w, double dt_s) {
+  DUFP_EXPECT(dt_s > 0.0);
+  DUFP_EXPECT(pkg_power_w >= 0.0);
+  long_window_.add(pkg_power_w);
+  short_window_.add(pkg_power_w);
+}
+
+}  // namespace dufp::rapl

@@ -1,0 +1,80 @@
+// Simulated RAPL firmware (the package control unit's power-limiting
+// loop).  Runs at simulation-tick resolution (1 ms): maintains a running
+// average of package power per constraint window and picks the highest
+// core P-state whose predicted power respects every enabled constraint,
+// with realistic slew limits.
+//
+// This reproduces the behaviours the paper leans on:
+//  * enforcement is via core DVFS (Sec. II-B: "RAPL uses DVFS");
+//  * the long-term constraint allows short excursions above the limit as
+//    long as the window average complies; the short-term constraint
+//    bounds those excursions;
+//  * a freshly lowered cap takes tens of milliseconds to bite (Sec. IV-D:
+//    "some time is needed to apply a new power cap"), because the window
+//    average must drain and the P-state slews down step by step.
+#pragma once
+
+#include <optional>
+
+#include "common/ring_buffer.h"
+#include "msr/registers.h"
+
+namespace dufp::hw {
+class SocketModel;
+}
+
+namespace dufp::rapl {
+
+struct GovernorParams {
+  double tick_s = 0.001;  ///< control-loop period
+
+  /// Correction aggressiveness: instantaneous allowance is
+  /// limit + gain * (limit - window_average); >0 lets the package burst
+  /// above a cold limit and forces under-shoot after an overshoot.
+  double headroom_gain = 2.0;
+
+  /// P-state slew: throttling is fast (thermal protection), unthrottling
+  /// deliberate (avoids oscillation) — per tick, in MHz.
+  double throttle_slew_mhz = 300.0;
+  double unthrottle_slew_mhz = 100.0;
+};
+
+class FirmwareGovernor {
+ public:
+  FirmwareGovernor(hw::SocketModel& socket, const GovernorParams& params);
+
+  /// Installs new constraints (from an MSR 0x610 write).  Re-sizes the
+  /// averaging windows; accumulated history within the old windows is
+  /// kept where it fits.
+  void set_limit(const msr::PowerLimit& limit);
+  const msr::PowerLimit& limit() const { return limit_; }
+
+  /// Chooses and applies the core-frequency limit for the next tick.
+  /// Call once per tick, before the socket is evaluated.
+  void tick();
+
+  /// Feeds the power actually drawn over the tick just simulated.
+  void record_power(double pkg_power_w, double dt_s);
+
+  /// Window averages (diagnostics / tests).
+  double long_term_avg_w() const { return long_window_.mean(); }
+  double short_term_avg_w() const { return short_window_.mean(); }
+
+  /// Frequency limit currently applied (MHz).
+  double current_limit_mhz() const { return current_limit_mhz_; }
+
+ private:
+  /// Highest quantized core frequency with predicted power <= allowance.
+  double highest_compliant_mhz(double allowance_w) const;
+
+  std::size_t window_ticks(double window_s) const;
+
+  hw::SocketModel& socket_;
+  GovernorParams params_;
+  msr::PowerLimit limit_;
+  WindowedMean long_window_;
+  WindowedMean short_window_;
+  double current_limit_mhz_;
+};
+
+}  // namespace dufp::rapl

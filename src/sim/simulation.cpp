@@ -1,0 +1,245 @@
+#include "sim/simulation.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/expect.h"
+#include "common/units.h"
+
+namespace dufp::sim {
+
+Simulation::Simulation(const hw::MachineConfig& machine,
+                       const workloads::WorkloadProfile& app,
+                       const SimulationOptions& options)
+    : Simulation(machine,
+                 std::vector<const workloads::WorkloadProfile*>(
+                     static_cast<std::size_t>(machine.sockets), &app),
+                 options) {}
+
+Simulation::Simulation(
+    const hw::MachineConfig& machine,
+    const std::vector<const workloads::WorkloadProfile*>& apps,
+    const SimulationOptions& options)
+    : options_(options), root_rng_(options.seed), machine_(machine) {
+  DUFP_EXPECT(options.tick.micros() > 0);
+  DUFP_EXPECT(options.max_seconds > 0.0);
+  DUFP_EXPECT(static_cast<int>(apps.size()) == machine_.socket_count());
+
+  rapl::GovernorParams gov = options_.governor;
+  gov.tick_s = options_.tick.seconds();
+
+  const int n = machine_.socket_count();
+  msrs_.reserve(static_cast<std::size_t>(n));
+  rapls_.reserve(static_cast<std::size_t>(n));
+  workloads_.reserve(static_cast<std::size_t>(n));
+  phase_totals_.reserve(static_cast<std::size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    const auto* app = apps[static_cast<std::size_t>(s)];
+    DUFP_EXPECT(app != nullptr);
+    msrs_.push_back(std::make_unique<msr::SimulatedMsr>(
+        machine_.config().socket.cores));
+    rapls_.push_back(std::make_unique<rapl::RaplEngine>(machine_.socket(s),
+                                                        *msrs_.back(), gov));
+    // Each socket's share of the application gets its own jitter stream.
+    workloads_.push_back(std::make_unique<workloads::WorkloadInstance>(
+        *app, root_rng_.fork(0x1000 + static_cast<std::uint64_t>(s)),
+        options_.workload_jitter_sigma));
+    phase_totals_.emplace_back(app->phases().size());
+  }
+  tick_records_.resize(static_cast<std::size_t>(n));
+}
+
+const std::vector<PhaseTotals>& Simulation::phase_totals(int i) const {
+  DUFP_EXPECT(i >= 0 && i < static_cast<int>(phase_totals_.size()));
+  return phase_totals_[static_cast<std::size_t>(i)];
+}
+
+Simulation::~Simulation() = default;
+
+int Simulation::socket_count() const { return machine_.socket_count(); }
+
+hw::SocketModel& Simulation::socket(int i) { return machine_.socket(i); }
+
+msr::SimulatedMsr& Simulation::msr(int i) {
+  DUFP_EXPECT(i >= 0 && i < socket_count());
+  return *msrs_[static_cast<std::size_t>(i)];
+}
+
+rapl::RaplEngine& Simulation::rapl(int i) {
+  DUFP_EXPECT(i >= 0 && i < socket_count());
+  return *rapls_[static_cast<std::size_t>(i)];
+}
+
+workloads::WorkloadInstance& Simulation::workload(int i) {
+  DUFP_EXPECT(i >= 0 && i < socket_count());
+  return *workloads_[static_cast<std::size_t>(i)];
+}
+
+Rng Simulation::fork_rng(std::uint64_t tag) { return root_rng_.fork(tag); }
+
+void Simulation::schedule_periodic(SimDuration interval, PeriodicFn fn) {
+  DUFP_EXPECT(interval.micros() > 0);
+  DUFP_EXPECT(interval.micros() % options_.tick.micros() == 0);
+  DUFP_EXPECT(fn != nullptr);
+  periodics_.push_back(Periodic{interval, std::move(fn)});
+}
+
+void Simulation::add_phase_listener(PhaseListener fn) {
+  DUFP_EXPECT(fn != nullptr);
+  phase_listeners_.push_back(std::move(fn));
+}
+
+bool Simulation::finished() const {
+  for (const auto& w : workloads_) {
+    if (!w->finished()) return false;
+  }
+  return true;
+}
+
+void Simulation::fire_phase_transitions(int socket,
+                                        const std::string& before_phase,
+                                        bool before_finished) {
+  if (phase_listeners_.empty()) return;
+  auto& w = *workloads_[static_cast<std::size_t>(socket)];
+  const bool after_finished = w.finished();
+  const std::string after_phase =
+      after_finished ? std::string{} : w.current_phase().name;
+  if (before_finished == after_finished && before_phase == after_phase) return;
+  for (const auto& l : phase_listeners_) {
+    if (!before_finished && !before_phase.empty()) {
+      l(socket, before_phase, /*entered=*/false);
+    }
+    if (!after_finished && !after_phase.empty()) {
+      l(socket, after_phase, /*entered=*/true);
+    }
+  }
+}
+
+bool Simulation::step() {
+  const int n = socket_count();
+  const double tick_s = options_.tick.seconds();
+
+  // On the very first tick, announce the initial phases so listeners see a
+  // consistent enter/exit stream.
+  if (!started_) {
+    started_ = true;
+    for (int s = 0; s < n; ++s) {
+      auto& w = *workloads_[static_cast<std::size_t>(s)];
+      if (!w.finished()) {
+        for (const auto& l : phase_listeners_) {
+          l(s, w.current_phase().name, /*entered=*/true);
+        }
+      }
+    }
+  }
+
+  // 1. Firmware power-capping decision for this tick.
+  for (int s = 0; s < n; ++s) rapls_[static_cast<std::size_t>(s)]->tick();
+
+  // 2. Integrate the tick, splitting at phase boundaries.
+  std::vector<double> tick_pkg_energy(static_cast<std::size_t>(n), 0.0);
+  for (int s = 0; s < n; ++s) {
+    auto& w = *workloads_[static_cast<std::size_t>(s)];
+    auto& sock = machine_.socket(s);
+    double remaining = tick_s;
+    hw::SocketInstant last_instant{};
+    // Bounded iteration: each segment either exhausts the tick or crosses
+    // one sequence entry, and sequences are finite.
+    while (remaining > 1e-12) {
+      const bool was_finished = w.finished();
+      const std::string phase_before =
+          was_finished ? std::string{} : w.current_phase().name;
+      sock.set_demand(w.current_demand());
+      const hw::SocketInstant inst = sock.evaluate();
+      last_instant = inst;
+
+      double seg = remaining;
+      if (!was_finished && inst.speed > 0.0) {
+        const double to_phase_end = w.remaining_in_phase() / inst.speed;
+        seg = std::min(seg, to_phase_end);
+      }
+      // Guard against a zero-length segment from numerical round-off.
+      seg = std::max(seg, 1e-9);
+      seg = std::min(seg, remaining);
+
+      sock.accumulate(inst, seg);
+      tick_pkg_energy[static_cast<std::size_t>(s)] += inst.pkg_power_w * seg;
+      if (!was_finished) {
+        const std::size_t phase_idx =
+            w.profile().sequence()[w.position()];
+        PhaseTotals& pt =
+            phase_totals_[static_cast<std::size_t>(s)][phase_idx];
+        pt.wall_seconds += seg;
+        pt.pkg_energy_j += inst.pkg_power_w * seg;
+        pt.dram_energy_j += inst.dram_power_w * seg;
+        w.advance(inst.speed * seg);
+        fire_phase_transitions(s, phase_before, was_finished);
+      }
+      remaining -= seg;
+    }
+
+    TickRecord& r = tick_records_[static_cast<std::size_t>(s)];
+    r.core_mhz = static_cast<float>(last_instant.core_mhz);
+    r.uncore_mhz = static_cast<float>(last_instant.uncore_mhz);
+    r.pkg_power_w = static_cast<float>(
+        tick_pkg_energy[static_cast<std::size_t>(s)] / tick_s);
+    r.dram_power_w = static_cast<float>(last_instant.dram_power_w);
+    const auto& lim = rapls_[static_cast<std::size_t>(s)]->governor().limit();
+    r.cap_long_w = static_cast<float>(lim.long_term_w);
+    r.cap_short_w = static_cast<float>(lim.short_term_w);
+    r.flops_grate = static_cast<float>(flops_to_gflops(last_instant.flops_rate));
+    r.speed = static_cast<float>(last_instant.speed);
+  }
+
+  // 3. Feed the firmware's running-average windows with the tick's
+  //    time-averaged power (phase splits included).
+  for (int s = 0; s < n; ++s) {
+    rapls_[static_cast<std::size_t>(s)]->record(
+        hw::SocketInstant{
+            .core_mhz = 0, .uncore_mhz = 0, .speed = 0, .flops_rate = 0,
+            .bytes_rate = 0,
+            .pkg_power_w = tick_pkg_energy[static_cast<std::size_t>(s)] /
+                           tick_s,
+            .dram_power_w = 0},
+        tick_s);
+  }
+
+  // 4. Advance the clock, then fire any periodic callbacks landing on the
+  //    new time (controllers observe a completed interval).
+  const SimTime t = clock_.advance(options_.tick);
+  for (const auto& p : periodics_) {
+    if (t.micros() % p.interval.micros() == 0) p.fn(t);
+  }
+
+  if (trace_ != nullptr) trace_->on_tick(t, tick_records_);
+
+  if (t.seconds() > options_.max_seconds) {
+    throw std::runtime_error(
+        "Simulation exceeded max_seconds — controller stalled progress?");
+  }
+  return !finished();
+}
+
+RunSummary Simulation::run() {
+  while (step()) {
+  }
+  RunSummary sum;
+  sum.exec_seconds = clock_.now().seconds();
+  sum.pkg_energy_j = machine_.total_pkg_energy_j();
+  sum.dram_energy_j = machine_.total_dram_energy_j();
+  sum.avg_pkg_power_w =
+      sum.exec_seconds > 0.0 ? sum.pkg_energy_j / sum.exec_seconds : 0.0;
+  sum.avg_dram_power_w =
+      sum.exec_seconds > 0.0 ? sum.dram_energy_j / sum.exec_seconds : 0.0;
+  double flop = 0.0;
+  double bytes = 0.0;
+  for (int s = 0; s < socket_count(); ++s) {
+    flop += machine_.socket(s).flops_total();
+    bytes += machine_.socket(s).bytes_total();
+  }
+  sum.total_gflop = flop * 1e-9;
+  sum.total_gbytes = bytes * 1e-9;
+  return sum;
+}
+
+}  // namespace dufp::sim

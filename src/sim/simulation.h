@@ -1,0 +1,151 @@
+// The discrete-time engine: advances the machine in 1 ms ticks, coupling
+// per-socket workload demand, the RAPL firmware governor, the socket
+// power/performance models, and any attached controllers (scheduled as
+// periodic callbacks, like the paper's 200 ms DUFP loop).
+//
+// Within a tick the engine integrates exactly across phase boundaries:
+// when a workload phase ends mid-tick, the tick is split into segments so
+// energy / flops / bytes accounting never smears one phase's rates into
+// the next.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "hwmodel/machine_model.h"
+#include "msr/sim_msr.h"
+#include "rapl/rapl_engine.h"
+#include "sim/trace.h"
+#include "workloads/workload.h"
+
+namespace dufp::sim {
+
+struct SimulationOptions {
+  SimDuration tick = SimTime::from_millis(1);
+
+  /// Per-run seed: drives workload jitter and (through fork_rng) any
+  /// measurement noise attached by agents.
+  std::uint64_t seed = 42;
+
+  /// Relative sigma of per-phase duration jitter (run-to-run variation).
+  double workload_jitter_sigma = 0.008;
+
+  rapl::GovernorParams governor;
+
+  /// Hard stop: abort (throw) if the run exceeds this wall time — guards
+  /// against a controller bug stalling progress forever.
+  double max_seconds = 3600.0;
+};
+
+/// Wall time and energy attributed to one phase of the workload on one
+/// socket (exact: tick integration splits at phase boundaries).
+struct PhaseTotals {
+  double wall_seconds = 0.0;
+  double pkg_energy_j = 0.0;
+  double dram_energy_j = 0.0;
+};
+
+/// Whole-run results at machine scope (what the paper measures per run).
+struct RunSummary {
+  double exec_seconds = 0.0;      ///< wall time until the last socket finished
+  double pkg_energy_j = 0.0;      ///< all sockets
+  double dram_energy_j = 0.0;
+  double avg_pkg_power_w = 0.0;   ///< pkg_energy / exec time
+  double avg_dram_power_w = 0.0;
+  double total_gflop = 0.0;
+  double total_gbytes = 0.0;
+
+  double total_energy_j() const { return pkg_energy_j + dram_energy_j; }
+};
+
+class Simulation {
+ public:
+  /// Symmetric machine: every socket runs its share of the same
+  /// application (the paper's OpenMP setup).
+  Simulation(const hw::MachineConfig& machine,
+             const workloads::WorkloadProfile& app,
+             const SimulationOptions& options = {});
+
+  /// Asymmetric machine: one profile per socket (size must equal the
+  /// socket count; profiles must outlive the simulation).  Used by the
+  /// machine-level budget-distribution studies.
+  Simulation(const hw::MachineConfig& machine,
+             const std::vector<const workloads::WorkloadProfile*>& apps,
+             const SimulationOptions& options = {});
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  // -- wiring ---------------------------------------------------------------
+  int socket_count() const;
+  hw::SocketModel& socket(int i);
+  msr::SimulatedMsr& msr(int i);
+  rapl::RaplEngine& rapl(int i);
+  workloads::WorkloadInstance& workload(int i);
+  SimTime now() const { return clock_.now(); }
+
+  /// Independent RNG stream derived from the run seed.
+  Rng fork_rng(std::uint64_t tag);
+
+  /// Registers a callback fired every `interval` of simulated time (after
+  /// physics for the tick ending on the boundary).  Controllers attach
+  /// through this.
+  using PeriodicFn = std::function<void(SimTime)>;
+  void schedule_periodic(SimDuration interval, PeriodicFn fn);
+
+  /// Notified when socket `s` enters (`entered`=true) or finishes a phase.
+  /// Used by the partial-capping experiments (Fig. 1b/1c).
+  using PhaseListener =
+      std::function<void(int socket, const std::string& phase, bool entered)>;
+  void add_phase_listener(PhaseListener fn);
+
+  /// Non-owning; pass nullptr to detach.
+  void set_trace_sink(TraceSink* sink) { trace_ = sink; }
+
+  /// Per-phase accounting for socket `i`, indexed like
+  /// workload(i).profile().phases().
+  const std::vector<PhaseTotals>& phase_totals(int i) const;
+
+  // -- execution -------------------------------------------------------------
+
+  /// Advances one tick.  Returns false once every socket's workload has
+  /// finished (the final tick is still fully processed).
+  bool step();
+
+  /// Runs to completion and summarizes.
+  RunSummary run();
+
+  bool finished() const;
+
+ private:
+  void fire_phase_transitions(
+      int socket, const std::string& before_phase, bool before_finished);
+
+  SimulationOptions options_;
+  Rng root_rng_;
+  hw::MachineModel machine_;
+  SimClock clock_;
+
+  std::vector<std::unique_ptr<msr::SimulatedMsr>> msrs_;
+  std::vector<std::unique_ptr<rapl::RaplEngine>> rapls_;
+  std::vector<std::unique_ptr<workloads::WorkloadInstance>> workloads_;
+
+  struct Periodic {
+    SimDuration interval;
+    PeriodicFn fn;
+  };
+  std::vector<Periodic> periodics_;
+  std::vector<PhaseListener> phase_listeners_;
+  TraceSink* trace_ = nullptr;
+
+  std::vector<TickRecord> tick_records_;  // scratch, reused per tick
+  std::vector<std::vector<PhaseTotals>> phase_totals_;  // [socket][phase]
+  bool started_ = false;
+};
+
+}  // namespace dufp::sim

@@ -1,0 +1,67 @@
+#include "workloads/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.h"
+#include "common/string_util.h"
+
+namespace dufp::workloads {
+
+WorkloadProfile generate_workload(const GeneratorSpec& spec, Rng& rng,
+                                  const std::string& name) {
+  DUFP_EXPECT(spec.phase_count > 0);
+  DUFP_EXPECT(spec.sequence_length > 0);
+  DUFP_EXPECT(spec.min_phase_seconds > 0.0 &&
+              spec.min_phase_seconds <= spec.max_phase_seconds);
+  DUFP_EXPECT(spec.memory_bound_fraction >= 0.0 &&
+              spec.memory_bound_fraction <= 1.0);
+
+  WorkloadProfile w(name, "generated workload");
+
+  for (int i = 0; i < spec.phase_count; ++i) {
+    PhaseSpec p;
+    p.name = "phase" + std::to_string(i);
+    p.nominal_seconds =
+        rng.uniform(spec.min_phase_seconds, spec.max_phase_seconds);
+
+    const bool memory_bound = rng.next_double() < spec.memory_bound_fraction;
+    if (memory_bound) {
+      // OI in [0.01, 1): traffic-dominated.  Pick bandwidth first so the
+      // demand stays within the machine envelope, then derive flops.
+      p.oi = std::exp(rng.uniform(std::log(0.01), std::log(1.0)));
+      const double gbps = rng.uniform(0.3 * spec.max_gbps, spec.max_gbps);
+      p.gflops_ref = std::max(0.05, gbps * p.oi);
+      p.w_mem = rng.uniform(0.45, 0.85);
+      p.w_cpu = rng.uniform(0.05, 0.95 - p.w_mem);
+      p.w_unc = rng.uniform(0.0, 0.95 - p.w_mem - p.w_cpu);
+      p.cpu_activity = rng.uniform(0.6, 1.0);
+      p.mem_activity = rng.uniform(0.7, 1.0);
+    } else {
+      // OI in [1, 500): compute-dominated.
+      p.oi = std::exp(rng.uniform(std::log(1.0), std::log(500.0)));
+      p.gflops_ref = rng.uniform(0.2 * spec.max_gflops, spec.max_gflops);
+      // Keep implied bandwidth within the envelope.
+      const double gbps = p.gflops_ref / p.oi;
+      if (gbps > spec.max_gbps) p.gflops_ref = spec.max_gbps * p.oi;
+      p.w_cpu = rng.uniform(0.5, 0.9);
+      p.w_mem = rng.uniform(0.0, 0.95 - p.w_cpu);
+      p.w_unc = rng.uniform(0.0, 0.95 - p.w_cpu - p.w_mem);
+      p.cpu_activity = rng.uniform(0.8, 1.2);
+      p.mem_activity = rng.uniform(0.1, 0.8);
+    }
+    p.w_fixed = 1.0 - p.w_cpu - p.w_mem - p.w_unc;
+    w.add_phase(p);
+  }
+
+  for (int i = 0; i < spec.sequence_length; ++i) {
+    const auto idx = static_cast<std::size_t>(rng.next_u64() %
+                                              static_cast<std::uint64_t>(
+                                                  spec.phase_count));
+    w.then(w.phase(idx).name);
+  }
+  w.validate();
+  return w;
+}
+
+}  // namespace dufp::workloads

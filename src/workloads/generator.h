@@ -1,0 +1,30 @@
+// Synthetic workload generation: random but well-formed phase graphs for
+// property tests and for exploring controller behaviour beyond the ten
+// paper applications (examples/custom_workload).
+#pragma once
+
+#include "common/rng.h"
+#include "workloads/workload.h"
+
+namespace dufp::workloads {
+
+struct GeneratorSpec {
+  int phase_count = 4;          ///< distinct phases to create
+  int sequence_length = 40;     ///< entries in the execution sequence
+  double min_phase_seconds = 0.2;
+  double max_phase_seconds = 3.0;
+
+  /// Fraction of phases drawn memory-bound (OI < 1) vs compute-bound.
+  double memory_bound_fraction = 0.5;
+
+  /// Per-socket compute capability envelope (GFLOP/s).
+  double max_gflops = 120.0;
+  /// Bandwidth envelope (GB/s); generated phases never demand more.
+  double max_gbps = 92.0;
+};
+
+/// Generates a valid random profile (every PhaseSpec passes validate()).
+WorkloadProfile generate_workload(const GeneratorSpec& spec, Rng& rng,
+                                  const std::string& name = "synthetic");
+
+}  // namespace dufp::workloads

@@ -1,0 +1,40 @@
+#include "workloads/phase.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dufp::workloads {
+
+hw::PhaseDemand PhaseSpec::demand() const {
+  hw::PhaseDemand d;
+  d.w_cpu = w_cpu;
+  d.w_mem = w_mem;
+  d.w_unc = w_unc;
+  d.w_fixed = w_fixed;
+  d.flops_rate_ref = gflops_ref * 1e9;
+  d.bytes_rate_ref = gflops_ref * 1e9 / oi;
+  d.cpu_activity = cpu_activity;
+  d.mem_activity = mem_activity;
+  d.idle = false;
+  return d;
+}
+
+void PhaseSpec::validate() const {
+  auto fail = [this](const std::string& why) {
+    throw std::invalid_argument("PhaseSpec '" + name + "': " + why);
+  };
+  if (name.empty()) fail("empty name");
+  if (!(nominal_seconds > 0.0)) fail("nominal_seconds must be positive");
+  if (!(gflops_ref > 0.0)) fail("gflops_ref must be positive");
+  if (!(oi > 0.0)) fail("oi must be positive");
+  if (w_cpu < 0.0 || w_mem < 0.0 || w_unc < 0.0 || w_fixed < 0.0)
+    fail("negative time weight");
+  if (std::abs(w_cpu + w_mem + w_unc + w_fixed - 1.0) > 1e-6)
+    fail("time weights must sum to 1");
+  // AVX-heavy code can exceed the scalar activity baseline, hence the
+  // allowance above 1.0 (HPL, LAMMPS neighbour rebuilds).
+  if (cpu_activity < 0.0 || cpu_activity > 1.5) fail("cpu_activity range");
+  if (mem_activity < 0.0 || mem_activity > 1.5) fail("mem_activity range");
+}
+
+}  // namespace dufp::workloads

@@ -1,0 +1,45 @@
+// Phase-level application description.
+//
+// Each application is modelled as a sequence of phases; a phase is
+// characterized by what the paper's measurement stack would observe while
+// it runs (FLOP rate, operational intensity) and by how its execution time
+// responds to the two actuators (the w_* decomposition, see
+// hwmodel/demand.h).  Rates are per socket at the reference operating
+// point (all-core turbo, max uncore, no cap).
+#pragma once
+
+#include <string>
+
+#include "hwmodel/demand.h"
+
+namespace dufp::workloads {
+
+struct PhaseSpec {
+  std::string name;
+  double nominal_seconds = 1.0;  ///< duration at the reference point
+
+  double gflops_ref = 1.0;  ///< FLOP rate at reference, GFLOP/s per socket
+  double oi = 1.0;          ///< operational intensity, FLOP per DRAM byte
+
+  // Execution-time decomposition (must sum to 1).
+  double w_cpu = 0.5;
+  double w_mem = 0.3;
+  double w_unc = 0.1;
+  double w_fixed = 0.1;
+
+  // Power activity factors.
+  double cpu_activity = 0.9;
+  double mem_activity = 0.8;
+
+  /// DRAM traffic implied by the FLOP rate and OI (GB/s at reference).
+  double bytes_rate_ref_gbps() const { return gflops_ref / oi; }
+
+  /// Converts to the demand struct the socket model consumes.
+  hw::PhaseDemand demand() const;
+
+  /// Throws std::invalid_argument when inconsistent (weights not summing
+  /// to 1, non-positive duration/rates, activity out of range).
+  void validate() const;
+};
+
+}  // namespace dufp::workloads

@@ -1,0 +1,44 @@
+// The paper's application set (Sec. IV-B): NPB-3.3.1 OpenMP BT, CG, EP,
+// FT, LU, MG, SP, UA (classes chosen for 20-400 s runs), HPL 2.3 + MKL,
+// and LAMMPS (in.lj).  Each profile is a phase-graph model reproducing the
+// FLOPS / bandwidth / power *time series* the application shows to the
+// measurement stack — which is all DUF/DUFP ever observe — including the
+// behavioural quirks the paper calls out per application (CG's
+// memory-only prologue, UA's compute/memory alternation, LAMMPS' short
+// power bursts, EP's uncore insensitivity, BT's bandwidth-noisy
+// sub-phases).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace dufp::workloads {
+
+enum class AppId {
+  bt,
+  cg,
+  ep,
+  ft,
+  lu,
+  mg,
+  sp,
+  ua,
+  hpl,
+  lammps,
+};
+
+/// Display name used in figures ("CG", "HPL", "LAMMPS"...).
+std::string app_name(AppId id);
+
+/// All ten applications, in the paper's figure order.
+const std::vector<AppId>& all_apps();
+
+/// The profile for an application (built once, cached).
+const WorkloadProfile& profile(AppId id);
+
+/// Lookup by display name (case-insensitive); throws on unknown names.
+AppId app_by_name(const std::string& name);
+
+}  // namespace dufp::workloads

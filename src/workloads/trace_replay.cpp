@@ -1,0 +1,182 @@
+#include "workloads/trace_replay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/expect.h"
+#include "common/string_util.h"
+
+namespace dufp::workloads {
+namespace {
+
+bool within(double a, double b, double tol) {
+  const double hi = std::max(std::abs(a), std::abs(b));
+  if (hi <= 0.0) return true;
+  return std::abs(a - b) <= tol * hi;
+}
+
+}  // namespace
+
+std::vector<TraceSample> parse_trace_csv(std::istream& in) {
+  std::vector<TraceSample> out;
+  std::string line;
+  std::size_t line_no = 0;
+
+  // Header: locate the required columns by name.
+  int col_seconds = -1;
+  int col_gflops = -1;
+  int col_gbps = -1;
+  int col_cpu = -1;
+  int col_mem = -1;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("trace: empty input");
+  }
+  ++line_no;
+  {
+    const auto cols = split(line, ',');
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      const auto name = to_lower(trim(cols[i]));
+      const int idx = static_cast<int>(i);
+      if (name == "seconds") col_seconds = idx;
+      if (name == "gflops") col_gflops = idx;
+      if (name == "gbps") col_gbps = idx;
+      if (name == "cpu_activity") col_cpu = idx;
+      if (name == "mem_activity") col_mem = idx;
+    }
+  }
+  if (col_seconds < 0 || col_gflops < 0 || col_gbps < 0) {
+    throw std::runtime_error(
+        "trace: header must contain seconds,gflops,gbps");
+  }
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (trim(line).empty()) continue;
+    const auto cols = split(line, ',');
+    auto field = [&](int idx, double def, const char* what) {
+      if (idx < 0) return def;
+      if (idx >= static_cast<int>(cols.size())) {
+        throw std::runtime_error("trace line " + std::to_string(line_no) +
+                                 ": missing column " + what);
+      }
+      double v = 0.0;
+      if (!parse_double(cols[static_cast<std::size_t>(idx)], v)) {
+        throw std::runtime_error("trace line " + std::to_string(line_no) +
+                                 ": bad number in column " + what);
+      }
+      return v;
+    };
+    TraceSample s;
+    s.seconds = field(col_seconds, 0.0, "seconds");
+    s.gflops = field(col_gflops, 0.0, "gflops");
+    s.gbps = field(col_gbps, 0.0, "gbps");
+    s.cpu_activity = field(col_cpu, 0.9, "cpu_activity");
+    s.mem_activity = field(col_mem, 0.8, "mem_activity");
+    if (s.seconds <= 0.0) {
+      throw std::runtime_error("trace line " + std::to_string(line_no) +
+                               ": seconds must be positive");
+    }
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<TraceSample> load_trace_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("trace: cannot open " + path);
+  return parse_trace_csv(in);
+}
+
+WorkloadProfile profile_from_trace(const std::vector<TraceSample>& trace,
+                                   const ReplayOptions& options,
+                                   const std::string& name) {
+  if (trace.empty()) {
+    throw std::invalid_argument("profile_from_trace: empty trace");
+  }
+  DUFP_EXPECT(options.merge_tolerance >= 0.0);
+  DUFP_EXPECT(options.peak_bw_gbps > 0.0);
+  DUFP_EXPECT(options.w_fixed >= 0.0 && options.w_fixed < 1.0);
+
+  // Segment: merge runs of behaviourally similar samples (duration-
+  // weighted averages), so a 10k-row trace becomes a handful of phases.
+  struct Segment {
+    double seconds = 0.0;
+    double gflops = 0.0;  // duration-weighted mean
+    double gbps = 0.0;
+    double cpu_act = 0.0;
+    double mem_act = 0.0;
+  };
+  std::vector<Segment> segments;
+  for (const auto& s : trace) {
+    const bool mergeable =
+        !segments.empty() &&
+        within(segments.back().gflops, s.gflops, options.merge_tolerance) &&
+        within(segments.back().gbps, s.gbps, options.merge_tolerance);
+    if (mergeable) {
+      Segment& seg = segments.back();
+      const double w_old = seg.seconds;
+      const double w_new = s.seconds;
+      const double total = w_old + w_new;
+      seg.gflops = (seg.gflops * w_old + s.gflops * w_new) / total;
+      seg.gbps = (seg.gbps * w_old + s.gbps * w_new) / total;
+      seg.cpu_act = (seg.cpu_act * w_old + s.cpu_activity * w_new) / total;
+      seg.mem_act = (seg.mem_act * w_old + s.mem_activity * w_new) / total;
+      seg.seconds = total;
+    } else {
+      segments.push_back(Segment{s.seconds, s.gflops, s.gbps,
+                                 s.cpu_activity, s.mem_activity});
+    }
+  }
+
+  // Deduplicate similar segments into shared PhaseSpecs so loops in the
+  // application show up as repeated visits of one phase.
+  WorkloadProfile w(name, "replayed from trace (" +
+                              std::to_string(trace.size()) + " samples)");
+  std::vector<std::string> order;
+  std::vector<Segment> kinds;
+  for (const auto& seg : segments) {
+    int kind = -1;
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      if (within(kinds[k].gflops, seg.gflops, options.merge_tolerance) &&
+          within(kinds[k].gbps, seg.gbps, options.merge_tolerance) &&
+          std::abs(kinds[k].seconds - seg.seconds) <=
+              options.merge_tolerance *
+                  std::max(kinds[k].seconds, seg.seconds)) {
+        kind = static_cast<int>(k);
+        break;
+      }
+    }
+    if (kind < 0) {
+      kinds.push_back(seg);
+      kind = static_cast<int>(kinds.size()) - 1;
+
+      PhaseSpec p;
+      p.name = "phase" + std::to_string(kind);
+      p.nominal_seconds = seg.seconds;
+      p.gflops_ref = std::max(seg.gflops, 0.01);
+      const double gbps = std::max(seg.gbps, 1e-3);
+      p.oi = p.gflops_ref / gbps;
+      // Time decomposition heuristic: the memory share follows how close
+      // the traffic sits to the machine's peak; the rest is core-bound.
+      const double mem_share =
+          std::clamp(gbps / options.peak_bw_gbps, 0.0, 1.0);
+      const double variable = 1.0 - options.w_fixed;
+      p.w_mem = variable * mem_share * 0.9;
+      p.w_unc = variable * mem_share * 0.1;
+      p.w_cpu = variable - p.w_mem - p.w_unc;
+      p.w_fixed = options.w_fixed;
+      p.cpu_activity = std::clamp(seg.cpu_act, 0.05, 1.5);
+      p.mem_activity = std::clamp(seg.mem_act, 0.0, 1.5);
+      w.add_phase(p);
+    }
+    order.push_back("phase" + std::to_string(kind));
+  }
+  for (const auto& phase_name : order) w.then(phase_name);
+  w.validate();
+  return w;
+}
+
+}  // namespace dufp::workloads

@@ -1,0 +1,96 @@
+// Workload profiles (static descriptions) and instances (runtime state
+// with per-run jitter).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "workloads/phase.h"
+
+namespace dufp::workloads {
+
+/// A named application: a phase library plus an execution sequence over
+/// it.  Built with the fluent helpers; `validate()` is called by
+/// WorkloadInstance so malformed profiles fail loudly at instantiation.
+class WorkloadProfile {
+ public:
+  WorkloadProfile() = default;
+  WorkloadProfile(std::string name, std::string description)
+      : name_(std::move(name)), description_(std::move(description)) {}
+
+  const std::string& name() const { return name_; }
+  const std::string& description() const { return description_; }
+
+  /// Registers a phase (name must be unique within the profile).
+  WorkloadProfile& add_phase(PhaseSpec spec);
+
+  /// Appends `repeats` executions of the named phase to the sequence.
+  WorkloadProfile& then(const std::string& phase_name, int repeats = 1);
+
+  /// Appends `times` repetitions of the given phase-name cycle.
+  WorkloadProfile& loop(int times, const std::vector<std::string>& cycle);
+
+  const std::vector<PhaseSpec>& phases() const { return phases_; }
+  const std::vector<std::size_t>& sequence() const { return sequence_; }
+
+  std::size_t phase_index(const std::string& phase_name) const;
+  const PhaseSpec& phase(std::size_t index) const;
+
+  /// Total nominal (unjittered) duration of the sequence.
+  double nominal_total_seconds() const;
+
+  /// Validates every phase and the sequence; throws on error.
+  void validate() const;
+
+ private:
+  std::string name_;
+  std::string description_;
+  std::vector<PhaseSpec> phases_;
+  std::vector<std::size_t> sequence_;
+};
+
+/// Runtime state of one socket's share of an application run.  Progress
+/// is measured in *nominal seconds*: executing for `dt` wall seconds at
+/// progress speed `s` consumes `dt * s` nominal seconds.
+class WorkloadInstance {
+ public:
+  /// `jitter_sigma` is the relative 1-sigma variation applied to each
+  /// sequence entry's duration (models run-to-run variation: page
+  /// placement, OS noise); durations are drawn once at construction so a
+  /// given (profile, rng) pair replays identically.
+  WorkloadInstance(const WorkloadProfile& profile, Rng jitter_rng,
+                   double jitter_sigma = 0.008);
+
+  const WorkloadProfile& profile() const { return profile_; }
+
+  bool finished() const { return position_ >= durations_.size(); }
+
+  /// Current phase spec / demand; requires !finished().
+  const PhaseSpec& current_phase() const;
+  hw::PhaseDemand current_demand() const;
+
+  /// Nominal seconds left in the current sequence entry.
+  double remaining_in_phase() const;
+
+  /// Consumes `nominal_seconds` of progress, crossing sequence entries as
+  /// needed.  Requires nominal_seconds >= 0.
+  void advance(double nominal_seconds);
+
+  std::size_t position() const { return position_; }
+  std::size_t total_steps() const { return durations_.size(); }
+
+  /// Jittered total duration (what a perfectly unthrottled run takes).
+  double total_nominal_seconds() const;
+  double consumed_nominal_seconds() const;
+
+ private:
+  const WorkloadProfile& profile_;
+  std::vector<double> durations_;  ///< jittered, index-aligned with sequence
+  std::size_t position_ = 0;
+  double consumed_in_current_ = 0.0;
+  double consumed_total_ = 0.0;
+};
+
+}  // namespace dufp::workloads

@@ -1,0 +1,43 @@
+#include "common/expect.h"
+
+#include <gtest/gtest.h>
+
+namespace dufp {
+namespace {
+
+TEST(ExpectTest, PassingConditionIsSilent) {
+  EXPECT_NO_THROW(DUFP_EXPECT(1 + 1 == 2));
+  EXPECT_NO_THROW(DUFP_ASSERT(true));
+}
+
+TEST(ExpectTest, FailingExpectThrowsInvalidArgument) {
+  EXPECT_THROW(DUFP_EXPECT(false), std::invalid_argument);
+}
+
+TEST(ExpectTest, FailingAssertThrowsLogicError) {
+  EXPECT_THROW(DUFP_ASSERT(false), std::logic_error);
+}
+
+TEST(ExpectTest, MessageNamesExpressionAndLocation) {
+  try {
+    DUFP_EXPECT(2 < 1);
+    FAIL() << "should have thrown";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("expect_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(ExpectTest, ConditionEvaluatedExactlyOnce) {
+  int calls = 0;
+  auto once = [&] {
+    ++calls;
+    return true;
+  };
+  DUFP_EXPECT(once());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace dufp

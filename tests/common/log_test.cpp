@@ -1,0 +1,47 @@
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+namespace dufp {
+namespace {
+
+TEST(LogTest, SingletonIdentity) {
+  EXPECT_EQ(&Logger::instance(), &Logger::instance());
+}
+
+TEST(LogTest, LevelFilterStored) {
+  Logger& log = Logger::instance();
+  const LogLevel before = log.level();
+  log.set_level(LogLevel::error);
+  EXPECT_EQ(log.level(), LogLevel::error);
+  log.set_level(LogLevel::off);
+  EXPECT_EQ(log.level(), LogLevel::off);
+  log.set_level(before);
+}
+
+TEST(LogTest, HelpersDoNotThrowAtAnyLevel) {
+  Logger& log = Logger::instance();
+  const LogLevel before = log.level();
+  for (LogLevel level : {LogLevel::debug, LogLevel::off}) {
+    log.set_level(level);
+    EXPECT_NO_THROW(log_debug("debug message"));
+    EXPECT_NO_THROW(log_info("info message"));
+    EXPECT_NO_THROW(log_warn("warn message"));
+    EXPECT_NO_THROW(log_error("error message"));
+  }
+  log.set_level(before);
+}
+
+TEST(LogTest, LevelOrderingIsMonotonic) {
+  EXPECT_LT(static_cast<int>(LogLevel::debug),
+            static_cast<int>(LogLevel::info));
+  EXPECT_LT(static_cast<int>(LogLevel::info),
+            static_cast<int>(LogLevel::warn));
+  EXPECT_LT(static_cast<int>(LogLevel::warn),
+            static_cast<int>(LogLevel::error));
+  EXPECT_LT(static_cast<int>(LogLevel::error),
+            static_cast<int>(LogLevel::off));
+}
+
+}  // namespace
+}  // namespace dufp

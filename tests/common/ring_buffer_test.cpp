@@ -1,0 +1,131 @@
+#include "common/ring_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dufp {
+namespace {
+
+TEST(RingBufferTest, StartsEmpty) {
+  RingBuffer<int> rb(4);
+  EXPECT_TRUE(rb.empty());
+  EXPECT_FALSE(rb.full());
+  EXPECT_EQ(rb.size(), 0u);
+  EXPECT_EQ(rb.capacity(), 4u);
+}
+
+TEST(RingBufferTest, ZeroCapacityRejected) {
+  EXPECT_THROW(RingBuffer<int>(0), std::invalid_argument);
+}
+
+TEST(RingBufferTest, PushUntilFull) {
+  RingBuffer<int> rb(3);
+  EXPECT_FALSE(rb.push(1));
+  EXPECT_FALSE(rb.push(2));
+  EXPECT_FALSE(rb.push(3));
+  EXPECT_TRUE(rb.full());
+  EXPECT_EQ(rb.oldest(), 1);
+  EXPECT_EQ(rb.newest(), 3);
+}
+
+TEST(RingBufferTest, EvictsOldestWhenFull) {
+  RingBuffer<int> rb(3);
+  rb.push(1);
+  rb.push(2);
+  rb.push(3);
+  EXPECT_TRUE(rb.push(4));  // evicts 1
+  EXPECT_EQ(rb.oldest(), 2);
+  EXPECT_EQ(rb.newest(), 4);
+  EXPECT_EQ(rb.size(), 3u);
+}
+
+TEST(RingBufferTest, FromNewestIndexing) {
+  RingBuffer<int> rb(4);
+  for (int i = 1; i <= 6; ++i) rb.push(i);  // holds 3,4,5,6
+  EXPECT_EQ(rb.from_newest(0), 6);
+  EXPECT_EQ(rb.from_newest(1), 5);
+  EXPECT_EQ(rb.from_newest(3), 3);
+}
+
+TEST(RingBufferTest, FromOldestIndexing) {
+  RingBuffer<int> rb(4);
+  for (int i = 1; i <= 6; ++i) rb.push(i);
+  EXPECT_EQ(rb.from_oldest(0), 3);
+  EXPECT_EQ(rb.from_oldest(3), 6);
+}
+
+TEST(RingBufferTest, OutOfRangeAccessThrows) {
+  RingBuffer<int> rb(4);
+  rb.push(1);
+  EXPECT_THROW(rb.from_newest(1), std::invalid_argument);
+  EXPECT_THROW(rb.from_oldest(1), std::invalid_argument);
+}
+
+TEST(RingBufferTest, ForEachVisitsOldestToNewest) {
+  RingBuffer<int> rb(3);
+  for (int i = 1; i <= 5; ++i) rb.push(i);  // 3,4,5
+  std::vector<int> seen;
+  rb.for_each([&](int v) { seen.push_back(v); });
+  EXPECT_EQ(seen, (std::vector<int>{3, 4, 5}));
+}
+
+TEST(RingBufferTest, ClearEmpties) {
+  RingBuffer<int> rb(3);
+  rb.push(1);
+  rb.push(2);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  rb.push(9);
+  EXPECT_EQ(rb.newest(), 9);
+  EXPECT_EQ(rb.oldest(), 9);
+}
+
+TEST(WindowedMeanTest, PartialWindow) {
+  WindowedMean m(4);
+  m.add(2.0);
+  m.add(4.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 3.0);
+  EXPECT_FALSE(m.full());
+}
+
+TEST(WindowedMeanTest, SlidesWhenFull) {
+  WindowedMean m(2);
+  m.add(1.0);
+  m.add(3.0);
+  m.add(5.0);  // window now {3,5}
+  EXPECT_DOUBLE_EQ(m.mean(), 4.0);
+  EXPECT_TRUE(m.full());
+}
+
+TEST(WindowedMeanTest, EmptyMeanIsZero) {
+  WindowedMean m(3);
+  EXPECT_EQ(m.mean(), 0.0);
+}
+
+TEST(WindowedMeanTest, LongStreamStaysExact) {
+  // O(1) update must not drift: compare against a direct computation.
+  WindowedMean m(10);
+  double direct[10] = {};
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = (i * 37 % 101) * 0.5;
+    m.add(v);
+    direct[i % 10] = v;
+    if (i >= 9) {
+      double sum = 0.0;
+      for (double d : direct) sum += d;
+      ASSERT_NEAR(m.mean(), sum / 10.0, 1e-9);
+    }
+  }
+}
+
+TEST(WindowedMeanTest, ClearResets) {
+  WindowedMean m(2);
+  m.add(10.0);
+  m.clear();
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace dufp

@@ -1,0 +1,101 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dufp {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, DoublesInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(d, -3.0);
+    EXPECT_LT(d, 5.0);
+  }
+}
+
+TEST(RngTest, UniformMeanNearCenter) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform(0.0, 1.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, GaussianMomentsMatch) {
+  Rng rng(13);
+  const int n = 200'000;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+TEST(RngTest, GaussianWithParamsScales) {
+  Rng rng(17);
+  const int n = 100'000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(RngTest, ForkProducesIndependentStreams) {
+  Rng parent(42);
+  Rng f1 = parent.fork(1);
+  Rng f2 = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (f1.next_u64() == f2.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, ForkWithSameTagFromSameStateMatches) {
+  Rng a(5);
+  Rng b(5);
+  Rng fa = a.fork(9);
+  Rng fb = b.fork(9);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(fa.next_u64(), fb.next_u64());
+}
+
+TEST(RngTest, NoShortCycles) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10'000; ++i) seen.insert(rng.next_u64());
+  EXPECT_EQ(seen.size(), 10'000u);
+}
+
+}  // namespace
+}  // namespace dufp

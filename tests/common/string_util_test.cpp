@@ -1,0 +1,100 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace dufp {
+namespace {
+
+TEST(TrimTest, StripsWhitespace) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("\tabc\n"), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(SplitTest, SplitsOnDelimiter) {
+  EXPECT_EQ(split("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, PreservesEmptyFields) {
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitTest, EmptyInputYieldsOneEmptyField) {
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(IEqualsTest, CaseInsensitive) {
+  EXPECT_TRUE(iequals("LAMMPS", "lammps"));
+  EXPECT_TRUE(iequals("Cg", "cG"));
+  EXPECT_FALSE(iequals("abc", "abd"));
+  EXPECT_FALSE(iequals("abc", "ab"));
+}
+
+TEST(ToLowerTest, Lowercases) {
+  EXPECT_EQ(to_lower("DUFP.Slowdown"), "dufp.slowdown");
+}
+
+TEST(StrfTest, FormatsLikePrintf) {
+  EXPECT_EQ(strf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(strf("%.2f W", 12.345), "12.35 W");
+}
+
+TEST(StrfTest, LongOutput) {
+  const std::string s = strf("%0128d", 5);
+  EXPECT_EQ(s.size(), 128u);
+}
+
+TEST(ParseDoubleTest, PlainNumbers) {
+  double v = 0;
+  EXPECT_TRUE(parse_double("12.5", v));
+  EXPECT_DOUBLE_EQ(v, 12.5);
+  EXPECT_TRUE(parse_double("-3", v));
+  EXPECT_DOUBLE_EQ(v, -3.0);
+}
+
+TEST(ParseDoubleTest, UnitSuffixAllowed) {
+  double v = 0;
+  EXPECT_TRUE(parse_double("110W", v));
+  EXPECT_DOUBLE_EQ(v, 110.0);
+  EXPECT_TRUE(parse_double("2.4GHz", v));
+  EXPECT_DOUBLE_EQ(v, 2.4);
+  EXPECT_TRUE(parse_double("5%", v));
+  EXPECT_DOUBLE_EQ(v, 5.0);
+}
+
+TEST(ParseDoubleTest, WhitespaceTolerated) {
+  double v = 0;
+  EXPECT_TRUE(parse_double("  7.5  ", v));
+  EXPECT_DOUBLE_EQ(v, 7.5);
+}
+
+TEST(ParseDoubleTest, RejectsGarbage) {
+  double v = 0;
+  EXPECT_FALSE(parse_double("", v));
+  EXPECT_FALSE(parse_double("abc", v));
+  EXPECT_FALSE(parse_double("1.5x2", v));
+  EXPECT_FALSE(parse_double("12..5", v));
+}
+
+TEST(ParseU64Test, ParsesNonNegative) {
+  unsigned long long v = 0;
+  EXPECT_TRUE(parse_u64("42", v));
+  EXPECT_EQ(v, 42ull);
+  EXPECT_TRUE(parse_u64(" 0 ", v));
+  EXPECT_EQ(v, 0ull);
+}
+
+TEST(ParseU64Test, RejectsNegativeAndGarbage) {
+  unsigned long long v = 0;
+  EXPECT_FALSE(parse_u64("-1", v));
+  EXPECT_FALSE(parse_u64("12.5", v));
+  EXPECT_FALSE(parse_u64("", v));
+  EXPECT_FALSE(parse_u64("x", v));
+}
+
+}  // namespace
+}  // namespace dufp

@@ -1,0 +1,45 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace dufp {
+namespace {
+
+TEST(UnitsTest, FrequencyConversions) {
+  EXPECT_DOUBLE_EQ(mhz_to_ghz(2400.0), 2.4);
+  EXPECT_DOUBLE_EQ(ghz_to_mhz(1.2), 1200.0);
+}
+
+TEST(UnitsTest, TimeConversions) {
+  EXPECT_DOUBLE_EQ(us_to_seconds(1'500'000), 1.5);
+  EXPECT_EQ(seconds_to_us(0.2), 200'000);
+  EXPECT_EQ(seconds_to_us(-0.2), -200'000);
+}
+
+TEST(UnitsTest, SecondsToMicrosRounds) {
+  EXPECT_EQ(seconds_to_us(0.0000005), 1);   // rounds up
+  EXPECT_EQ(seconds_to_us(0.0000004), 0);   // rounds down
+}
+
+TEST(UnitsTest, PowerConversions) {
+  EXPECT_DOUBLE_EQ(uw_to_watts(125'000'000ull), 125.0);
+  EXPECT_EQ(watts_to_uw(110.5), 110'500'000ull);
+}
+
+TEST(UnitsTest, PowerRoundTrip) {
+  for (double w : {1.0, 65.0, 110.06, 150.0}) {
+    EXPECT_NEAR(uw_to_watts(watts_to_uw(w)), w, 1e-6);
+  }
+}
+
+TEST(UnitsTest, EnergyConversions) {
+  EXPECT_DOUBLE_EQ(uj_to_joules(2'500'000ull), 2.5);
+}
+
+TEST(UnitsTest, RateConversions) {
+  EXPECT_DOUBLE_EQ(flops_to_gflops(96e9), 96.0);
+  EXPECT_DOUBLE_EQ(bps_to_gbps(85e9), 85.0);
+}
+
+}  // namespace
+}  // namespace dufp

@@ -1,0 +1,113 @@
+#include "core/dnpc.h"
+
+#include <gtest/gtest.h>
+
+namespace dufp::core {
+namespace {
+
+perfmon::Sample sample(double core_mhz, double power = 100.0) {
+  perfmon::Sample s;
+  s.core_mhz = core_mhz;
+  s.pkg_power_w = power;
+  s.flops_rate = 1e9;
+  s.bytes_rate = 1e9;
+  s.interval_s = 0.2;
+  return s;
+}
+
+class DnpcTest : public ::testing::Test {
+ protected:
+  DnpcTest() { policy_.tolerated_slowdown = 0.10; }
+
+  DnpcController make() { return DnpcController(policy_, limits_); }
+
+  PolicyConfig policy_;
+  DnpcLimits limits_;
+};
+
+TEST_F(DnpcTest, StartsAtDefaultCap) {
+  auto c = make();
+  EXPECT_DOUBLE_EQ(c.cap_w(), 125.0);
+}
+
+TEST_F(DnpcTest, LearnsFMaxFromObservations) {
+  auto c = make();
+  c.decide(sample(2800.0));
+  EXPECT_NEAR(c.estimated_degradation(2520.0), 0.10, 1e-9);
+  EXPECT_DOUBLE_EQ(c.estimated_degradation(2800.0), 0.0);
+}
+
+TEST_F(DnpcTest, HintedFMaxUsedImmediately) {
+  limits_.max_core_mhz = 2800.0;
+  auto c = make();
+  EXPECT_NEAR(c.estimated_degradation(2100.0), 0.25, 1e-9);
+}
+
+TEST_F(DnpcTest, DecreasesWhilePredictedDegradationLow) {
+  limits_.max_core_mhz = 2800.0;
+  auto c = make();
+  const auto d = c.decide(sample(2800.0));  // est 0 < 10 %
+  EXPECT_TRUE(d.changed);
+  EXPECT_DOUBLE_EQ(d.cap_w, 120.0);
+}
+
+TEST_F(DnpcTest, IncreasesWhenPredictedDegradationHigh) {
+  limits_.max_core_mhz = 2800.0;
+  auto c = make();
+  c.decide(sample(2800.0));  // cap 120
+  const auto d = c.decide(sample(2400.0));  // est 14.3 % > 11.5 %
+  EXPECT_TRUE(d.changed);
+  EXPECT_DOUBLE_EQ(c.cap_w(), 125.0);
+}
+
+TEST_F(DnpcTest, HoldsInsideDeadBand) {
+  limits_.max_core_mhz = 2800.0;
+  auto c = make();
+  // est = 1 - 2520/2800 = 0.10 exactly: inside [tol-eps, tol+eps].
+  const auto d = c.decide(sample(2520.0));
+  EXPECT_FALSE(d.changed);
+}
+
+TEST_F(DnpcTest, RespectsFloorAndCeiling) {
+  limits_.max_core_mhz = 2800.0;
+  auto c = make();
+  for (int i = 0; i < 40; ++i) c.decide(sample(2800.0));
+  EXPECT_DOUBLE_EQ(c.cap_w(), 65.0);
+  for (int i = 0; i < 40; ++i) c.decide(sample(1500.0));
+  EXPECT_DOUBLE_EQ(c.cap_w(), 125.0);
+}
+
+TEST_F(DnpcTest, SettlesWhereFrequencyModelPredictsTolerance) {
+  // Synthetic plant: frequency responds linearly to the cap.
+  limits_.max_core_mhz = 2800.0;
+  auto c = make();
+  auto freq_for_cap = [](double cap) {
+    return 2800.0 * (cap - 45.0) / 80.0;  // 125 W -> 2800, 65 W -> 700
+  };
+  for (int i = 0; i < 60; ++i) c.decide(sample(freq_for_cap(c.cap_w())));
+  const double est = c.estimated_degradation(freq_for_cap(c.cap_w()));
+  EXPECT_NEAR(est, 0.10, 0.06);  // parks near the degradation limit
+}
+
+TEST_F(DnpcTest, BlindToActualPerformance) {
+  // The paper's critique: DNPC sees only frequency.  A memory-bound
+  // application whose FLOPS are untouched still makes DNPC raise the cap
+  // once the clock dips, leaving free savings unused.
+  limits_.max_core_mhz = 2800.0;
+  auto c = make();
+  for (int i = 0; i < 10; ++i) {
+    auto s = sample(2300.0);      // est 17.9 % "degradation"...
+    s.flops_rate = 50e9;          // ...while real throughput is unchanged
+    c.decide(s);
+  }
+  EXPECT_DOUBLE_EQ(c.cap_w(), 125.0);  // gave all headroom back
+}
+
+TEST_F(DnpcTest, InvalidLimitsRejected) {
+  DnpcLimits bad;
+  bad.min_cap_w = 130.0;
+  EXPECT_THROW(DnpcController(policy_, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dufp::core

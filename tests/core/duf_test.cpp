@@ -1,0 +1,209 @@
+#include "core/duf.h"
+
+#include <gtest/gtest.h>
+
+namespace dufp::core {
+namespace {
+
+PhaseTracker::Update update(double flops_drop, double bw_drop = 0.0,
+                            bool phase_change = false,
+                            bool highly_cpu = false) {
+  PhaseTracker::Update u;
+  u.flops_drop = flops_drop;
+  u.bw_drop = bw_drop;
+  u.phase_change = phase_change;
+  u.highly_cpu = highly_cpu;
+  u.oi = highly_cpu ? 400.0 : 0.5;
+  u.phase_class = highly_cpu ? PhaseClass::cpu : PhaseClass::memory;
+  return u;
+}
+
+class DufTest : public ::testing::Test {
+ protected:
+  DufTest() {
+    policy_.tolerated_slowdown = 0.10;
+    policy_.uncore_cooldown_intervals = 3;
+    policy_.attribution_window_intervals = 2;
+    policy_.persistent_violation_intervals = 4;
+  }
+
+  DufController make() { return DufController(policy_, limits_); }
+
+  PolicyConfig policy_;
+  UncoreLimits limits_;  // 1200-2400 default
+};
+
+TEST_F(DufTest, StartsAtMaximum) {
+  auto duf = make();
+  EXPECT_DOUBLE_EQ(duf.target_mhz(), 2400.0);
+}
+
+TEST_F(DufTest, DecreasesWhileWithinTolerance) {
+  auto duf = make();
+  auto d = duf.decide(update(0.0));
+  EXPECT_EQ(d.action, UncoreAction::decrease);
+  EXPECT_DOUBLE_EQ(d.target_mhz, 2300.0);
+  d = duf.decide(update(0.02));
+  EXPECT_EQ(d.action, UncoreAction::decrease);
+  EXPECT_DOUBLE_EQ(d.target_mhz, 2200.0);
+}
+
+TEST_F(DufTest, StopsAtMinimum) {
+  auto duf = make();
+  for (int i = 0; i < 20; ++i) duf.decide(update(0.0));
+  EXPECT_DOUBLE_EQ(duf.target_mhz(), 1200.0);
+  const auto d = duf.decide(update(0.0));
+  EXPECT_EQ(d.action, UncoreAction::hold);
+}
+
+TEST_F(DufTest, HoldsAtBoundaryZone) {
+  auto duf = make();
+  // drop in (tol - eps, tol]: "equivalent to the slowdown".
+  const auto d = duf.decide(update(0.095));
+  EXPECT_EQ(d.action, UncoreAction::hold);
+  EXPECT_DOUBLE_EQ(duf.target_mhz(), 2400.0);
+}
+
+TEST_F(DufTest, BacksOffWhenOwnProbeViolates) {
+  auto duf = make();
+  duf.decide(update(0.0));  // 2300 — just probed
+  const auto d = duf.decide(update(0.15));
+  EXPECT_EQ(d.action, UncoreAction::increase);
+  EXPECT_DOUBLE_EQ(d.target_mhz, 2400.0);
+}
+
+TEST_F(DufTest, CooldownBlocksImmediateReprobe) {
+  auto duf = make();
+  duf.decide(update(0.0));   // 2300
+  duf.decide(update(0.15));  // violated -> 2400, cooldown 3
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(duf.decide(update(0.0)).action, UncoreAction::hold) << i;
+  }
+  EXPECT_EQ(duf.decide(update(0.0)).action, UncoreAction::decrease);
+}
+
+TEST_F(DufTest, ForeignViolationNotAttributed) {
+  auto duf = make();
+  duf.decide(update(0.0));  // 2300
+  // Several boundary-zone intervals: the probe is old news now and the
+  // controller holds in place.
+  for (int i = 0; i < 4; ++i) duf.decide(update(0.095));
+  // A violation appears (caused elsewhere, e.g. the power cap): hold, do
+  // not retreat.
+  const auto d = duf.decide(update(0.15));
+  EXPECT_EQ(d.action, UncoreAction::hold);
+  EXPECT_DOUBLE_EQ(duf.target_mhz(), 2300.0);
+}
+
+TEST_F(DufTest, PersistentViolationForcesBackOff) {
+  auto duf = make();
+  duf.decide(update(0.0));  // 2300
+  for (int i = 0; i < 4; ++i) duf.decide(update(0.095));
+  // Violation persists 4 consecutive intervals -> back off even though
+  // unattributed.
+  DufController::Decision d;
+  for (int i = 0; i < 4; ++i) d = duf.decide(update(0.15));
+  EXPECT_EQ(d.action, UncoreAction::increase);
+}
+
+TEST_F(DufTest, HighlyCpuFlopsViolationLeftToCapPath) {
+  auto duf = make();
+  duf.decide(update(0.0, 0.0, false, /*highly_cpu=*/true));  // 2300
+  // FLOPS-only violation on an OI>100 phase: the uncore cannot be the
+  // culprit — hold.
+  const auto d = duf.decide(update(0.15, 0.0, false, true));
+  EXPECT_EQ(d.action, UncoreAction::hold);
+}
+
+TEST_F(DufTest, HighlyCpuBandwidthViolationStillBacksOff) {
+  auto duf = make();
+  duf.decide(update(0.0, 0.0, false, true));
+  const auto d = duf.decide(update(0.15, 0.2, false, true));
+  EXPECT_EQ(d.action, UncoreAction::increase);
+}
+
+TEST_F(DufTest, BandwidthGuardAppliesToAllPhases) {
+  auto duf = make();
+  duf.decide(update(0.0));  // probe to 2300
+  // FLOPS fine, bandwidth beyond tolerance -> treated as a violation.
+  const auto d = duf.decide(update(0.02, 0.20));
+  EXPECT_EQ(d.action, UncoreAction::increase);
+}
+
+TEST_F(DufTest, PhaseChangeResets) {
+  auto duf = make();
+  for (int i = 0; i < 5; ++i) duf.decide(update(0.0));
+  EXPECT_LT(duf.target_mhz(), 2400.0);
+  const auto d = duf.decide(update(0.0, 0.0, /*phase_change=*/true));
+  EXPECT_EQ(d.action, UncoreAction::reset);
+  EXPECT_DOUBLE_EQ(d.target_mhz, 2400.0);
+}
+
+TEST_F(DufTest, ResetClearsCooldown) {
+  auto duf = make();
+  duf.decide(update(0.0));
+  duf.decide(update(0.15));  // cooldown armed
+  duf.decide(update(0.0, 0.0, true));  // phase change
+  EXPECT_EQ(duf.decide(update(0.0)).action, UncoreAction::decrease);
+}
+
+TEST_F(DufTest, LastActionIncreaseFlagForInteractionRule) {
+  auto duf = make();
+  duf.decide(update(0.0));
+  EXPECT_FALSE(duf.last_action_was_increase());
+  duf.decide(update(0.15));
+  EXPECT_TRUE(duf.last_action_was_increase());
+  duf.decide(update(0.0));
+  EXPECT_FALSE(duf.last_action_was_increase());
+}
+
+TEST_F(DufTest, ForceResetRestoresMax) {
+  auto duf = make();
+  for (int i = 0; i < 6; ++i) duf.decide(update(0.0));
+  duf.force_reset();
+  EXPECT_DOUBLE_EQ(duf.target_mhz(), 2400.0);
+}
+
+TEST_F(DufTest, InvalidLimitsRejected) {
+  UncoreLimits bad;
+  bad.min_mhz = 2400.0;
+  bad.max_mhz = 1200.0;
+  EXPECT_THROW(DufController(policy_, bad), std::invalid_argument);
+}
+
+TEST_F(DufTest, InvalidToleranceRejected) {
+  policy_.tolerated_slowdown = 1.5;
+  EXPECT_THROW(make(), std::invalid_argument);
+}
+
+// Tolerance sweep: the resting uncore frequency must decrease
+// monotonically as the tolerance grows, for a synthetic phase whose drop
+// grows linearly as the uncore descends.
+class DufToleranceSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DufToleranceSweep, RestingPointScalesWithTolerance) {
+  PolicyConfig policy;
+  policy.tolerated_slowdown = GetParam();
+  UncoreLimits limits;
+  DufController duf(policy, limits);
+
+  // Synthetic response: 3 % drop per 100 MHz below 2400.
+  auto drop_at = [&](double mhz) { return (2400.0 - mhz) / 100.0 * 0.03; };
+  for (int i = 0; i < 60; ++i) {
+    duf.decide(update(drop_at(duf.target_mhz())));
+  }
+  const double expected_drop = policy.tolerated_slowdown;
+  const double resting_drop = drop_at(duf.target_mhz());
+  // Rests within ~1.5 steps of the tolerance boundary, never beyond the
+  // violation band.
+  EXPECT_LE(resting_drop, expected_drop + policy.epsilon + 1e-9);
+  if (expected_drop > 0.05) {
+    EXPECT_GE(resting_drop, expected_drop - 0.06);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Tolerances, DufToleranceSweep,
+                         ::testing::Values(0.0, 0.05, 0.10, 0.20));
+
+}  // namespace
+}  // namespace dufp::core

@@ -1,0 +1,238 @@
+#include "core/dufp.h"
+
+#include <gtest/gtest.h>
+
+namespace dufp::core {
+namespace {
+
+/// Builds a measurement sample; oi is set through flops/bytes.
+perfmon::Sample sample(double gflops, double gbps, double power) {
+  perfmon::Sample s;
+  s.flops_rate = gflops * 1e9;
+  s.bytes_rate = gbps * 1e9;
+  s.pkg_power_w = power;
+  s.interval_s = 0.2;
+  return s;
+}
+
+class DufpTest : public ::testing::Test {
+ protected:
+  DufpTest() {
+    policy_.tolerated_slowdown = 0.10;
+    policy_.cap_cooldown_intervals = 0;  // keep unit tests single-purpose
+    policy_.uncore_cooldown_intervals = 0;
+  }
+
+  DufpController make() { return DufpController(policy_, uncore_, caps_); }
+
+  PolicyConfig policy_;
+  UncoreLimits uncore_;
+  CapLimits caps_;  // 125/150 default, 65 floor
+};
+
+TEST_F(DufpTest, StartsAtHardwareDefaults) {
+  auto c = make();
+  EXPECT_DOUBLE_EQ(c.cap_long_w(), 125.0);
+  EXPECT_DOUBLE_EQ(c.cap_short_w(), 150.0);
+}
+
+TEST_F(DufpTest, FirstDecisionTightensShortTermWhenPowerBelowCap) {
+  auto c = make();
+  // Fresh controller behaves like the instant after a reset: the paper
+  // checks consumption vs the cap and pulls short := long (Sec. III).
+  // The same interval then proceeds to probe downward, so both
+  // constraints end one step below the default.
+  const auto d = c.decide(sample(50, 25, 110.0));
+  EXPECT_TRUE(d.tighten_short_term);
+  EXPECT_DOUBLE_EQ(c.cap_short_w(), c.cap_long_w());
+  EXPECT_DOUBLE_EQ(c.cap_long_w(), 120.0);
+}
+
+TEST_F(DufpTest, DecreaseSetsBothConstraintsEqual) {
+  auto c = make();
+  c.decide(sample(50, 25, 110.0));  // tighten + first decrease (120)
+  const auto d = c.decide(sample(50, 25, 110.0));
+  EXPECT_EQ(d.cap_action, CapAction::decrease);
+  EXPECT_DOUBLE_EQ(d.cap_long_w, 115.0);
+  EXPECT_DOUBLE_EQ(d.cap_short_w, 115.0);
+}
+
+TEST_F(DufpTest, StepIsFiveWatts) {
+  auto c = make();
+  c.decide(sample(50, 25, 100.0));  // 120
+  c.decide(sample(50, 25, 100.0));  // 115
+  c.decide(sample(50, 25, 100.0));  // 110
+  EXPECT_DOUBLE_EQ(c.cap_long_w(), 110.0);
+}
+
+TEST_F(DufpTest, NeverDecreasesBelowFloor) {
+  auto c = make();
+  for (int i = 0; i < 40; ++i) c.decide(sample(50, 25, 60.0));
+  EXPECT_DOUBLE_EQ(c.cap_long_w(), 65.0);
+  const auto d = c.decide(sample(50, 25, 60.0));
+  EXPECT_EQ(d.cap_action, CapAction::hold);
+}
+
+TEST_F(DufpTest, HighlyMemoryPhaseDecreasesDespiteFlopsDrop) {
+  auto c = make();
+  c.decide(sample(0.5, 50, 110.0));  // oi 0.01: highly memory
+  // Massive apparent FLOPS drop — ignored on the free-capping path.
+  const auto d = c.decide(sample(0.2, 50, 110.0));
+  EXPECT_EQ(d.cap_action, CapAction::decrease);
+}
+
+TEST_F(DufpTest, ViolationStepsCapBackUp) {
+  auto c = make();
+  c.decide(sample(50, 25, 100.0));  // cap 120
+  c.decide(sample(50, 25, 100.0));  // cap 115
+  const auto d = c.decide(sample(40, 25, 95.0));  // 20 % drop, oi 1.6
+  EXPECT_EQ(d.cap_action, CapAction::increase);
+  EXPECT_DOUBLE_EQ(c.cap_long_w(), 120.0);
+}
+
+TEST_F(DufpTest, IncreaseReachingDefaultBecomesReset) {
+  auto c = make();
+  c.decide(sample(50, 25, 100.0));  // cap 120
+  const auto d = c.decide(sample(40, 25, 95.0));  // +5 reaches default
+  EXPECT_EQ(d.cap_action, CapAction::reset);
+  EXPECT_TRUE(d.cap_reset);
+  EXPECT_DOUBLE_EQ(c.cap_long_w(), 125.0);
+  EXPECT_DOUBLE_EQ(c.cap_short_w(), 150.0);
+}
+
+TEST_F(DufpTest, HighlyCpuViolationResetsOutright) {
+  auto c = make();
+  c.decide(sample(96, 0.24, 100.0));  // oi 400
+  for (int i = 0; i < 5; ++i) c.decide(sample(96, 0.24, 100.0));
+  EXPECT_LT(c.cap_long_w(), 125.0);
+  const auto d = c.decide(sample(80, 0.2, 90.0));  // 17 % drop
+  EXPECT_EQ(d.cap_action, CapAction::reset);
+  EXPECT_DOUBLE_EQ(c.cap_long_w(), 125.0);
+}
+
+TEST_F(DufpTest, HighlyCpuBandwidthDropAlsoResets) {
+  policy_.bw_floor_bytes_per_s = 0.0;  // make the tiny traffic meaningful
+  auto c = make();
+  c.decide(sample(200, 1.5, 100.0));  // oi ~133 > 100
+  c.decide(sample(200, 1.5, 100.0));
+  // FLOPS fine, bandwidth down 20 %: Sec. III applies the slowdown to
+  // memory bandwidth for highly CPU-intensive phases.
+  const auto d = c.decide(sample(200, 1.2, 100.0));
+  EXPECT_EQ(d.cap_action, CapAction::reset);
+}
+
+TEST_F(DufpTest, BoundaryZoneHolds) {
+  auto c = make();
+  c.decide(sample(50, 25, 100.0));
+  c.decide(sample(50, 25, 100.0));
+  const auto d = c.decide(sample(45.2, 25, 98.0));  // drop 9.6 %: boundary
+  EXPECT_EQ(d.cap_action, CapAction::hold);
+}
+
+TEST_F(DufpTest, PhaseChangeResetsCapAndRequestsUncoreVerify) {
+  auto c = make();
+  c.decide(sample(5, 50, 110.0));   // memory phase
+  c.decide(sample(5, 50, 110.0));   // decrease
+  const auto d = c.decide(sample(60, 25, 115.0));  // class flip
+  EXPECT_EQ(d.cap_action, CapAction::reset);
+  EXPECT_TRUE(d.verify_uncore_reset);
+  EXPECT_EQ(d.uncore.action, UncoreAction::reset);
+  EXPECT_DOUBLE_EQ(c.cap_long_w(), 125.0);
+}
+
+TEST_F(DufpTest, OvershootGuardResets) {
+  policy_.overshoot_margin_w = 3.0;
+  auto c = make();
+  c.decide(sample(50, 25, 100.0));  // cap 120
+  c.decide(sample(50, 25, 100.0));  // cap 115
+  c.decide(sample(50, 25, 100.0));  // cap 110
+  // The cap is not being honoured: reset (Sec. IV-D).
+  const auto d = c.decide(sample(50, 25, 124.0));
+  EXPECT_EQ(d.cap_action, CapAction::reset);
+  EXPECT_TRUE(d.cap_reset);
+}
+
+TEST_F(DufpTest, OvershootWithinMarginTolerated) {
+  policy_.overshoot_margin_w = 3.0;
+  auto c = make();
+  c.decide(sample(50, 25, 100.0));  // cap 120
+  // Settling transient: +2 W above the fresh cap stays within the margin.
+  const auto d = c.decide(sample(50, 25, 122.0));
+  EXPECT_NE(d.cap_action, CapAction::reset);
+}
+
+TEST_F(DufpTest, PostResetShortTermTightening) {
+  auto c = make();
+  c.decide(sample(96, 0.24, 100.0));
+  c.decide(sample(96, 0.24, 100.0));
+  c.decide(sample(80, 0.2, 90.0));  // highly-cpu reset
+  // Next interval: consumption below the default cap -> short := long
+  // (the interval then continues into a fresh probe).
+  const auto d = c.decide(sample(96, 0.24, 100.0));
+  EXPECT_TRUE(d.tighten_short_term);
+  EXPECT_DOUBLE_EQ(c.cap_short_w(), c.cap_long_w());
+}
+
+TEST_F(DufpTest, PostResetNoTighteningWhenPowerAtCap) {
+  auto c = make();
+  c.decide(sample(96, 0.24, 130.0));  // above the cap: no tighten
+  EXPECT_DOUBLE_EQ(c.cap_short_w(), 150.0);
+}
+
+TEST_F(DufpTest, InteractionRule1RaisesCapWhenUncoreIncreaseDidNotHelp) {
+  policy_.uncore_cooldown_intervals = 0;
+  auto c = make();
+  // Build a memory phase where bandwidth violations force uncore
+  // increases while FLOPS stay within tolerance.
+  c.decide(sample(5, 50, 110.0));
+  c.decide(sample(5, 50, 110.0));     // uncore probes down
+  c.decide(sample(4.9, 40, 108.0));   // bw -20 %: uncore increases
+  EXPECT_TRUE(c.duf().last_action_was_increase());
+  const double cap_before = c.cap_long_w();
+  // Next interval FLOPS did not improve: rule 1 — raise the cap.
+  const auto d = c.decide(sample(4.9, 44, 108.0));
+  EXPECT_TRUE(d.cap_action == CapAction::increase ||
+              d.cap_action == CapAction::reset);
+  EXPECT_GE(c.cap_long_w(), cap_before);
+}
+
+TEST_F(DufpTest, CapCooldownDelaysReprobing) {
+  policy_.cap_cooldown_intervals = 3;
+  auto c = make();
+  c.decide(sample(50, 25, 100.0));
+  c.decide(sample(50, 25, 100.0));        // decrease (cap 120)
+  c.decide(sample(40, 25, 95.0));         // violation -> reset + cooldown
+  int holds = 0;
+  for (int i = 0; i < 3; ++i) {
+    if (c.decide(sample(50, 25, 100.0)).cap_action == CapAction::hold) {
+      ++holds;
+    }
+  }
+  EXPECT_EQ(holds, 3);
+  EXPECT_EQ(c.decide(sample(50, 25, 100.0)).cap_action,
+            CapAction::decrease);
+}
+
+TEST_F(DufpTest, ForeignViolationHeldNotEscalated) {
+  policy_.attribution_window_intervals = 2;
+  policy_.persistent_violation_intervals = 100;
+  auto c = make();
+  c.decide(sample(50, 25, 100.0));  // cap 120
+  // Park the cap in the boundary zone for several intervals (drop 9.6 %:
+  // "equivalent to the slowdown", holds without moving).
+  for (int i = 0; i < 5; ++i) c.decide(sample(45.2, 25, 100.0));
+  // A violation long after the last cap move (uncore's fault): hold.
+  const auto d = c.decide(sample(40, 25, 95.0));
+  EXPECT_EQ(d.cap_action, CapAction::hold);
+  EXPECT_DOUBLE_EQ(c.cap_long_w(), 120.0);
+}
+
+TEST_F(DufpTest, InvalidCapLimitsRejected) {
+  CapLimits bad;
+  bad.min_cap_w = 130.0;  // above the default long term
+  EXPECT_THROW(DufpController(policy_, uncore_, bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dufp::core

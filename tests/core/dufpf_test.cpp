@@ -1,0 +1,94 @@
+// Tests for the DUFP-F extension (Sec. VII future work): direct core
+// frequency management while the cap is active.
+#include <gtest/gtest.h>
+
+#include "core/dufp.h"
+
+namespace dufp::core {
+namespace {
+
+perfmon::Sample sample(double gflops, double gbps, double power,
+                       double core_mhz) {
+  perfmon::Sample s;
+  s.flops_rate = gflops * 1e9;
+  s.bytes_rate = gbps * 1e9;
+  s.pkg_power_w = power;
+  s.core_mhz = core_mhz;
+  s.interval_s = 0.2;
+  return s;
+}
+
+class DufpfTest : public ::testing::Test {
+ protected:
+  DufpfTest() {
+    policy_.tolerated_slowdown = 0.10;
+    policy_.cap_cooldown_intervals = 0;
+    policy_.uncore_cooldown_intervals = 0;
+    policy_.manage_core_frequency = true;
+  }
+
+  DufpController make() { return DufpController(policy_, uncore_, caps_); }
+
+  PolicyConfig policy_;
+  UncoreLimits uncore_;
+  CapLimits caps_;
+};
+
+TEST_F(DufpfTest, NoPstateActionWhileCapInactive) {
+  auto c = make();
+  // First interval: cap still at default before this decision applies.
+  const auto d = c.decide(sample(50, 25, 100.0, 2800.0));
+  EXPECT_EQ(d.pstate_request_mhz, 0.0);
+  EXPECT_FALSE(d.pstate_release);
+}
+
+TEST_F(DufpfTest, PinsAtObservedClockPlusHeadroomOnSteadyHold) {
+  auto c = make();
+  c.decide(sample(50, 25, 100.0, 2800.0));  // decrease -> cap 120
+  c.decide(sample(50, 25, 100.0, 2800.0));  // decrease -> cap 115
+  // Boundary-zone sample: controller holds -> pin at observed + headroom.
+  const auto d = c.decide(sample(45.2, 25, 98.0, 2500.0));
+  EXPECT_TRUE(d.cap_action == CapAction::hold);
+  EXPECT_DOUBLE_EQ(d.pstate_request_mhz, 2600.0);
+  EXPECT_FALSE(d.pstate_release);
+}
+
+TEST_F(DufpfTest, ReleasesOnCapReset) {
+  auto c = make();
+  c.decide(sample(96, 0.24, 100.0, 2800.0));  // oi 400, decrease
+  for (int i = 0; i < 4; ++i) c.decide(sample(96, 0.24, 100.0, 2800.0));
+  // Highly-CPU violation resets the cap -> the pstate must be released.
+  const auto d = c.decide(sample(80, 0.2, 90.0, 2300.0));
+  EXPECT_EQ(d.cap_action, CapAction::reset);
+  EXPECT_TRUE(d.pstate_release);
+}
+
+TEST_F(DufpfTest, ReleasesOnCapIncrease) {
+  auto c = make();
+  c.decide(sample(50, 25, 100.0, 2800.0));  // cap 120
+  c.decide(sample(50, 25, 100.0, 2800.0));  // cap 115
+  const auto d = c.decide(sample(40, 25, 95.0, 2400.0));  // violated
+  EXPECT_EQ(d.cap_action, CapAction::increase);
+  EXPECT_TRUE(d.pstate_release);
+}
+
+TEST_F(DufpfTest, NoPinWhileActivelyDecreasing) {
+  auto c = make();
+  c.decide(sample(50, 25, 100.0, 2800.0));
+  const auto d = c.decide(sample(50, 25, 100.0, 2800.0));
+  EXPECT_EQ(d.cap_action, CapAction::decrease);
+  EXPECT_EQ(d.pstate_request_mhz, 0.0);  // still probing: leave it free
+}
+
+TEST_F(DufpfTest, DisabledFlagProducesNoPstateActions) {
+  policy_.manage_core_frequency = false;
+  auto c = make();
+  c.decide(sample(50, 25, 100.0, 2800.0));
+  c.decide(sample(50, 25, 100.0, 2800.0));
+  const auto d = c.decide(sample(45.2, 25, 98.0, 2500.0));
+  EXPECT_EQ(d.pstate_request_mhz, 0.0);
+  EXPECT_FALSE(d.pstate_release);
+}
+
+}  // namespace
+}  // namespace dufp::core

@@ -1,0 +1,123 @@
+#include "harness/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "workloads/profiles.h"
+
+namespace dufp::harness {
+namespace {
+
+RunConfig small_config(workloads::AppId app = workloads::AppId::cg) {
+  RunConfig cfg;
+  cfg.profile = &workloads::profile(app);
+  cfg.machine.sockets = 1;  // keep unit tests fast
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(RunnerTest, ModeNames) {
+  EXPECT_EQ(policy_mode_name(PolicyMode::none), "default");
+  EXPECT_EQ(policy_mode_name(PolicyMode::duf), "DUF");
+  EXPECT_EQ(policy_mode_name(PolicyMode::dufp), "DUFP");
+}
+
+TEST(RunnerTest, PercentOver) {
+  EXPECT_NEAR(percent_over(110.0, 100.0), 10.0, 1e-9);
+  EXPECT_NEAR(percent_over(90.0, 100.0), -10.0, 1e-9);
+  EXPECT_THROW(percent_over(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(RunnerTest, MissingProfileRejected) {
+  RunConfig cfg;
+  EXPECT_THROW(run_once(cfg), std::invalid_argument);
+}
+
+TEST(RunnerTest, DefaultRunProducesSummary) {
+  const auto res = run_once(small_config());
+  EXPECT_GT(res.summary.exec_seconds, 30.0);
+  EXPECT_GT(res.summary.avg_pkg_power_w, 80.0);
+  EXPECT_GT(res.summary.avg_dram_power_w, 5.0);
+  EXPECT_GT(res.summary.total_gflop, 100.0);
+  EXPECT_TRUE(res.agent_stats.empty());  // no controller in mode none
+}
+
+TEST(RunnerTest, DufpRunAttachesOneAgentPerSocket) {
+  auto cfg = small_config();
+  cfg.machine.sockets = 2;
+  cfg.mode = PolicyMode::dufp;
+  cfg.tolerated_slowdown = 0.10;
+  const auto res = run_once(cfg);
+  ASSERT_EQ(res.agent_stats.size(), 2u);
+  EXPECT_GT(res.agent_stats[0].intervals, 50u);
+  EXPECT_GT(res.agent_stats[0].cap_decreases, 0u);
+}
+
+TEST(RunnerTest, StaticCapSlowsAndSaves) {
+  const auto base = run_once(small_config());
+  auto cfg = small_config();
+  cfg.static_cap_w = 100.0;
+  const auto capped = run_once(cfg);
+  EXPECT_GT(capped.summary.exec_seconds, base.summary.exec_seconds);
+  EXPECT_LT(capped.summary.avg_pkg_power_w,
+            base.summary.avg_pkg_power_w * 0.93);
+}
+
+TEST(RunnerTest, PhaseCapAppliesOnlyToNamedPhase) {
+  // Fig. 1b/1c: capping CG's memory prologue must cut the prologue's
+  // power without touching total execution time.
+  const auto base = run_once(small_config());
+  auto cfg = small_config();
+  cfg.phase_cap = PhaseCapSpec{"init", 95.0};
+  const auto partial = run_once(cfg);
+
+  const auto& init_base = base.phase_totals.at("init");
+  const auto& init_capped = partial.phase_totals.at("init");
+  const double base_power = init_base.pkg_energy_j / init_base.wall_seconds;
+  const double capped_power =
+      init_capped.pkg_energy_j / init_capped.wall_seconds;
+  EXPECT_LT(capped_power, base_power * 0.88);
+
+  // Total time essentially unchanged (the prologue is memory-bound).
+  EXPECT_NEAR(partial.summary.exec_seconds, base.summary.exec_seconds,
+              base.summary.exec_seconds * 0.01);
+
+  // The solve loop's power is untouched.
+  const auto& solve_base = base.phase_totals.at("solve");
+  const auto& solve_capped = partial.phase_totals.at("solve");
+  EXPECT_NEAR(solve_capped.pkg_energy_j / solve_capped.wall_seconds,
+              solve_base.pkg_energy_j / solve_base.wall_seconds, 2.0);
+}
+
+TEST(RunnerTest, UnknownPhaseCapRejected) {
+  auto cfg = small_config();
+  cfg.phase_cap = PhaseCapSpec{"no_such_phase", 75.0};
+  EXPECT_THROW(run_once(cfg), std::invalid_argument);
+}
+
+TEST(RunnerTest, RepeatedRunsAggregate) {
+  auto cfg = small_config();
+  const auto agg = run_repeated(cfg, 4);
+  EXPECT_EQ(agg.runs, 4);
+  EXPECT_EQ(agg.exec_seconds.used, 2u);  // 4 runs - fastest - slowest
+  EXPECT_GT(agg.exec_seconds.mean, 30.0);
+  EXPECT_LE(agg.exec_seconds.min, agg.exec_seconds.mean);
+  EXPECT_GE(agg.exec_seconds.max, agg.exec_seconds.mean);
+  EXPECT_GT(agg.total_energy_j.mean, 0.0);
+  EXPECT_FALSE(agg.mean_phase_totals.empty());
+}
+
+TEST(RunnerTest, SeedsVaryAcrossRepetitions) {
+  auto cfg = small_config();
+  const auto agg = run_repeated(cfg, 4);
+  // Jitter makes runs differ: error bars must have non-zero width.
+  EXPECT_GT(agg.exec_seconds.max, agg.exec_seconds.min);
+}
+
+TEST(RunnerTest, EnvHelpersHaveDefaults) {
+  // (Environment not set in the test harness.)
+  EXPECT_GE(repetitions_from_env(), 1);
+  EXPECT_GE(sockets_from_env(), 1);
+}
+
+}  // namespace
+}  // namespace dufp::harness

@@ -1,0 +1,171 @@
+#include "hwmodel/perf_model.h"
+
+#include <gtest/gtest.h>
+
+#include "hwmodel/socket_config.h"
+
+namespace dufp::hw {
+namespace {
+
+PhaseDemand mem_demand(double w_mem = 0.8) {
+  PhaseDemand d;
+  d.w_cpu = 0.1;
+  d.w_mem = w_mem;
+  d.w_unc = 0.05;
+  d.w_fixed = 1.0 - 0.1 - w_mem - 0.05;
+  d.mem_activity = 1.0;
+  return d;
+}
+
+PhaseDemand cpu_demand() {
+  PhaseDemand d;
+  d.w_cpu = 0.95;
+  d.w_mem = 0.0;
+  d.w_unc = 0.0;
+  d.w_fixed = 0.05;
+  d.mem_activity = 0.05;
+  return d;
+}
+
+class PerfModelTest : public ::testing::Test {
+ protected:
+  SocketConfig cfg_;
+  PerfModel model_{cfg_.memory, cfg_.f_ref_mhz(), cfg_.fu_ref_mhz()};
+};
+
+TEST_F(PerfModelTest, ReferenceSpeedIsOne) {
+  EXPECT_NEAR(model_.speed(2800.0, 2400.0, mem_demand()), 1.0, 1e-9);
+  EXPECT_NEAR(model_.speed(2800.0, 2400.0, cpu_demand()), 1.0, 1e-9);
+}
+
+TEST_F(PerfModelTest, BandwidthSaturatesAboveFuSat) {
+  // Above the saturation uncore frequency the DRAM channels are the
+  // bottleneck: the last 200 MHz of uncore are free.
+  const double at_sat = model_.bandwidth_bps(2800.0, cfg_.memory.fu_sat_mhz);
+  const double at_max = model_.bandwidth_bps(2800.0, 2400.0);
+  EXPECT_DOUBLE_EQ(at_sat, at_max);
+}
+
+TEST_F(PerfModelTest, BandwidthLinearBelowSaturation) {
+  const double b20 = model_.bandwidth_bps(2800.0, 2000.0);
+  const double b10 = model_.bandwidth_bps(2800.0, 1000.0);
+  EXPECT_NEAR(b20 / b10, 2.0, 1e-9);
+}
+
+TEST_F(PerfModelTest, LowCoreClockCostsBandwidth) {
+  // Memory-level parallelism shrinks with core frequency — the paper's
+  // rationale for the 65 W minimum cap (Sec. IV-A).
+  const double full = model_.bandwidth_bps(2800.0, 2400.0);
+  const double slow = model_.bandwidth_bps(1000.0, 2400.0);
+  EXPECT_LT(slow, full);
+  EXPECT_GT(slow, 0.5 * full);
+}
+
+TEST_F(PerfModelTest, CpuPhaseInsensitiveToUncore) {
+  const double fast = model_.speed(2800.0, 2400.0, cpu_demand());
+  const double slow = model_.speed(2800.0, 1200.0, cpu_demand());
+  EXPECT_GT(slow / fast, 0.99);  // EP's story
+}
+
+TEST_F(PerfModelTest, MemPhaseLessSensitiveToCoreClockThanCpuPhase) {
+  const double mem_ratio = model_.speed(2000.0, 2400.0, mem_demand()) /
+                           model_.speed(2800.0, 2400.0, mem_demand());
+  const double cpu_ratio = model_.speed(2000.0, 2400.0, cpu_demand()) /
+                           model_.speed(2800.0, 2400.0, cpu_demand());
+  // The w_cpu=0.1 component plus the lost memory-level parallelism cost
+  // some speed, but far less than a compute phase loses.
+  EXPECT_GT(mem_ratio, 0.80);
+  EXPECT_GT(mem_ratio, cpu_ratio + 0.10);
+}
+
+TEST_F(PerfModelTest, CpuPhaseScalesWithCoreClock) {
+  const double half = model_.speed(1400.0, 2400.0, cpu_demand());
+  // w_cpu = 0.95 at half clock: dilation = 0.95*2 + 0.05 = 1.95.
+  EXPECT_NEAR(1.0 / half, 1.95, 1e-6);
+}
+
+TEST_F(PerfModelTest, UncoreLatencyComponent) {
+  PhaseDemand d;
+  d.w_cpu = 0.0;
+  d.w_mem = 0.0;
+  d.w_unc = 1.0;
+  d.w_fixed = 0.0;
+  const double s = model_.speed(2800.0, 1200.0, d);
+  EXPECT_NEAR(1.0 / s, 2.0, 1e-9);  // pure uncore-latency work
+}
+
+TEST_F(PerfModelTest, DilationIsInverseSpeed) {
+  const auto d = mem_demand();
+  const double s = model_.speed(2100.0, 1800.0, d);
+  const double dil = model_.dilation(2100.0, 1800.0, d);
+  EXPECT_NEAR(s * dil, 1.0, 1e-12);
+}
+
+TEST_F(PerfModelTest, SpeedMonotoneInBothClocks) {
+  const auto d = mem_demand(0.5);
+  double prev = 0.0;
+  for (double f = 1000.0; f <= 2800.0; f += 300.0) {
+    const double s = model_.speed(f, 2000.0, d);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+  prev = 0.0;
+  for (double fu = 1200.0; fu <= 2200.0; fu += 200.0) {
+    const double s = model_.speed(2800.0, fu, d);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+}
+
+TEST_F(PerfModelTest, TrafficFactorOneAtReference) {
+  EXPECT_DOUBLE_EQ(model_.traffic_factor(2400.0, mem_demand()), 1.0);
+}
+
+TEST_F(PerfModelTest, TrafficFactorDropsWithUncoreOnBusyMemory) {
+  const double f = model_.traffic_factor(1200.0, mem_demand());
+  EXPECT_LT(f, 1.0);
+  EXPECT_NEAR(f, 1.0 - cfg_.memory.prefetch_coeff * 0.5, 1e-9);
+}
+
+TEST_F(PerfModelTest, TrafficFactorNegligibleOnQuietMemory) {
+  // EP-style phases: prefetchers are idle, so the factor stays ~1 and the
+  // bandwidth guard sees no artificial drop.
+  const double f = model_.traffic_factor(1200.0, cpu_demand());
+  EXPECT_GT(f, 0.999);
+}
+
+TEST_F(PerfModelTest, RejectsNonPositiveClocks) {
+  EXPECT_THROW(model_.speed(0.0, 2400.0, mem_demand()),
+               std::invalid_argument);
+  EXPECT_THROW(model_.bandwidth_bps(2800.0, 0.0), std::invalid_argument);
+}
+
+// Property sweep: dilation decomposition must equal the weighted sum of
+// its components for arbitrary weight mixes.
+class PerfModelWeightSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PerfModelWeightSweep, DecompositionExact) {
+  const SocketConfig cfg;
+  const PerfModel model(cfg.memory, cfg.f_ref_mhz(), cfg.fu_ref_mhz());
+  const double w_cpu = GetParam();
+  PhaseDemand d;
+  d.w_cpu = w_cpu;
+  d.w_mem = (1.0 - w_cpu) * 0.6;
+  d.w_unc = (1.0 - w_cpu) * 0.2;
+  d.w_fixed = 1.0 - d.w_cpu - d.w_mem - d.w_unc;
+
+  const double fc = 2100.0;
+  const double fu = 1700.0;
+  const double expected =
+      d.w_cpu * (2800.0 / fc) +
+      d.w_mem * (model.ref_bandwidth_bps() / model.bandwidth_bps(fc, fu)) +
+      d.w_unc * (2400.0 / fu) + d.w_fixed;
+  EXPECT_NEAR(model.dilation(fc, fu, d), expected, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Weights, PerfModelWeightSweep,
+                         ::testing::Values(0.0, 0.1, 0.3, 0.5, 0.7, 0.9,
+                                           1.0));
+
+}  // namespace
+}  // namespace dufp::hw

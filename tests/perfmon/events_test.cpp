@@ -1,0 +1,42 @@
+#include "perfmon/events.h"
+
+#include <gtest/gtest.h>
+
+namespace dufp::perfmon {
+namespace {
+
+TEST(EventNameTest, AllEventsNamed) {
+  for (int i = 0; i < kEventCount; ++i) {
+    EXPECT_NE(event_name(static_cast<Event>(i)), "UNKNOWN");
+  }
+}
+
+TEST(EventNameTest, PapiStyleNames) {
+  EXPECT_EQ(event_name(Event::fp_ops), "PAPI_DP_OPS");
+  EXPECT_EQ(event_name(Event::pkg_energy_uj), "rapl::PACKAGE_ENERGY");
+}
+
+TEST(CounterDeltaTest, NonWrappingCounter) {
+  EXPECT_EQ(counter_delta(100, 250, 0), 150ull);
+  EXPECT_EQ(counter_delta(100, 100, 0), 0ull);
+}
+
+TEST(CounterDeltaTest, NonWrappingCounterRequiresMonotonic) {
+  EXPECT_THROW(counter_delta(200, 100, 0), std::invalid_argument);
+}
+
+TEST(CounterDeltaTest, WrappingCounterSimple) {
+  EXPECT_EQ(counter_delta(10, 30, 1000), 20ull);
+}
+
+TEST(CounterDeltaTest, WrappingCounterAcrossWrap) {
+  EXPECT_EQ(counter_delta(990, 5, 1000), 15ull);
+}
+
+TEST(CounterDeltaTest, ValuesMustBeBelowRange) {
+  EXPECT_THROW(counter_delta(1000, 5, 1000), std::invalid_argument);
+  EXPECT_THROW(counter_delta(5, 1000, 1000), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dufp::perfmon

@@ -1,0 +1,185 @@
+#include "perfmon/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "hwmodel/socket_model.h"
+#include "msr/sim_msr.h"
+#include "perfmon/sim_counter_source.h"
+#include "rapl/rapl_engine.h"
+
+namespace dufp::perfmon {
+namespace {
+
+/// Hand-rolled counter source for exact-delta tests.
+class FakeSource final : public CounterSource {
+ public:
+  std::uint64_t read(Event e) const override {
+    return values_[static_cast<std::size_t>(e)];
+  }
+  std::uint64_t wrap_range(Event e) const override {
+    return e == Event::pkg_energy_uj || e == Event::dram_energy_uj
+               ? wrap_
+               : 0;
+  }
+
+  void set(Event e, std::uint64_t v) {
+    values_[static_cast<std::size_t>(e)] = v;
+  }
+  void set_wrap(std::uint64_t w) { wrap_ = w; }
+
+ private:
+  std::array<std::uint64_t, kEventCount> values_{};
+  std::uint64_t wrap_ = 1'000'000'000ull;
+};
+
+SamplerOptions noiseless() {
+  SamplerOptions o;
+  o.noise_sigma = 0.0;
+  return o;
+}
+
+TEST(SamplerTest, FirstSampleEstablishesBaseline) {
+  FakeSource src;
+  IntervalSampler s(src, 2100.0, Rng(1), noiseless());
+  EXPECT_FALSE(s.sample(SimTime::from_millis(200)).has_value());
+  EXPECT_TRUE(s.sample(SimTime::from_millis(400)).has_value());
+}
+
+TEST(SamplerTest, RatesComputedFromDeltas) {
+  FakeSource src;
+  IntervalSampler s(src, 2100.0, Rng(1), noiseless());
+  s.sample(SimTime::from_millis(0));
+  src.set(Event::fp_ops, 10'000'000'000ull);       // 10 GFLOP in 0.2 s
+  src.set(Event::dram_bytes, 4'000'000'000ull);    // 4 GB
+  src.set(Event::pkg_energy_uj, 20'000'000ull);    // 20 J
+  src.set(Event::dram_energy_uj, 5'000'000ull);    // 5 J
+  const auto smp = s.sample(SimTime::from_millis(200));
+  ASSERT_TRUE(smp.has_value());
+  EXPECT_DOUBLE_EQ(smp->interval_s, 0.2);
+  EXPECT_DOUBLE_EQ(smp->flops_rate, 50e9);
+  EXPECT_DOUBLE_EQ(smp->bytes_rate, 20e9);
+  EXPECT_DOUBLE_EQ(smp->pkg_power_w, 100.0);
+  EXPECT_DOUBLE_EQ(smp->dram_power_w, 25.0);
+}
+
+TEST(SamplerTest, OperationalIntensity) {
+  Sample s;
+  s.flops_rate = 50e9;
+  s.bytes_rate = 20e9;
+  EXPECT_DOUBLE_EQ(s.operational_intensity(), 2.5);
+}
+
+TEST(SamplerTest, OperationalIntensityGuardsZeroTraffic) {
+  Sample s;
+  s.flops_rate = 50e9;
+  s.bytes_rate = 0.0;
+  EXPECT_GT(s.operational_intensity(), 1e9);  // degenerates high, not NaN
+}
+
+TEST(SamplerTest, CoreClockFromAperfMperf) {
+  FakeSource src;
+  IntervalSampler s(src, 2100.0, Rng(1), noiseless());
+  s.sample(SimTime::from_millis(0));
+  // 0.2 s at 2.5 GHz actual, 2.1 GHz reference.
+  src.set(Event::aperf_cycles, 500'000'000ull);
+  src.set(Event::mperf_cycles, 420'000'000ull);
+  const auto smp = s.sample(SimTime::from_millis(200));
+  EXPECT_NEAR(smp->core_mhz, 2500.0, 1e-6);
+}
+
+TEST(SamplerTest, EnergyWrapHandled) {
+  FakeSource src;
+  src.set_wrap(1000);
+  src.set(Event::pkg_energy_uj, 990);
+  IntervalSampler s(src, 2100.0, Rng(1), noiseless());
+  s.sample(SimTime::from_millis(0));
+  src.set(Event::pkg_energy_uj, 10);  // wrapped: delta 20 uJ
+  const auto smp = s.sample(SimTime::from_millis(200));
+  EXPECT_NEAR(smp->pkg_power_w, 20e-6 / 0.2, 1e-12);
+}
+
+TEST(SamplerTest, ResetForgetsBaseline) {
+  FakeSource src;
+  IntervalSampler s(src, 2100.0, Rng(1), noiseless());
+  s.sample(SimTime::from_millis(0));
+  s.reset();
+  EXPECT_FALSE(s.sample(SimTime::from_millis(200)).has_value());
+}
+
+TEST(SamplerTest, NonAdvancingTimeRejected) {
+  FakeSource src;
+  IntervalSampler s(src, 2100.0, Rng(1), noiseless());
+  s.sample(SimTime::from_millis(200));
+  EXPECT_THROW(s.sample(SimTime::from_millis(200)), std::invalid_argument);
+}
+
+TEST(SamplerTest, NoiseIsBoundedAndUnbiased) {
+  FakeSource src;
+  SamplerOptions o;
+  o.noise_sigma = 0.01;
+  IntervalSampler s(src, 2100.0, Rng(7), o);
+  s.sample(SimTime::from_millis(0));
+  double sum = 0.0;
+  int n = 0;
+  std::uint64_t flops = 0;
+  for (int i = 1; i <= 2000; ++i) {
+    flops += 1'000'000'000ull;
+    src.set(Event::fp_ops, flops);
+    const auto smp = s.sample(SimTime::from_millis(200 * (i)));
+    const double rate = smp->flops_rate / 5e9;  // truth = 1.0
+    EXPECT_GT(rate, 1.0 - 0.05);
+    EXPECT_LT(rate, 1.0 + 0.05);
+    sum += rate;
+    ++n;
+  }
+  EXPECT_NEAR(sum / n, 1.0, 0.002);
+}
+
+TEST(SamplerTest, DeterministicGivenSeed) {
+  FakeSource src;
+  SamplerOptions o;
+  o.noise_sigma = 0.01;
+  auto run = [&](std::uint64_t seed) {
+    IntervalSampler s(src, 2100.0, Rng(seed), o);
+    s.sample(SimTime::from_millis(0));
+    src.set(Event::fp_ops, 1'000'000'000ull);
+    return s.sample(SimTime::from_millis(200))->flops_rate;
+  };
+  src.set(Event::fp_ops, 0);
+  const double a = run(5);
+  src.set(Event::fp_ops, 0);
+  const double b = run(5);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(SimCounterSourceTest, ReadsSocketGroundTruthThroughMsrs) {
+  hw::SocketConfig cfg;
+  hw::SocketModel socket(cfg, 0);
+  msr::SimulatedMsr dev(cfg.cores);
+  rapl::RaplEngine engine(socket, dev);
+  SimCounterSource src(socket, dev);
+
+  hw::PhaseDemand d;
+  d.w_cpu = 0.7;
+  d.w_mem = 0.2;
+  d.w_fixed = 0.1;
+  d.cpu_activity = 0.9;
+  d.mem_activity = 0.8;
+  d.flops_rate_ref = 30e9;
+  d.bytes_rate_ref = 15e9;
+  socket.set_demand(d);
+  socket.accumulate(socket.evaluate(), 1.0);
+
+  EXPECT_NEAR(static_cast<double>(src.read(Event::fp_ops)), 30e9, 1e6);
+  EXPECT_NEAR(static_cast<double>(src.read(Event::dram_bytes)), 15e9, 1e6);
+  EXPECT_GT(src.read(Event::pkg_energy_uj), 50'000'000ull);  // > 50 J
+  EXPECT_GT(src.read(Event::dram_energy_uj), 1'000'000ull);
+  EXPECT_GT(src.read(Event::aperf_cycles), 0ull);
+  EXPECT_EQ(src.wrap_range(Event::fp_ops), 0ull);
+  EXPECT_EQ(src.wrap_range(Event::pkg_energy_uj), 262'144'000'000ull);
+}
+
+}  // namespace
+}  // namespace dufp::perfmon

@@ -1,0 +1,78 @@
+#include "powercap/pstate_control.h"
+
+#include <gtest/gtest.h>
+
+#include "hwmodel/socket_model.h"
+#include "msr/sim_msr.h"
+#include "rapl/rapl_engine.h"
+
+namespace dufp::powercap {
+namespace {
+
+class PstateControlTest : public ::testing::Test {
+ protected:
+  PstateControlTest()
+      : socket_(cfg_, 0), dev_(cfg_.cores), engine_(socket_, dev_),
+        ctl_(dev_) {
+    hw::PhaseDemand d;
+    d.w_cpu = 0.9;
+    d.w_mem = 0.05;
+    d.w_fixed = 0.05;
+    d.flops_rate_ref = 1e9;
+    d.bytes_rate_ref = 1e9;
+    socket_.set_demand(d);
+  }
+
+  hw::SocketConfig cfg_;
+  hw::SocketModel socket_;
+  msr::SimulatedMsr dev_;
+  rapl::RaplEngine engine_;
+  PstateControl ctl_;
+};
+
+TEST_F(PstateControlTest, InitialRequestIsMaximum) {
+  EXPECT_DOUBLE_EQ(ctl_.requested_mhz(), 2800.0);
+}
+
+TEST_F(PstateControlTest, RequestLowersEffectiveClock) {
+  ctl_.set_mhz(2100.0);
+  EXPECT_DOUBLE_EQ(ctl_.requested_mhz(), 2100.0);
+  EXPECT_DOUBLE_EQ(socket_.effective_core_mhz(), 2100.0);
+}
+
+TEST_F(PstateControlTest, ReleaseRestoresMaximum) {
+  ctl_.set_mhz(1500.0);
+  ctl_.release(2800.0);
+  EXPECT_DOUBLE_EQ(socket_.effective_core_mhz(), 2800.0);
+}
+
+TEST_F(PstateControlTest, RequestQuantizedTo100Mhz) {
+  ctl_.set_mhz(2149.0);
+  EXPECT_DOUBLE_EQ(ctl_.requested_mhz(), 2100.0);
+  ctl_.set_mhz(2150.0);
+  EXPECT_DOUBLE_EQ(ctl_.requested_mhz(), 2200.0);
+}
+
+TEST_F(PstateControlTest, RaplLimitStillWins) {
+  // The effective clock is min(user request, RAPL limit).
+  ctl_.set_mhz(2500.0);
+  socket_.set_core_freq_limit_mhz(1800.0);
+  EXPECT_DOUBLE_EQ(socket_.effective_core_mhz(), 1800.0);
+  socket_.set_core_freq_limit_mhz(2800.0);
+  EXPECT_DOUBLE_EQ(socket_.effective_core_mhz(), 2500.0);
+}
+
+TEST_F(PstateControlTest, NonPositiveRequestRejected) {
+  EXPECT_THROW(ctl_.set_mhz(0.0), std::invalid_argument);
+}
+
+TEST_F(PstateControlTest, PerfCtlEncodingRoundTrip) {
+  using namespace dufp::msr;
+  for (unsigned ratio : {10u, 21u, 28u}) {
+    EXPECT_EQ(decode_perf_ctl(encode_perf_ctl(ratio)), ratio);
+  }
+  EXPECT_THROW(encode_perf_ctl(256), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dufp::powercap

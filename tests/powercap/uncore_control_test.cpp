@@ -1,0 +1,72 @@
+#include "powercap/uncore_control.h"
+
+#include <gtest/gtest.h>
+
+#include "hwmodel/socket_model.h"
+#include "msr/sim_msr.h"
+#include "rapl/rapl_engine.h"
+
+namespace dufp::powercap {
+namespace {
+
+class UncoreControlTest : public ::testing::Test {
+ protected:
+  UncoreControlTest()
+      : socket_(cfg_, 0), dev_(cfg_.cores), engine_(socket_, dev_),
+        ctl_(dev_) {
+    hw::PhaseDemand d;
+    d.w_cpu = 0.5;
+    d.w_mem = 0.4;
+    d.w_fixed = 0.1;
+    d.flops_rate_ref = 1e9;
+    d.bytes_rate_ref = 1e9;
+    d.mem_activity = 1.0;
+    socket_.set_demand(d);  // busy: default UFS pegs the window max
+  }
+
+  hw::SocketConfig cfg_;
+  hw::SocketModel socket_;
+  msr::SimulatedMsr dev_;
+  rapl::RaplEngine engine_;
+  UncoreControl ctl_;
+};
+
+TEST_F(UncoreControlTest, InitialWindowIsHardwareRange) {
+  EXPECT_DOUBLE_EQ(ctl_.window_min_mhz(), 1200.0);
+  EXPECT_DOUBLE_EQ(ctl_.window_max_mhz(), 2400.0);
+}
+
+TEST_F(UncoreControlTest, PinSetsBothBounds) {
+  ctl_.pin_mhz(1800.0);
+  EXPECT_DOUBLE_EQ(ctl_.window_min_mhz(), 1800.0);
+  EXPECT_DOUBLE_EQ(ctl_.window_max_mhz(), 1800.0);
+  EXPECT_DOUBLE_EQ(socket_.effective_uncore_mhz(), 1800.0);
+}
+
+TEST_F(UncoreControlTest, CurrentMhzReadsPerfStatus) {
+  ctl_.pin_mhz(1500.0);
+  EXPECT_DOUBLE_EQ(ctl_.current_mhz(), 1500.0);
+  ctl_.pin_mhz(2400.0);
+  EXPECT_DOUBLE_EQ(ctl_.current_mhz(), 2400.0);
+}
+
+TEST_F(UncoreControlTest, WindowAllowsRange) {
+  ctl_.set_window_mhz(1400.0, 2000.0);
+  EXPECT_DOUBLE_EQ(ctl_.window_min_mhz(), 1400.0);
+  EXPECT_DOUBLE_EQ(ctl_.window_max_mhz(), 2000.0);
+  // Busy socket pegs the max of the window.
+  EXPECT_DOUBLE_EQ(socket_.effective_uncore_mhz(), 2000.0);
+}
+
+TEST_F(UncoreControlTest, InvalidWindowRejected) {
+  EXPECT_THROW(ctl_.set_window_mhz(2000.0, 1500.0), std::invalid_argument);
+  EXPECT_THROW(ctl_.set_window_mhz(0.0, 1500.0), std::invalid_argument);
+}
+
+TEST_F(UncoreControlTest, RatioGranularityIs100Mhz) {
+  ctl_.pin_mhz(1849.0);  // rounds to ratio 18
+  EXPECT_DOUBLE_EQ(ctl_.window_max_mhz(), 1800.0);
+}
+
+}  // namespace
+}  // namespace dufp::powercap

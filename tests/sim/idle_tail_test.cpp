@@ -1,0 +1,66 @@
+// When sockets finish at different times (asymmetric workloads), the
+// finished sockets must idle correctly: low power, uncore at the window
+// minimum, and no further progress accounted.
+#include <gtest/gtest.h>
+
+#include "sim/simulation.h"
+#include "sim/trace.h"
+#include "workloads/profiles.h"
+
+namespace dufp::sim {
+namespace {
+
+TEST(IdleTailTest, FinishedSocketIdlesAtLowPower) {
+  hw::MachineConfig machine;
+  machine.sockets = 2;
+  SimulationOptions opts;
+  opts.seed = 13;
+  // EP (~30 s) finishes well before CG (~40 s).
+  std::vector<const workloads::WorkloadProfile*> apps{
+      &workloads::profile(workloads::AppId::ep),
+      &workloads::profile(workloads::AppId::cg)};
+  Simulation s(machine, apps, opts);
+  VectorTraceSink sink(100);  // 100 ms resolution
+  s.set_trace_sink(&sink);
+  const auto sum = s.run();
+
+  // CG defines the machine run length.
+  EXPECT_GT(sum.exec_seconds, 35.0);
+
+  // Find the tail after EP finished and check socket 0's state there.
+  bool saw_idle_tail = false;
+  for (const auto& e : sink.entries()) {
+    if (e.time.seconds() > sum.exec_seconds - 3.0) {
+      const auto& ep_socket = e.sockets[0];
+      const auto& cg_socket = e.sockets[1];
+      saw_idle_tail = true;
+      EXPECT_LT(ep_socket.pkg_power_w, 60.0);   // idle floor region
+      EXPECT_EQ(ep_socket.uncore_mhz, 1200.0f);  // UFS drops when idle
+      EXPECT_GT(cg_socket.pkg_power_w, 90.0);    // CG still working
+    }
+  }
+  EXPECT_TRUE(saw_idle_tail);
+}
+
+TEST(IdleTailTest, FlopAccountingStopsAtCompletion) {
+  hw::MachineConfig machine;
+  machine.sockets = 2;
+  SimulationOptions opts;
+  opts.seed = 14;
+  std::vector<const workloads::WorkloadProfile*> apps{
+      &workloads::profile(workloads::AppId::ep),
+      &workloads::profile(workloads::AppId::cg)};
+  Simulation s(machine, apps, opts);
+
+  // Run until EP (socket 0) completes, snapshot, then run to the end.
+  while (!s.workload(0).finished() && s.step()) {
+  }
+  const double ep_flops_at_finish = s.socket(0).flops_total();
+  while (s.step()) {
+  }
+  EXPECT_DOUBLE_EQ(s.socket(0).flops_total(), ep_flops_at_finish);
+  EXPECT_GT(s.socket(1).flops_total(), 0.0);
+}
+
+}  // namespace
+}  // namespace dufp::sim

@@ -1,0 +1,195 @@
+#include "sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "powercap/zone.h"
+#include "workloads/profiles.h"
+
+namespace dufp::sim {
+namespace {
+
+workloads::PhaseSpec phase(const char* name, double seconds, double gflops,
+                           double oi, double w_cpu, double w_mem) {
+  workloads::PhaseSpec p;
+  p.name = name;
+  p.nominal_seconds = seconds;
+  p.gflops_ref = gflops;
+  p.oi = oi;
+  p.w_cpu = w_cpu;
+  p.w_mem = w_mem;
+  p.w_unc = 0.0;
+  p.w_fixed = 1.0 - w_cpu - w_mem;
+  p.cpu_activity = 0.9;
+  p.mem_activity = 0.6;
+  return p;
+}
+
+workloads::WorkloadProfile small_profile() {
+  workloads::WorkloadProfile w("small", "two short phases");
+  w.add_phase(phase("compute", 0.5, 40.0, 10.0, 0.9, 0.02));
+  w.add_phase(phase("memory", 0.5, 5.0, 0.1, 0.1, 0.8));
+  w.loop(3, {"compute", "memory"});
+  return w;
+}
+
+SimulationOptions fast_options() {
+  SimulationOptions o;
+  o.seed = 3;
+  o.workload_jitter_sigma = 0.0;
+  return o;
+}
+
+hw::MachineConfig one_socket() {
+  hw::MachineConfig m;
+  m.sockets = 1;
+  return m;
+}
+
+TEST(SimulationTest, RunsToCompletionInNominalTime) {
+  const auto prof = small_profile();
+  Simulation s(one_socket(), prof, fast_options());
+  const auto sum = s.run();
+  // Unconstrained run at reference speed: wall == nominal (within one
+  // tick of rounding).
+  EXPECT_NEAR(sum.exec_seconds, 3.0, 0.01);
+  EXPECT_TRUE(s.finished());
+}
+
+TEST(SimulationTest, EnergyEqualsPowerTimesTime) {
+  const auto prof = small_profile();
+  Simulation s(one_socket(), prof, fast_options());
+  const auto sum = s.run();
+  EXPECT_NEAR(sum.pkg_energy_j,
+              sum.avg_pkg_power_w * sum.exec_seconds, 1e-6);
+  EXPECT_NEAR(sum.total_energy_j(),
+              sum.pkg_energy_j + sum.dram_energy_j, 1e-9);
+}
+
+TEST(SimulationTest, FlopAccountingMatchesProfile) {
+  const auto prof = small_profile();
+  Simulation s(one_socket(), prof, fast_options());
+  const auto sum = s.run();
+  // 3 x (0.5 s x 40 GFLOP/s + 0.5 s x 5 GFLOP/s) = 67.5 GFLOP.
+  EXPECT_NEAR(sum.total_gflop, 67.5, 0.5);
+}
+
+TEST(SimulationTest, MultiSocketScalesTotals) {
+  const auto prof = small_profile();
+  hw::MachineConfig m;
+  m.sockets = 4;
+  Simulation s(m, prof, fast_options());
+  const auto sum = s.run();
+  EXPECT_NEAR(sum.total_gflop, 4 * 67.5, 2.0);
+  EXPECT_GT(sum.avg_pkg_power_w, 300.0);  // 4 sockets
+}
+
+TEST(SimulationTest, StepReturnsFalseExactlyAtCompletion) {
+  const auto prof = small_profile();
+  Simulation s(one_socket(), prof, fast_options());
+  long steps = 0;
+  while (s.step()) ++steps;
+  EXPECT_TRUE(s.finished());
+  EXPECT_NEAR(static_cast<double>(steps), 3000.0, 10.0);
+  EXPECT_NEAR(s.now().seconds(), 3.0, 0.01);
+}
+
+TEST(SimulationTest, PhaseTotalsExact) {
+  const auto prof = small_profile();
+  Simulation s(one_socket(), prof, fast_options());
+  s.run();
+  const auto& totals = s.phase_totals(0);
+  ASSERT_EQ(totals.size(), 2u);
+  EXPECT_NEAR(totals[0].wall_seconds, 1.5, 0.01);
+  EXPECT_NEAR(totals[1].wall_seconds, 1.5, 0.01);
+  EXPECT_GT(totals[0].pkg_energy_j, 0.0);
+  // Phase energies sum to the run total.
+  Simulation s2(one_socket(), prof, fast_options());
+  const auto sum = s2.run();
+  EXPECT_NEAR(totals[0].pkg_energy_j + totals[1].pkg_energy_j,
+              sum.pkg_energy_j, 0.5);
+}
+
+TEST(SimulationTest, PhaseListenersSeeEveryTransition) {
+  const auto prof = small_profile();
+  Simulation s(one_socket(), prof, fast_options());
+  std::map<std::string, int> enters;
+  std::map<std::string, int> exits;
+  s.add_phase_listener(
+      [&](int socket, const std::string& name, bool entered) {
+        EXPECT_EQ(socket, 0);
+        (entered ? enters[name] : exits[name])++;
+      });
+  s.run();
+  EXPECT_EQ(enters["compute"], 3);
+  EXPECT_EQ(enters["memory"], 3);
+  EXPECT_EQ(exits["compute"], 3);
+  EXPECT_EQ(exits["memory"], 3);
+}
+
+TEST(SimulationTest, PeriodicCallbacksFireOnSchedule) {
+  const auto prof = small_profile();
+  Simulation s(one_socket(), prof, fast_options());
+  std::vector<double> times;
+  s.schedule_periodic(SimTime::from_millis(200),
+                      [&](SimTime t) { times.push_back(t.seconds()); });
+  s.run();
+  ASSERT_GE(times.size(), 14u);
+  EXPECT_NEAR(times[0], 0.2, 1e-9);
+  EXPECT_NEAR(times[1], 0.4, 1e-9);
+}
+
+TEST(SimulationTest, PeriodicMustAlignWithTick) {
+  const auto prof = small_profile();
+  Simulation s(one_socket(), prof, fast_options());
+  EXPECT_THROW(
+      s.schedule_periodic(SimTime{1500}, [](SimTime) {}),
+      std::invalid_argument);
+}
+
+TEST(SimulationTest, StaticCapExtendsExecutionAndCutsPower) {
+  const auto prof = small_profile();
+
+  Simulation base(one_socket(), prof, fast_options());
+  const auto b = base.run();
+
+  Simulation capped(one_socket(), prof, fast_options());
+  powercap::PackageZone zone(capped.msr(0), 0);
+  zone.set_power_limit_w(powercap::ConstraintId::long_term, 80.0);
+  zone.set_power_limit_w(powercap::ConstraintId::short_term, 80.0);
+  const auto c = capped.run();
+
+  EXPECT_GT(c.exec_seconds, b.exec_seconds * 1.01);
+  EXPECT_LT(c.avg_pkg_power_w, b.avg_pkg_power_w * 0.9);
+}
+
+TEST(SimulationTest, TraceSinkReceivesTicks) {
+  const auto prof = small_profile();
+  Simulation s(one_socket(), prof, fast_options());
+  VectorTraceSink sink(1);
+  s.set_trace_sink(&sink);
+  s.run();
+  EXPECT_NEAR(static_cast<double>(sink.entries().size()), 3000.0, 10.0);
+  EXPECT_EQ(sink.entries().front().sockets.size(), 1u);
+  EXPECT_GT(sink.entries().front().sockets[0].pkg_power_w, 0.0f);
+}
+
+TEST(SimulationTest, MaxSecondsGuardThrows) {
+  const auto prof = small_profile();
+  SimulationOptions o = fast_options();
+  o.max_seconds = 0.5;  // run needs ~3 s
+  Simulation s(one_socket(), prof, o);
+  EXPECT_THROW(s.run(), std::runtime_error);
+}
+
+TEST(SimulationTest, ForkRngIndependentPerTag) {
+  const auto prof = small_profile();
+  Simulation s(one_socket(), prof, fast_options());
+  Rng a = s.fork_rng(1);
+  Rng b = s.fork_rng(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+}  // namespace
+}  // namespace dufp::sim

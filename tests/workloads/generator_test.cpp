@@ -1,0 +1,99 @@
+#include "workloads/generator.h"
+
+#include <gtest/gtest.h>
+
+namespace dufp::workloads {
+namespace {
+
+TEST(GeneratorTest, ProducesValidProfiles) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const auto w = generate_workload(GeneratorSpec{}, rng);
+    EXPECT_NO_THROW(w.validate());
+  }
+}
+
+TEST(GeneratorTest, RespectsSpecCounts) {
+  GeneratorSpec spec;
+  spec.phase_count = 7;
+  spec.sequence_length = 23;
+  Rng rng(2);
+  const auto w = generate_workload(spec, rng, "g");
+  EXPECT_EQ(w.phases().size(), 7u);
+  EXPECT_EQ(w.sequence().size(), 23u);
+  EXPECT_EQ(w.name(), "g");
+}
+
+TEST(GeneratorTest, RespectsDurationBounds) {
+  GeneratorSpec spec;
+  spec.min_phase_seconds = 0.5;
+  spec.max_phase_seconds = 1.5;
+  Rng rng(3);
+  const auto w = generate_workload(spec, rng);
+  for (const auto& p : w.phases()) {
+    EXPECT_GE(p.nominal_seconds, 0.5);
+    EXPECT_LE(p.nominal_seconds, 1.5);
+  }
+}
+
+TEST(GeneratorTest, RespectsBandwidthEnvelope) {
+  GeneratorSpec spec;
+  spec.max_gbps = 50.0;
+  Rng rng(4);
+  for (int i = 0; i < 20; ++i) {
+    const auto w = generate_workload(spec, rng);
+    for (const auto& p : w.phases()) {
+      EXPECT_LE(p.bytes_rate_ref_gbps(), spec.max_gbps * 1.0001)
+          << p.name;
+    }
+  }
+}
+
+TEST(GeneratorTest, MemoryBoundFractionZeroMakesAllComputeBound) {
+  GeneratorSpec spec;
+  spec.memory_bound_fraction = 0.0;
+  Rng rng(5);
+  const auto w = generate_workload(spec, rng);
+  for (const auto& p : w.phases()) EXPECT_GE(p.oi, 1.0) << p.name;
+}
+
+TEST(GeneratorTest, MemoryBoundFractionOneMakesAllMemoryBound) {
+  GeneratorSpec spec;
+  spec.memory_bound_fraction = 1.0;
+  Rng rng(6);
+  const auto w = generate_workload(spec, rng);
+  for (const auto& p : w.phases()) EXPECT_LT(p.oi, 1.0) << p.name;
+}
+
+TEST(GeneratorTest, DeterministicGivenRngState) {
+  GeneratorSpec spec;
+  Rng a(9);
+  Rng b(9);
+  const auto wa = generate_workload(spec, a);
+  const auto wb = generate_workload(spec, b);
+  ASSERT_EQ(wa.phases().size(), wb.phases().size());
+  for (std::size_t i = 0; i < wa.phases().size(); ++i) {
+    EXPECT_DOUBLE_EQ(wa.phases()[i].gflops_ref, wb.phases()[i].gflops_ref);
+    EXPECT_DOUBLE_EQ(wa.phases()[i].oi, wb.phases()[i].oi);
+  }
+  EXPECT_EQ(wa.sequence(), wb.sequence());
+}
+
+TEST(GeneratorTest, InvalidSpecRejected) {
+  Rng rng(1);
+  GeneratorSpec bad;
+  bad.phase_count = 0;
+  EXPECT_THROW(generate_workload(bad, rng), std::invalid_argument);
+
+  bad = GeneratorSpec{};
+  bad.min_phase_seconds = 2.0;
+  bad.max_phase_seconds = 1.0;
+  EXPECT_THROW(generate_workload(bad, rng), std::invalid_argument);
+
+  bad = GeneratorSpec{};
+  bad.memory_bound_fraction = 1.5;
+  EXPECT_THROW(generate_workload(bad, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dufp::workloads

@@ -1,0 +1,94 @@
+#include "workloads/phase.h"
+
+#include <gtest/gtest.h>
+
+namespace dufp::workloads {
+namespace {
+
+PhaseSpec valid_phase() {
+  PhaseSpec p;
+  p.name = "p";
+  p.nominal_seconds = 1.0;
+  p.gflops_ref = 10.0;
+  p.oi = 0.5;
+  p.w_cpu = 0.4;
+  p.w_mem = 0.4;
+  p.w_unc = 0.1;
+  p.w_fixed = 0.1;
+  p.cpu_activity = 0.9;
+  p.mem_activity = 0.8;
+  return p;
+}
+
+TEST(PhaseSpecTest, ValidPhasePasses) {
+  EXPECT_NO_THROW(valid_phase().validate());
+}
+
+TEST(PhaseSpecTest, DemandDerivesRates) {
+  const auto d = valid_phase().demand();
+  EXPECT_DOUBLE_EQ(d.flops_rate_ref, 10e9);
+  EXPECT_DOUBLE_EQ(d.bytes_rate_ref, 20e9);  // 10 GFLOP/s / 0.5 flop/byte
+  EXPECT_DOUBLE_EQ(d.w_cpu, 0.4);
+  EXPECT_FALSE(d.idle);
+}
+
+TEST(PhaseSpecTest, BytesRateHelper) {
+  EXPECT_DOUBLE_EQ(valid_phase().bytes_rate_ref_gbps(), 20.0);
+}
+
+TEST(PhaseSpecTest, RejectsEmptyName) {
+  auto p = valid_phase();
+  p.name = "";
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(PhaseSpecTest, RejectsNonPositiveDuration) {
+  auto p = valid_phase();
+  p.nominal_seconds = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(PhaseSpecTest, RejectsNonPositiveRates) {
+  auto p = valid_phase();
+  p.gflops_ref = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = valid_phase();
+  p.oi = -1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(PhaseSpecTest, RejectsWeightsNotSummingToOne) {
+  auto p = valid_phase();
+  p.w_fixed = 0.3;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(PhaseSpecTest, RejectsNegativeWeights) {
+  auto p = valid_phase();
+  p.w_cpu = -0.1;
+  p.w_fixed = 0.6;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(PhaseSpecTest, ActivityBoundsAllowAvxHeadroom) {
+  auto p = valid_phase();
+  p.cpu_activity = 1.3;  // AVX-512 power virus: allowed up to 1.5
+  EXPECT_NO_THROW(p.validate());
+  p.cpu_activity = 1.6;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(PhaseSpecTest, ErrorMessageNamesPhase) {
+  auto p = valid_phase();
+  p.name = "transpose";
+  p.oi = 0.0;
+  try {
+    p.validate();
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("transpose"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace dufp::workloads
