@@ -13,7 +13,7 @@ using harness::PolicyMode;
 int main() {
   bench::print_banner("Ablation: power cap step (paper default 5 W)",
                       "Sec. IV-A discussion");
-  const int reps = harness::repetitions_from_env();
+  const int reps = harness::BenchOptions::from_env().repetitions;
 
   for (auto app : {workloads::AppId::cg, workloads::AppId::ep}) {
     std::printf("\n--- %s, DUFP @ 10 %% tolerated slowdown ---\n",

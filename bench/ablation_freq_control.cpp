@@ -18,7 +18,7 @@ int main() {
   bench::print_banner(
       "Extension: DUFP-F (direct frequency management under capping)",
       "Sec. VII future work");
-  const int reps = harness::repetitions_from_env();
+  const int reps = harness::BenchOptions::from_env().repetitions;
 
   for (auto app : {workloads::AppId::cg, workloads::AppId::hpl,
                    workloads::AppId::lammps}) {

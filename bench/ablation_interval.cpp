@@ -16,7 +16,7 @@ using harness::PolicyMode;
 int main() {
   bench::print_banner("Ablation: control interval (paper default 200 ms)",
                       "Sec. IV-D / V-A discussion");
-  const int reps = harness::repetitions_from_env();
+  const int reps = harness::BenchOptions::from_env().repetitions;
 
   for (auto app : {workloads::AppId::ua, workloads::AppId::lammps,
                    workloads::AppId::cg}) {

@@ -15,7 +15,7 @@ using harness::PolicyMode;
 int main() {
   bench::print_banner("Ablation: minimum power cap (paper default 65 W)",
                       "Sec. IV-A discussion");
-  const int reps = harness::repetitions_from_env();
+  const int reps = harness::BenchOptions::from_env().repetitions;
 
   for (auto app : {workloads::AppId::cg, workloads::AppId::ft}) {
     std::printf("\n--- %s, DUFP @ 10 %% tolerated slowdown ---\n",

@@ -16,7 +16,7 @@ using harness::PolicyMode;
 int main() {
   bench::print_banner("Baseline: DNPC-style frequency-model capping vs DUFP",
                       "Sec. VI related-work discussion");
-  const int reps = harness::repetitions_from_env();
+  const int reps = harness::BenchOptions::from_env().repetitions;
 
   TextTable t({"app", "DNPC slowdown %", "DNPC savings %",
                "DUFP slowdown %", "DUFP savings %"});

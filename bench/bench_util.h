@@ -1,9 +1,11 @@
 // Shared plumbing for the figure-reproduction benches: grid execution,
 // uniform headers, CSV dumps.
 //
-// Environment knobs (all benches):
+// Environment knobs (all benches, read via harness::BenchOptions):
 //   DUFP_REPS=N     runs per cell (default 10, the paper's protocol)
 //   DUFP_SOCKETS=N  sockets simulated (default 4 = yeti-2)
+//   DUFP_THREADS=N  worker threads for the experiment engine
+//                   (default 0 = one per hardware thread)
 //   DUFP_QUIET=1    suppress progress notes on stderr
 #pragma once
 
@@ -14,34 +16,33 @@
 #include "common/string_util.h"
 #include "common/table.h"
 #include "harness/experiment.h"
+#include "harness/options.h"
 #include "harness/runner.h"
 #include "workloads/profiles.h"
 
 namespace dufp::bench {
 
 inline void print_banner(const std::string& what, const std::string& paper_ref) {
+  const auto opts = harness::BenchOptions::from_env();
   std::printf("=============================================================\n");
   std::printf("%s\n", what.c_str());
   std::printf("Reproduces: %s\n", paper_ref.c_str());
   std::printf("Machine: simulated Grid'5000 yeti-2 (%d x Xeon Gold 6130), "
               "%d repetitions per cell\n",
-              harness::sockets_from_env(), harness::repetitions_from_env());
+              opts.sockets, opts.repetitions);
   std::printf("=============================================================\n");
 }
 
 /// Runs the full evaluation grid the paper's Fig. 3 / Fig. 4 share:
-/// every application x {DUF, DUFP} x {0, 5, 10, 20} %.
+/// every application x {DUF, DUFP} x {0, 5, 10, 20} %.  All jobs go
+/// through one ExperimentPlan, so DUFP_THREADS parallelises across the
+/// whole grid, not just within one app.
 inline std::vector<harness::Evaluation> run_full_grid() {
-  std::vector<harness::Evaluation> evals;
-  const auto modes = std::vector<harness::PolicyMode>{
-      harness::PolicyMode::duf, harness::PolicyMode::dufp};
-  for (auto app : workloads::all_apps()) {
-    harness::note_progress(workloads::app_name(app));
-    evals.push_back(harness::evaluate_app(app, modes,
-                                          harness::paper_tolerances(),
-                                          harness::repetitions_from_env()));
-  }
-  return evals;
+  return harness::evaluate_apps(
+      workloads::all_apps(),
+      {harness::PolicyMode::duf, harness::PolicyMode::dufp},
+      harness::paper_tolerances(),
+      harness::BenchOptions::from_env().repetitions);
 }
 
 /// Formats "val [min..max]" for error-bar style cells.

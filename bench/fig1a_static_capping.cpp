@@ -18,7 +18,7 @@ int main() {
                       "Fig. 1a (Sec. II-A)");
 
   const auto& cg = workloads::profile(workloads::AppId::cg);
-  const int reps = harness::repetitions_from_env();
+  const int reps = harness::BenchOptions::from_env().repetitions;
 
   harness::RunConfig base = harness::default_run_config(cg);
   base.seed = 101;

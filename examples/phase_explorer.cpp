@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
   perfmon::IntervalSampler sampler(source, machine.socket.core_base_mhz,
                                    s.fork_rng(0x2000), so);
   const auto mode =
-      mode_str == "duf" ? core::AgentMode::duf : core::AgentMode::dufp;
+      mode_str == "duf" ? core::PolicyMode::duf : core::PolicyMode::dufp;
   core::Agent agent(mode, policy, zone, uncore, std::move(sampler));
 
   std::printf(

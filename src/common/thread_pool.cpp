@@ -1,0 +1,60 @@
+#include "common/thread_pool.h"
+
+#include <stdexcept>
+
+namespace dufp {
+
+ThreadPool::ThreadPool(int threads, std::size_t queue_capacity) {
+  const int n = threads < 1 ? 1 : threads;
+  capacity_ = queue_capacity > 0 ? queue_capacity
+                                 : static_cast<std::size_t>(n) * 2;
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    space_ready_.wait(
+        lock, [this] { return stopping_ || queue_.size() < capacity_; });
+    if (stopping_) {
+      throw std::runtime_error("ThreadPool: submit after shutdown");
+    }
+    queue_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock,
+                       [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and fully drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    space_ready_.notify_one();
+    task();  // packaged_task captures any exception into its future
+  }
+}
+
+void ThreadPool::shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  space_ready_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+}  // namespace dufp

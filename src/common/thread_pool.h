@@ -1,0 +1,74 @@
+// Fixed-size worker pool with a bounded task queue.
+//
+// The experiment harness runs hundreds of independent, seed-deterministic
+// simulations; this pool is the substrate that spreads them across cores.
+// Design points, all deliberate:
+//
+//  * fixed size, no work stealing — jobs are long (whole simulated runs)
+//    and uniform enough that a single shared FIFO keeps every worker busy;
+//  * bounded queue — `submit` blocks when `queue_capacity` tasks are
+//    pending, so a producer enumerating a huge job set cannot outrun the
+//    workers and hold every task's state in memory at once;
+//  * futures-based — `submit` returns a std::future carrying the task's
+//    result or exception, so callers join on completion per task and
+//    failures are not lost;
+//  * clean shutdown — `shutdown()` (also run by the destructor) lets the
+//    queued tasks drain, then joins every worker.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace dufp {
+
+class ThreadPool {
+ public:
+  /// Starts `threads` workers (clamped to >= 1).  `queue_capacity` bounds
+  /// the number of tasks waiting to run; 0 picks 2x the worker count.
+  explicit ThreadPool(int threads, std::size_t queue_capacity = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+  std::size_t queue_capacity() const { return capacity_; }
+
+  /// Enqueues `fn` and returns a future for its result.  Blocks while the
+  /// queue is at capacity; throws std::runtime_error after shutdown().
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  /// Stops accepting tasks, runs everything still queued, joins all
+  /// workers.  Idempotent.
+  void shutdown();
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable task_ready_;   // workers wait: task or shutdown
+  std::condition_variable space_ready_;  // producers wait: queue has room
+  std::deque<std::function<void()>> queue_;
+  std::size_t capacity_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dufp

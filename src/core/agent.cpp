@@ -6,7 +6,7 @@ namespace dufp::core {
 
 using powercap::ConstraintId;
 
-Agent::Agent(AgentMode mode, const PolicyConfig& policy,
+Agent::Agent(PolicyMode mode, const PolicyConfig& policy,
              powercap::PackageZone& zone, powercap::UncoreControl& uncore,
              perfmon::IntervalSampler sampler,
              powercap::PstateControl* pstate)
@@ -21,6 +21,9 @@ Agent::Agent(AgentMode mode, const PolicyConfig& policy,
       default_long_window_us_(zone.time_window_us(0)),
       default_short_window_us_(zone.time_window_us(1)),
       uncore_max_mhz_(uncore.window_max_mhz()) {
+  DUFP_EXPECT(mode_ != PolicyMode::none);  // none = no agent at all
+  if (mode_ == PolicyMode::dufpf) policy_.manage_core_frequency = true;
+
   UncoreLimits ul;
   ul.min_mhz = uncore.window_min_mhz();
   ul.max_mhz = uncore_max_mhz_;
@@ -32,13 +35,13 @@ Agent::Agent(AgentMode mode, const PolicyConfig& policy,
     pstate_max_mhz_ = pstate_->requested_mhz();
   }
 
-  if (mode_ == AgentMode::dufp) {
+  if (mode_ == PolicyMode::dufp || mode_ == PolicyMode::dufpf) {
     CapLimits cl;
     cl.default_long_w = default_long_w_;
     cl.default_short_w = default_short_w_;
     cl.min_cap_w = policy.min_cap_w;
     dufp_.emplace(policy_, ul, cl);
-  } else if (mode_ == AgentMode::dnpc) {
+  } else if (mode_ == PolicyMode::dnpc) {
     DnpcLimits dl;
     dl.default_cap_w = default_long_w_;
     dl.min_cap_w = policy.min_cap_w;
@@ -133,11 +136,11 @@ void Agent::on_interval(SimTime now) {
   last_sample_ = sample;
   ++stats_.intervals;
 
-  if (mode_ == AgentMode::dufp) {
+  if (mode_ == PolicyMode::dufp || mode_ == PolicyMode::dufpf) {
     const auto d = dufp_->decide(sample);
     apply_uncore(d.uncore);
     apply_cap(d);
-  } else if (mode_ == AgentMode::dnpc) {
+  } else if (mode_ == PolicyMode::dnpc) {
     const double before = dnpc_->cap_w();
     const auto d = dnpc_->decide(sample);
     if (d.changed) {

@@ -23,12 +23,6 @@
 
 namespace dufp::core {
 
-enum class AgentMode {
-  duf,   ///< uncore frequency scaling only (the DUF baseline)
-  dufp,  ///< uncore + dynamic power capping (the paper's contribution)
-  dnpc,  ///< frequency-model dynamic capping baseline (related work)
-};
-
 struct AgentStats {
   std::uint64_t intervals = 0;
 
@@ -49,10 +43,12 @@ struct AgentStats {
 class Agent {
  public:
   /// Captures the zone's current limits / windows as the hardware
-  /// defaults to restore on reset.  `pstate` is only required when
-  /// policy.manage_core_frequency is set (the DUFP-F extension); pass
-  /// nullptr otherwise.
-  Agent(AgentMode mode, const PolicyConfig& policy,
+  /// defaults to restore on reset.  `mode` must name a controller —
+  /// PolicyMode::none is a harness-level value and is rejected.
+  /// PolicyMode::dufpf implies policy.manage_core_frequency; for it (or
+  /// whenever that flag is set) `pstate` is required, otherwise pass
+  /// nullptr.
+  Agent(PolicyMode mode, const PolicyConfig& policy,
         powercap::PackageZone& zone, powercap::UncoreControl& uncore,
         perfmon::IntervalSampler sampler,
         powercap::PstateControl* pstate = nullptr);
@@ -61,7 +57,7 @@ class Agent {
   /// establishes the counter baseline.
   void on_interval(SimTime now);
 
-  AgentMode mode() const { return mode_; }
+  PolicyMode mode() const { return mode_; }
   const AgentStats& stats() const { return stats_; }
   const PolicyConfig& policy() const { return policy_; }
 
@@ -78,7 +74,7 @@ class Agent {
   void apply_cap(const DufpController::Decision& d);
   void restore_default_cap();
 
-  AgentMode mode_;
+  PolicyMode mode_;
   PolicyConfig policy_;
   powercap::PackageZone& zone_;
   powercap::UncoreControl& uncore_;

@@ -1,0 +1,30 @@
+#include "core/policy.h"
+
+#include <stdexcept>
+
+#include "common/string_util.h"
+
+namespace dufp::core {
+
+std::string to_string(PolicyMode m) {
+  switch (m) {
+    case PolicyMode::none: return "default";
+    case PolicyMode::duf: return "DUF";
+    case PolicyMode::dufp: return "DUFP";
+    case PolicyMode::dufpf: return "DUFP-F";
+    case PolicyMode::dnpc: return "DNPC";
+  }
+  return "?";
+}
+
+PolicyMode policy_mode_from_string(std::string_view name) {
+  const std::string s = to_lower(trim(name));
+  if (s == "none" || s == "default") return PolicyMode::none;
+  if (s == "duf") return PolicyMode::duf;
+  if (s == "dufp") return PolicyMode::dufp;
+  if (s == "dufp-f" || s == "dufpf") return PolicyMode::dufpf;
+  if (s == "dnpc") return PolicyMode::dnpc;
+  throw std::invalid_argument("unknown policy mode: " + std::string(name));
+}
+
+}  // namespace dufp::core

@@ -2,10 +2,12 @@
 
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <stdexcept>
 
 #include "common/expect.h"
+#include "common/string_util.h"
+#include "harness/options.h"
+#include "harness/plan.h"
 
 namespace dufp::harness {
 
@@ -17,7 +19,7 @@ const std::vector<double>& paper_tolerances() {
 RunConfig default_run_config(const workloads::WorkloadProfile& profile) {
   RunConfig cfg;
   cfg.profile = &profile;
-  cfg.machine.sockets = sockets_from_env();
+  cfg.machine.sockets = BenchOptions::from_env().sockets;
   return cfg;
 }
 
@@ -74,36 +76,78 @@ Evaluation evaluate_app(workloads::AppId app,
                         const std::vector<PolicyMode>& modes,
                         const std::vector<double>& tolerances,
                         int repetitions, std::uint64_t seed) {
-  const auto& prof = workloads::profile(app);
-  RunConfig base = default_run_config(prof);
-  base.seed = seed;
+  auto evals = evaluate_apps({app}, modes, tolerances, repetitions, seed);
+  return std::move(evals.front());
+}
 
-  note_progress("  " + workloads::app_name(app) + ": baseline");
-  RunConfig def = base;
-  def.mode = PolicyMode::none;
-  RepeatedResult baseline = run_repeated(def, repetitions);
+std::vector<Evaluation> evaluate_apps(
+    const std::vector<workloads::AppId>& apps,
+    const std::vector<PolicyMode>& modes,
+    const std::vector<double>& tolerances, int repetitions,
+    std::uint64_t seed) {
+  // Enumerate the whole apps x (baseline + modes x tolerances) grid as
+  // one job set; cell ids are recorded per app so the evaluations can be
+  // reassembled after the single parallel run.
+  ExperimentPlan plan;
+  struct AppCells {
+    ExperimentPlan::CellId baseline;
+    std::vector<ExperimentPlan::CellId> cells;  // modes-major, like below
+  };
+  std::vector<AppCells> index;
+  index.reserve(apps.size());
 
-  std::vector<EvaluationCell> cells;
-  for (PolicyMode mode : modes) {
-    for (double tol : tolerances) {
-      note_progress("  " + workloads::app_name(app) + ": " +
-                    policy_mode_name(mode) + " @ " +
-                    std::to_string(static_cast<int>(tol * 100 + 0.5)) + "%");
-      RunConfig cfg = base;
-      cfg.mode = mode;
-      cfg.tolerated_slowdown = tol;
-      EvaluationCell cell;
-      cell.mode = mode;
-      cell.tolerance = tol;
-      cell.result = run_repeated(cfg, repetitions);
-      cells.push_back(std::move(cell));
+  for (workloads::AppId app : apps) {
+    const auto& prof = workloads::profile(app);
+    RunConfig base = default_run_config(prof);
+    base.seed = seed;
+
+    AppCells ac;
+    RunConfig def = base;
+    def.mode = PolicyMode::none;
+    ac.baseline = plan.add_cell(def, repetitions,
+                                workloads::app_name(app) + ": baseline");
+    for (PolicyMode mode : modes) {
+      for (double tol : tolerances) {
+        RunConfig cfg = base;
+        cfg.mode = mode;
+        cfg.tolerated_slowdown = tol;
+        ac.cells.push_back(plan.add_cell(
+            cfg, repetitions,
+            workloads::app_name(app) + ": " + policy_mode_name(mode) +
+                " @ " + std::to_string(static_cast<int>(tol * 100 + 0.5)) +
+                "%"));
+      }
     }
+    index.push_back(std::move(ac));
   }
-  return Evaluation(app, std::move(baseline), std::move(cells));
+
+  const int threads = BenchOptions::from_env().resolved_threads();
+  note_progress(strf("%zu jobs across %zu cells on %d threads",
+                     plan.job_count(), plan.cell_count(), threads));
+  plan.run(threads);
+
+  std::vector<Evaluation> evals;
+  evals.reserve(apps.size());
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    std::vector<EvaluationCell> cells;
+    std::size_t c = 0;
+    for (PolicyMode mode : modes) {
+      for (double tol : tolerances) {
+        EvaluationCell cell;
+        cell.mode = mode;
+        cell.tolerance = tol;
+        cell.result = plan.result(index[a].cells[c++]);
+        cells.push_back(std::move(cell));
+      }
+    }
+    evals.emplace_back(apps[a], plan.result(index[a].baseline),
+                       std::move(cells));
+  }
+  return evals;
 }
 
 void note_progress(const std::string& what) {
-  if (std::getenv("DUFP_QUIET") != nullptr) return;
+  if (BenchOptions::from_env().quiet) return;
   std::fprintf(stderr, "[dufp-bench] %s\n", what.c_str());
 }
 

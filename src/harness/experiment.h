@@ -54,13 +54,26 @@ class Evaluation {
 };
 
 /// Runs the full grid for one application: baseline + {modes} x
-/// {tolerances}, `repetitions` runs each.
+/// {tolerances}, `repetitions` runs each.  Thin wrapper over
+/// ExperimentPlan — every (config, seed) job of the grid is enumerated up
+/// front and executed across DUFP_THREADS workers, with results
+/// bit-identical to a serial run.
 Evaluation evaluate_app(workloads::AppId app,
                         const std::vector<PolicyMode>& modes,
                         const std::vector<double>& tolerances,
                         int repetitions, std::uint64_t seed = 1);
 
-/// Prints a one-line progress note to stderr (benches run minutes).
+/// Same grid for several applications scheduled as ONE job set — the
+/// whole apps x (baseline + modes x tolerances) x repetitions matrix
+/// runs through a single ExperimentPlan, so parallelism spans apps, not
+/// just cells.  This is what the figure benches call.
+std::vector<Evaluation> evaluate_apps(
+    const std::vector<workloads::AppId>& apps,
+    const std::vector<PolicyMode>& modes,
+    const std::vector<double>& tolerances, int repetitions,
+    std::uint64_t seed = 1);
+
+/// Prints a one-line progress note to stderr unless DUFP_QUIET is set.
 void note_progress(const std::string& what);
 
 }  // namespace dufp::harness

@@ -1,0 +1,35 @@
+#include "harness/options.h"
+
+#include <cstdlib>
+#include <thread>
+
+namespace dufp::harness {
+
+namespace {
+
+int int_from_env(const char* name, int fallback, int min_value) {
+  if (const char* v = std::getenv(name)) {
+    const int n = std::atoi(v);
+    if (n >= min_value) return n;
+  }
+  return fallback;
+}
+
+}  // namespace
+
+BenchOptions BenchOptions::from_env() {
+  BenchOptions o;
+  o.repetitions = int_from_env("DUFP_REPS", o.repetitions, 1);
+  o.sockets = int_from_env("DUFP_SOCKETS", o.sockets, 1);
+  o.threads = int_from_env("DUFP_THREADS", o.threads, 0);
+  o.quiet = std::getenv("DUFP_QUIET") != nullptr;
+  return o;
+}
+
+int BenchOptions::resolved_threads() const {
+  if (threads > 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace dufp::harness

@@ -1,0 +1,29 @@
+// Environment-driven options shared by every bench / example binary.
+//
+// One struct replaces the scattered *_from_env() free functions so a
+// bench reads its whole protocol in one place:
+//
+//   DUFP_REPS=N     runs per cell (default 10, the paper's protocol)
+//   DUFP_SOCKETS=N  sockets simulated (default 4 = yeti-2)
+//   DUFP_THREADS=N  worker threads for the experiment engine
+//                   (default 0 = one per hardware thread; 1 = serial)
+//   DUFP_QUIET=1    suppress progress notes on stderr
+#pragma once
+
+namespace dufp::harness {
+
+struct BenchOptions {
+  int repetitions = 10;  ///< DUFP_REPS
+  int sockets = 4;       ///< DUFP_SOCKETS
+  int threads = 0;       ///< DUFP_THREADS; 0 = auto (hardware concurrency)
+  bool quiet = false;    ///< DUFP_QUIET
+
+  /// Reads every knob from the environment; unset / malformed variables
+  /// keep the defaults above.
+  static BenchOptions from_env();
+
+  /// `threads` with 0 resolved to the hardware thread count (>= 1).
+  int resolved_threads() const;
+};
+
+}  // namespace dufp::harness

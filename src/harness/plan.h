@@ -1,0 +1,82 @@
+// The parallel experiment engine's job-based API.
+//
+// An ExperimentPlan enumerates every (config, seed) job of an experiment
+// up front — each *cell* (one RunConfig) expands into one job per
+// repetition — then executes the whole job set across a fixed ThreadPool
+// and reassembles per-cell RepeatedResults in deterministic job order.
+//
+// Determinism guarantee (serial ≡ parallel): a job's seed is a pure
+// function of its cell's base seed and its repetition index (see
+// job_seed), every job runs a fully self-contained simulation, and
+// aggregation consumes results indexed by job id, never by completion
+// order.  Running a plan with 1 thread or N threads therefore produces
+// bit-identical RepeatedResult / Evaluation values — covered by tier-1
+// tests.
+//
+// run_repeated / evaluate_app are thin wrappers over this class; new
+// callers (sweeps, ablations, multi-machine studies) can schedule
+// arbitrary job sets through the same API.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/runner.h"
+
+namespace dufp::harness {
+
+/// Derives the seed of repetition `repetition` from a cell's base seed —
+/// a SplitMix64 finalizer over the job identity, the same scheme
+/// Rng::fork uses for sub-component streams.  Pure function: any
+/// execution order or thread count derives identical seeds.
+std::uint64_t job_seed(std::uint64_t base_seed, int repetition);
+
+class ExperimentPlan {
+ public:
+  /// Identifies a cell within this plan (dense, starting at 0).
+  using CellId = std::size_t;
+
+  /// Adds one cell: `repetitions` jobs with seeds derived from
+  /// config.seed.  Validates the config and throws std::invalid_argument
+  /// listing every problem.  `label` (optional) names the cell in
+  /// progress notes.
+  CellId add_cell(RunConfig config, int repetitions,
+                  std::string label = "");
+
+  std::size_t cell_count() const { return cells_.size(); }
+  std::size_t job_count() const { return jobs_.size(); }
+
+  /// Executes every job across `threads` pool workers (<= 1 runs inline
+  /// on the calling thread; the thread count never changes the results).
+  /// A plan runs once; calling run() again is a no-op.
+  void run(int threads);
+
+  /// run() with threads from DUFP_THREADS (BenchOptions::from_env()).
+  void run();
+
+  bool finished() const { return finished_; }
+
+  /// Aggregated result of a cell, in the paper's trimmed-summary
+  /// protocol.  Throws std::logic_error before run().
+  const RepeatedResult& result(CellId cell) const;
+
+ private:
+  struct Cell {
+    RunConfig config;
+    int repetitions = 0;
+    std::string label;
+    RepeatedResult result;
+  };
+  struct Job {
+    CellId cell = 0;
+    int repetition = 0;
+  };
+
+  std::vector<Cell> cells_;
+  std::vector<Job> jobs_;
+  bool finished_ = false;
+};
+
+}  // namespace dufp::harness

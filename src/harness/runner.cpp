@@ -1,6 +1,5 @@
 #include "harness/runner.h"
 
-#include <cstdlib>
 #include <stdexcept>
 
 #include "common/expect.h"
@@ -10,39 +9,66 @@
 
 namespace dufp::harness {
 
-std::string policy_mode_name(PolicyMode m) {
-  switch (m) {
-    case PolicyMode::none: return "default";
-    case PolicyMode::duf: return "DUF";
-    case PolicyMode::dufp: return "DUFP";
-    case PolicyMode::dufpf: return "DUFP-F";
-    case PolicyMode::dnpc: return "DNPC";
-  }
-  return "?";
-}
-
 double percent_over(double value, double base) {
   DUFP_EXPECT(base > 0.0);
   return (value / base - 1.0) * 100.0;
 }
 
-int repetitions_from_env() {
-  if (const char* v = std::getenv("DUFP_REPS")) {
-    const int n = std::atoi(v);
-    if (n > 0) return n;
+std::vector<std::string> RunConfig::validate() const {
+  std::vector<std::string> problems;
+  if (profile == nullptr) {
+    problems.push_back("profile is required");
   }
-  return 10;
-}
-
-int sockets_from_env() {
-  if (const char* v = std::getenv("DUFP_SOCKETS")) {
-    const int n = std::atoi(v);
-    if (n > 0) return n;
+  if (tolerated_slowdown < 0.0 || tolerated_slowdown > 1.0) {
+    problems.push_back("tolerated_slowdown must be in [0, 1]");
   }
-  return 4;
+  if (machine.sockets < 1) {
+    problems.push_back("machine.sockets must be >= 1");
+  }
+  if (policy.interval.micros() <= 0) {
+    problems.push_back("policy.interval must be positive");
+  }
+  if (sim.tick.micros() <= 0) {
+    problems.push_back("sim.tick must be positive");
+  }
+  if (sim.max_seconds <= 0.0) {
+    problems.push_back("sim.max_seconds must be positive");
+  }
+  if (sampler_noise_sigma < 0.0) {
+    problems.push_back("sampler_noise_sigma must be non-negative");
+  }
+  if (static_cap_w.has_value() && *static_cap_w <= 0.0) {
+    problems.push_back("static_cap_w must be positive");
+  }
+  if (phase_cap.has_value()) {
+    if (phase_cap->cap_w <= 0.0) {
+      problems.push_back("phase_cap.cap_w must be positive");
+    }
+    if (profile != nullptr) {
+      bool found = false;
+      for (const auto& p : profile->phases()) {
+        if (p.name == phase_cap->phase) found = true;
+      }
+      if (!found) {
+        problems.push_back("phase_cap names a phase the profile lacks: \"" +
+                           phase_cap->phase + "\"");
+      }
+    }
+  }
+  return problems;
 }
 
 namespace {
+
+void throw_on_invalid(const RunConfig& config) {
+  const auto problems = config.validate();
+  if (problems.empty()) return;
+  std::string msg = "RunConfig:";
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    msg += (i == 0 ? " " : "; ") + problems[i];
+  }
+  throw std::invalid_argument(msg);
+}
 
 /// Everything owned by one run: built, wired, then discarded.
 struct RunContext {
@@ -57,9 +83,7 @@ struct RunContext {
 }  // namespace
 
 RunResult run_once(const RunConfig& config) {
-  if (config.profile == nullptr) {
-    throw std::invalid_argument("RunConfig: profile is required");
-  }
+  throw_on_invalid(config);
 
   RunContext ctx;
   sim::SimulationOptions sim_opts = config.sim;
@@ -90,8 +114,6 @@ RunResult run_once(const RunConfig& config) {
 
   // Partial capping of one phase (Fig. 1b/1c).
   if (config.phase_cap.has_value()) {
-    // Validate the phase name up front.
-    config.profile->phase_index(config.phase_cap->phase);
     const double cap = config.phase_cap->cap_w;
     const std::string target = config.phase_cap->phase;
     std::vector<double> def_long(static_cast<std::size_t>(n));
@@ -129,11 +151,8 @@ RunResult run_once(const RunConfig& config) {
     core::PolicyConfig policy = config.policy;
     policy.tolerated_slowdown = config.tolerated_slowdown;
     if (config.mode == PolicyMode::dufpf) {
-      policy.manage_core_frequency = true;
+      policy.manage_core_frequency = true;  // the Agent would set it too
     }
-    core::AgentMode mode = core::AgentMode::dufp;
-    if (config.mode == PolicyMode::duf) mode = core::AgentMode::duf;
-    if (config.mode == PolicyMode::dnpc) mode = core::AgentMode::dnpc;
     for (int i = 0; i < n; ++i) {
       perfmon::SamplerOptions so;
       so.noise_sigma = config.sampler_noise_sigma;
@@ -148,7 +167,7 @@ RunResult run_once(const RunConfig& config) {
         pstate = ctx.pstates.back().get();
       }
       ctx.agents.push_back(std::make_unique<core::Agent>(
-          mode, policy, *ctx.zones[static_cast<std::size_t>(i)],
+          config.mode, policy, *ctx.zones[static_cast<std::size_t>(i)],
           *ctx.uncores[static_cast<std::size_t>(i)], std::move(sampler),
           pstate));
       core::Agent* agent = ctx.agents.back().get();
@@ -182,8 +201,9 @@ RunResult run_once(const RunConfig& config) {
   return result;
 }
 
-RepeatedResult run_repeated(RunConfig config, int repetitions) {
-  DUFP_EXPECT(repetitions >= 1);
+RepeatedResult aggregate_runs(const std::vector<RunResult>& runs) {
+  DUFP_EXPECT(!runs.empty());
+  const int repetitions = static_cast<int>(runs.size());
   std::vector<double> exec;
   std::vector<double> pkg_power;
   std::vector<double> dram_power;
@@ -192,10 +212,7 @@ RepeatedResult run_repeated(RunConfig config, int repetitions) {
   std::vector<double> total_energy;
   std::map<std::string, sim::PhaseTotals> phase_sums;
 
-  const std::uint64_t seed0 = config.seed;
-  for (int r = 0; r < repetitions; ++r) {
-    config.seed = seed0 + static_cast<std::uint64_t>(r) * 7919;
-    const RunResult res = run_once(config);
+  for (const RunResult& res : runs) {
     exec.push_back(res.summary.exec_seconds);
     pkg_power.push_back(res.summary.avg_pkg_power_w);
     dram_power.push_back(res.summary.avg_dram_power_w);

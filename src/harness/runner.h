@@ -19,15 +19,14 @@
 
 namespace dufp::harness {
 
-enum class PolicyMode {
-  none,   ///< default architecture configuration (the paper's baseline)
-  duf,    ///< dynamic uncore frequency scaling only
-  dufp,   ///< uncore + dynamic power capping
-  dufpf,  ///< DUFP + direct core-frequency management (Sec. VII extension)
-  dnpc,   ///< frequency-model dynamic capping baseline (Sec. VI related work)
-};
+/// One mode enum for every layer (core::PolicyMode); `none` is the
+/// harness-level baseline value — no agent is instantiated for it.
+using core::PolicyMode;
 
-std::string policy_mode_name(PolicyMode m);
+/// Display name used in figures ("default", "DUF", "DUFP", ...).
+inline std::string policy_mode_name(PolicyMode m) {
+  return core::to_string(m);
+}
 
 /// Static per-phase power cap (Fig. 1b/1c): while the named phase runs,
 /// the package limit is `cap_w`; leaving the phase restores the default.
@@ -56,6 +55,13 @@ struct RunConfig {
 
   /// Optional tracing (not owned).
   sim::TraceSink* trace = nullptr;
+
+  /// Checks the whole config and reports *every* problem found (empty =
+  /// valid), instead of failing on the first one: null profile,
+  /// non-positive tolerance / interval / tick, a phase cap naming a phase
+  /// the profile lacks, ...  `run_once` and `ExperimentPlan::add_cell`
+  /// call this and throw std::invalid_argument with the full list.
+  std::vector<std::string> validate() const;
 };
 
 struct RunResult {
@@ -86,16 +92,19 @@ struct RepeatedResult {
   int runs = 0;
 };
 
-/// Runs `repetitions` times with seeds seed, seed+1, ... and aggregates.
+/// Aggregates already-executed runs into the paper's trimmed summary.
+/// Index order is the repetition order — the `ExperimentPlan` reassembles
+/// parallel results into this order before calling it, which is what
+/// makes parallel output bit-identical to serial.
+RepeatedResult aggregate_runs(const std::vector<RunResult>& runs);
+
+/// Runs `repetitions` times with per-repetition derived seeds (see
+/// harness::job_seed) and aggregates.  Thin wrapper over ExperimentPlan:
+/// repetitions execute in parallel across DUFP_THREADS workers with
+/// results identical to a serial run.
 RepeatedResult run_repeated(RunConfig config, int repetitions = 10);
 
 /// Relative change in percent: +3.0 means `value` is 3 % above `base`.
 double percent_over(double value, double base);
-
-/// Repetition count for figure benches: DUFP_REPS env var, default 10.
-int repetitions_from_env();
-
-/// Socket count override for quick runs: DUFP_SOCKETS env var, default 4.
-int sockets_from_env();
 
 }  // namespace dufp::harness

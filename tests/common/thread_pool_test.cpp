@@ -1,0 +1,111 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace dufp {
+namespace {
+
+TEST(ThreadPoolTest, RunsTasksAndReturnsValues) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, ClampsToAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1);
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int {
+    throw std::runtime_error("job failed");
+  });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  // The worker survives a throwing task.
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPoolTest, SingleWorkerPreservesSubmissionOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(pool.submit([&order, i] { order.push_back(i); }));
+  }
+  for (auto& f : futures) f.get();
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(ThreadPoolTest, BoundedQueueBlocksProducerUntilSpaceFrees) {
+  ThreadPool pool(1, /*queue_capacity=*/1);
+  std::promise<void> release;
+  auto gate = release.get_future().share();
+
+  // Occupy the only worker, then fill the single queue slot.
+  auto running = pool.submit([gate] { gate.wait(); });
+  auto queued = pool.submit([] {});
+
+  // A third submit must block until the worker drains the queue.
+  std::atomic<bool> submitted{false};
+  std::thread producer([&] {
+    pool.submit([] {}).wait();
+    submitted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(submitted.load());
+
+  release.set_value();
+  producer.join();
+  EXPECT_TRUE(submitted.load());
+  running.get();
+  queued.get();
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> executed{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(2, /*queue_capacity=*/64);
+    for (int i = 0; i < 40; ++i) {
+      futures.push_back(pool.submit([&executed] { ++executed; }));
+    }
+    pool.shutdown();
+    EXPECT_EQ(executed.load(), 40);
+    EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+  }  // destructor after explicit shutdown: no double-join
+  for (auto& f : futures) f.get();
+}
+
+TEST(ThreadPoolTest, StressManySmallTasks) {
+  std::atomic<long> sum{0};
+  {
+    ThreadPool pool(8, 128);
+    std::vector<std::future<void>> futures;
+    futures.reserve(1000);
+    for (int i = 1; i <= 1000; ++i) {
+      futures.push_back(pool.submit([&sum, i] { sum += i; }));
+    }
+    for (auto& f : futures) f.get();
+  }
+  EXPECT_EQ(sum.load(), 500'500);
+}
+
+}  // namespace
+}  // namespace dufp

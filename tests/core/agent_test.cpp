@@ -34,7 +34,7 @@ class AgentTest : public ::testing::Test {
         zone_(dev_, 0),
         uncore_(dev_) {}
 
-  Agent make_agent(AgentMode mode, double tolerance) {
+  Agent make_agent(PolicyMode mode, double tolerance) {
     PolicyConfig policy;
     policy.tolerated_slowdown = tolerance;
     perfmon::SamplerOptions so;
@@ -70,13 +70,13 @@ class AgentTest : public ::testing::Test {
 };
 
 TEST_F(AgentTest, CapturesHardwareDefaults) {
-  auto agent = make_agent(AgentMode::dufp, 0.10);
+  auto agent = make_agent(PolicyMode::dufp, 0.10);
   EXPECT_DOUBLE_EQ(agent.default_long_w(), 125.0);
   EXPECT_DOUBLE_EQ(agent.default_short_w(), 150.0);
 }
 
 TEST_F(AgentTest, FirstIntervalOnlyEstablishesBaseline) {
-  auto agent = make_agent(AgentMode::dufp, 0.10);
+  auto agent = make_agent(PolicyMode::dufp, 0.10);
   socket_.set_demand(demand(0.9, 0.05, 50, 5, 1.0, 0.3));
   run(agent, 1);
   EXPECT_EQ(agent.stats().intervals, 0u);
@@ -85,7 +85,7 @@ TEST_F(AgentTest, FirstIntervalOnlyEstablishesBaseline) {
 }
 
 TEST_F(AgentTest, DufModePinsUncoreDownOnInsensitiveWorkload) {
-  auto agent = make_agent(AgentMode::duf, 0.10);
+  auto agent = make_agent(PolicyMode::duf, 0.10);
   socket_.set_demand(demand(0.9, 0.01, 96, 0.24, 1.0, 0.1));  // EP-like
   run(agent, 20);
   EXPECT_LT(uncore_.window_max_mhz(), 1500.0);
@@ -98,7 +98,7 @@ TEST_F(AgentTest, DufModePinsUncoreDownOnInsensitiveWorkload) {
 }
 
 TEST_F(AgentTest, DufpModeLowersCap) {
-  auto agent = make_agent(AgentMode::dufp, 0.10);
+  auto agent = make_agent(PolicyMode::dufp, 0.10);
   socket_.set_demand(demand(0.3, 0.6, 10, 80, 0.9, 1.0));  // CG-like
   run(agent, 12);
   EXPECT_LT(zone_.power_limit_w(powercap::ConstraintId::long_term), 125.0);
@@ -109,7 +109,7 @@ TEST_F(AgentTest, DufpModeLowersCap) {
 }
 
 TEST_F(AgentTest, StatsCountIntervals) {
-  auto agent = make_agent(AgentMode::dufp, 0.10);
+  auto agent = make_agent(PolicyMode::dufp, 0.10);
   socket_.set_demand(demand(0.5, 0.4, 20, 30, 0.9, 0.9));
   run(agent, 5);
   EXPECT_EQ(agent.stats().intervals, 4u);  // first was baseline
@@ -118,7 +118,7 @@ TEST_F(AgentTest, StatsCountIntervals) {
 }
 
 TEST_F(AgentTest, PhaseChangeResetsCapAndUncore) {
-  auto agent = make_agent(AgentMode::dufp, 0.10);
+  auto agent = make_agent(PolicyMode::dufp, 0.10);
   socket_.set_demand(demand(0.2, 0.7, 5, 60, 0.8, 1.0));  // memory (oi .08)
   run(agent, 10);
   const double cap_before =
@@ -137,7 +137,7 @@ TEST_F(AgentTest, PhaseChangeResetsCapAndUncore) {
 }
 
 TEST_F(AgentTest, ResetRestoresTimeWindows) {
-  auto agent = make_agent(AgentMode::dufp, 0.10);
+  auto agent = make_agent(PolicyMode::dufp, 0.10);
   const auto default_window = zone_.time_window_us(0);
   socket_.set_demand(demand(0.2, 0.7, 5, 60, 0.8, 1.0));
   run(agent, 10);
@@ -147,7 +147,7 @@ TEST_F(AgentTest, ResetRestoresTimeWindows) {
 }
 
 TEST_F(AgentTest, InteractionRule2RetriesUncoreResetWhenNotAtMax) {
-  auto agent = make_agent(AgentMode::dufp, 0.10);
+  auto agent = make_agent(PolicyMode::dufp, 0.10);
   socket_.set_demand(demand(0.2, 0.7, 5, 60, 0.8, 1.0));
   run(agent, 10);
   // Make the uncore appear stuck below max (the cap's effect still
@@ -160,14 +160,14 @@ TEST_F(AgentTest, InteractionRule2RetriesUncoreResetWhenNotAtMax) {
 }
 
 TEST_F(AgentTest, ShortTermTightenedWhenPowerBelowCap) {
-  auto agent = make_agent(AgentMode::dufp, 0.10);
+  auto agent = make_agent(PolicyMode::dufp, 0.10);
   socket_.set_demand(demand(0.5, 0.3, 20, 30, 0.6, 0.5));  // ~90 W
   run(agent, 3);
   EXPECT_GE(agent.stats().short_term_tightenings, 1u);
 }
 
 TEST_F(AgentTest, DufpRespectsToleranceOnCgLikeWorkload) {
-  auto agent = make_agent(AgentMode::dufp, 0.10);
+  auto agent = make_agent(PolicyMode::dufp, 0.10);
   socket_.set_demand(demand(0.3, 0.6, 10, 80, 0.9, 1.0));
   run(agent, 40);
   // Steady state: the observed FLOPS stay within tolerance + error band.

@@ -1,6 +1,9 @@
 // Harness-level behaviour of the extension policy modes (DUFP-F, DNPC).
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
+#include "core/policy.h"
 #include "harness/runner.h"
 #include "workloads/profiles.h"
 
@@ -20,6 +23,20 @@ RunConfig config(workloads::AppId app, PolicyMode mode, double tol) {
 TEST(ModesTest, ModeNamesForExtensions) {
   EXPECT_EQ(policy_mode_name(PolicyMode::dufpf), "DUFP-F");
   EXPECT_EQ(policy_mode_name(PolicyMode::dnpc), "DNPC");
+}
+
+TEST(ModesTest, OneEnumServesEveryLayer) {
+  // The unified enum round-trips through its string forms.
+  for (PolicyMode m : {PolicyMode::none, PolicyMode::duf, PolicyMode::dufp,
+                       PolicyMode::dufpf, PolicyMode::dnpc}) {
+    EXPECT_EQ(core::policy_mode_from_string(core::to_string(m)), m);
+  }
+  EXPECT_EQ(core::policy_mode_from_string("none"), PolicyMode::none);
+  EXPECT_EQ(core::policy_mode_from_string("Default"), PolicyMode::none);
+  EXPECT_EQ(core::policy_mode_from_string("dufpf"), PolicyMode::dufpf);
+  EXPECT_EQ(core::policy_mode_from_string(" dufp "), PolicyMode::dufp);
+  EXPECT_THROW(core::policy_mode_from_string("turbo"),
+               std::invalid_argument);
 }
 
 TEST(ModesTest, DufpfActuallyPinsPstates) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
+#include "harness/options.h"
 #include "workloads/profiles.h"
 
 namespace dufp::harness {
@@ -30,6 +33,57 @@ TEST(RunnerTest, PercentOver) {
 TEST(RunnerTest, MissingProfileRejected) {
   RunConfig cfg;
   EXPECT_THROW(run_once(cfg), std::invalid_argument);
+}
+
+TEST(RunnerTest, ValidateAcceptsDefaultConfig) {
+  EXPECT_TRUE(small_config().validate().empty());
+}
+
+TEST(RunnerTest, ValidateReportsAllProblemsNotJustTheFirst) {
+  RunConfig cfg;  // null profile
+  cfg.tolerated_slowdown = 1.5;
+  cfg.policy.interval = SimTime::from_millis(0);
+  cfg.sim.tick = SimTime::from_millis(-1);
+  cfg.machine.sockets = 0;
+  cfg.static_cap_w = -10.0;
+  const auto problems = cfg.validate();
+  EXPECT_GE(problems.size(), 6u);
+
+  auto has = [&](const std::string& needle) {
+    for (const auto& p : problems) {
+      if (p.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("profile"));
+  EXPECT_TRUE(has("tolerated_slowdown"));
+  EXPECT_TRUE(has("policy.interval"));
+  EXPECT_TRUE(has("sim.tick"));
+  EXPECT_TRUE(has("machine.sockets"));
+  EXPECT_TRUE(has("static_cap_w"));
+}
+
+TEST(RunnerTest, ValidateCatchesUnknownPhaseCap) {
+  auto cfg = small_config();
+  cfg.phase_cap = PhaseCapSpec{"no_such_phase", 75.0};
+  const auto problems = cfg.validate();
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("no_such_phase"), std::string::npos);
+}
+
+TEST(RunnerTest, RunOnceThrowsWithEveryProblemListed) {
+  auto cfg = small_config();
+  cfg.phase_cap = PhaseCapSpec{"no_such_phase", -5.0};
+  cfg.tolerated_slowdown = -0.1;
+  try {
+    run_once(cfg);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("no_such_phase"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("cap_w"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("tolerated_slowdown"), std::string::npos) << msg;
+  }
 }
 
 TEST(RunnerTest, DefaultRunProducesSummary) {
@@ -113,10 +167,35 @@ TEST(RunnerTest, SeedsVaryAcrossRepetitions) {
   EXPECT_GT(agg.exec_seconds.max, agg.exec_seconds.min);
 }
 
-TEST(RunnerTest, EnvHelpersHaveDefaults) {
+TEST(RunnerTest, BenchOptionsDefaults) {
   // (Environment not set in the test harness.)
-  EXPECT_GE(repetitions_from_env(), 1);
-  EXPECT_GE(sockets_from_env(), 1);
+  unsetenv("DUFP_REPS");
+  unsetenv("DUFP_SOCKETS");
+  unsetenv("DUFP_THREADS");
+  unsetenv("DUFP_QUIET");
+  const auto opts = BenchOptions::from_env();
+  EXPECT_EQ(opts.repetitions, 10);
+  EXPECT_EQ(opts.sockets, 4);
+  EXPECT_EQ(opts.threads, 0);
+  EXPECT_FALSE(opts.quiet);
+  EXPECT_GE(opts.resolved_threads(), 1);
+}
+
+TEST(RunnerTest, BenchOptionsReadEnvironment) {
+  setenv("DUFP_REPS", "3", 1);
+  setenv("DUFP_SOCKETS", "2", 1);
+  setenv("DUFP_THREADS", "8", 1);
+  setenv("DUFP_QUIET", "1", 1);
+  const auto opts = BenchOptions::from_env();
+  unsetenv("DUFP_REPS");
+  unsetenv("DUFP_SOCKETS");
+  unsetenv("DUFP_THREADS");
+  unsetenv("DUFP_QUIET");
+  EXPECT_EQ(opts.repetitions, 3);
+  EXPECT_EQ(opts.sockets, 2);
+  EXPECT_EQ(opts.threads, 8);
+  EXPECT_EQ(opts.resolved_threads(), 8);
+  EXPECT_TRUE(opts.quiet);
 }
 
 }  // namespace
