@@ -7,6 +7,10 @@
 //   DUFP_THREADS=N  worker threads for the experiment engine
 //                   (default 0 = one per hardware thread)
 //   DUFP_QUIET=1    suppress progress notes on stderr
+//   DUFP_FAULT_RATE=R / DUFP_FAULT_SEED=S
+//                   R > 0 runs the grid under a deterministic fault storm
+//                   (see faults::FaultOptions::storm); health counters are
+//                   reported alongside the figures
 #pragma once
 
 #include <cstdio>
@@ -30,7 +34,28 @@ inline void print_banner(const std::string& what, const std::string& paper_ref) 
   std::printf("Machine: simulated Grid'5000 yeti-2 (%d x Xeon Gold 6130), "
               "%d repetitions per cell\n",
               opts.sockets, opts.repetitions);
+  if (opts.fault_rate > 0.0) {
+    std::printf("Fault injection: storm at rate %g, seed %llu "
+                "(DUFP_FAULT_RATE / DUFP_FAULT_SEED)\n",
+                opts.fault_rate,
+                static_cast<unsigned long long>(opts.fault_seed));
+  }
   std::printf("=============================================================\n");
+}
+
+/// One-line roll-up of a cell's health counters for fault-storm output.
+inline std::string health_summary(const harness::HealthTotals& h) {
+  return strf(
+      "faults=%llu retries=%llu failures=%llu read_fail=%llu rejected=%llu "
+      "degraded=%llu reengaged=%llu degraded_intervals=%llu",
+      static_cast<unsigned long long>(h.faults_injected),
+      static_cast<unsigned long long>(h.actuation_retries),
+      static_cast<unsigned long long>(h.actuation_failures),
+      static_cast<unsigned long long>(h.sample_read_failures),
+      static_cast<unsigned long long>(h.samples_rejected),
+      static_cast<unsigned long long>(h.degradations),
+      static_cast<unsigned long long>(h.reengagements),
+      static_cast<unsigned long long>(h.intervals_degraded));
 }
 
 /// Runs the full evaluation grid the paper's Fig. 3 / Fig. 4 share:

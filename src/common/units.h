@@ -41,6 +41,20 @@ constexpr double uj_to_joules(std::uint64_t uj) {
   return static_cast<double>(uj) * 1e-6;
 }
 
+/// Delta between two readings of a monotonic counter that wraps modulo
+/// `wrap_range` (0 = the counter never wraps in practice, e.g. 64-bit).
+/// Single-wrap assumption: valid whenever the counter is sampled at least
+/// once per wrap period, which RAPL's ~minutes-long energy wrap and a
+/// 200 ms controller trivially satisfy.  This is THE helper for every
+/// `energy_uj()` / raw-counter delta in the tree — naive `after - before`
+/// subtraction is wrong for ~2^-32 of samples and shows up as a huge
+/// negative (or, cast unsigned, astronomically positive) energy spike.
+constexpr std::uint64_t wrap_delta(std::uint64_t before, std::uint64_t after,
+                                   std::uint64_t wrap_range) {
+  if (wrap_range == 0 || after >= before) return after - before;
+  return wrap_range - before + after;  // single wrap
+}
+
 /// FLOP/s expressed in GFLOP/s at reporting boundaries.
 constexpr double flops_to_gflops(double flops) { return flops * 1e-9; }
 

@@ -1,6 +1,9 @@
 #include "core/agent.h"
 
+#include <algorithm>
+
 #include "common/expect.h"
+#include "msr/device.h"
 
 namespace dufp::core {
 
@@ -20,13 +23,16 @@ Agent::Agent(PolicyMode mode, const PolicyConfig& policy,
       default_short_w_(zone.power_limit_w(ConstraintId::short_term)),
       default_long_window_us_(zone.time_window_us(0)),
       default_short_window_us_(zone.time_window_us(1)),
-      uncore_max_mhz_(uncore.window_max_mhz()) {
+      uncore_max_mhz_(uncore.window_max_mhz()),
+      default_uncore_min_mhz_(uncore.window_min_mhz()) {
   DUFP_EXPECT(mode_ != PolicyMode::none);  // none = no agent at all
   if (mode_ == PolicyMode::dufpf) policy_.manage_core_frequency = true;
 
-  UncoreLimits ul;
-  ul.min_mhz = uncore.window_min_mhz();
-  ul.max_mhz = uncore_max_mhz_;
+  DUFP_EXPECT(policy_.max_actuation_attempts >= 1);
+  DUFP_EXPECT(policy_.watchdog_failure_threshold >= 1);
+  DUFP_EXPECT(policy_.watchdog_backoff_intervals >= 1);
+  DUFP_EXPECT(policy_.watchdog_backoff_max_intervals >=
+              policy_.watchdog_backoff_intervals);
 
   DUFP_EXPECT(!policy_.manage_core_frequency || pstate_ != nullptr);
   if (pstate_ != nullptr) {
@@ -35,16 +41,26 @@ Agent::Agent(PolicyMode mode, const PolicyConfig& policy,
     pstate_max_mhz_ = pstate_->requested_mhz();
   }
 
+  init_controllers();
+}
+
+void Agent::init_controllers() {
+  // Built from the captured hardware defaults, not live reads: this also
+  // runs on re-engagement, when the live window is the fail-safe one.
+  UncoreLimits ul;
+  ul.min_mhz = default_uncore_min_mhz_;
+  ul.max_mhz = uncore_max_mhz_;
+
   if (mode_ == PolicyMode::dufp || mode_ == PolicyMode::dufpf) {
     CapLimits cl;
     cl.default_long_w = default_long_w_;
     cl.default_short_w = default_short_w_;
-    cl.min_cap_w = policy.min_cap_w;
+    cl.min_cap_w = policy_.min_cap_w;
     dufp_.emplace(policy_, ul, cl);
   } else if (mode_ == PolicyMode::dnpc) {
     DnpcLimits dl;
     dl.default_cap_w = default_long_w_;
-    dl.min_cap_w = policy.min_cap_w;
+    dl.min_cap_w = policy_.min_cap_w;
     dnpc_.emplace(policy_, dl);
   } else {
     duf_tracker_.emplace(policy_);
@@ -52,19 +68,37 @@ Agent::Agent(PolicyMode mode, const PolicyConfig& policy,
   }
 }
 
+template <typename F>
+bool Agent::try_op(F&& op) {
+  interval_attempted_ = true;
+  for (int attempt = 0; attempt < policy_.max_actuation_attempts; ++attempt) {
+    try {
+      op();
+      return true;
+    } catch (const msr::MsrError&) {
+      if (attempt + 1 < policy_.max_actuation_attempts) {
+        ++stats_.health.actuation_retries;
+      }
+    }
+  }
+  ++stats_.health.actuation_failures;
+  interval_failed_ = true;
+  return false;
+}
+
 void Agent::apply_uncore(const DufController::Decision& d) {
   switch (d.action) {
     case UncoreAction::decrease:
-      ++stats_.uncore_decreases;
-      uncore_.pin_mhz(d.target_mhz);
+      if (try_op([&] { uncore_.pin_mhz(d.target_mhz); }))
+        ++stats_.uncore_decreases;
       break;
     case UncoreAction::increase:
-      ++stats_.uncore_increases;
-      uncore_.pin_mhz(d.target_mhz);
+      if (try_op([&] { uncore_.pin_mhz(d.target_mhz); }))
+        ++stats_.uncore_increases;
       break;
     case UncoreAction::reset:
-      ++stats_.uncore_resets;
-      uncore_.pin_mhz(uncore_max_mhz_);
+      if (try_op([&] { uncore_.pin_mhz(uncore_max_mhz_); }))
+        ++stats_.uncore_resets;
       break;
     case UncoreAction::hold:
     case UncoreAction::none:
@@ -72,34 +106,50 @@ void Agent::apply_uncore(const DufController::Decision& d) {
   }
 }
 
-void Agent::restore_default_cap() {
-  zone_.set_power_limit_w(ConstraintId::long_term, default_long_w_);
-  zone_.set_power_limit_w(ConstraintId::short_term, default_short_w_);
-  zone_.set_time_window_us(0, default_long_window_us_);
-  zone_.set_time_window_us(1, default_short_window_us_);
+bool Agent::restore_default_cap() {
+  // Four independent stores; attempt all of them even if one dies, so a
+  // partially-broken path still restores as much of the default as it can.
+  bool ok = true;
+  ok &= try_op([&] {
+    zone_.set_power_limit_w(ConstraintId::long_term, default_long_w_);
+  });
+  ok &= try_op([&] {
+    zone_.set_power_limit_w(ConstraintId::short_term, default_short_w_);
+  });
+  ok &= try_op([&] { zone_.set_time_window_us(0, default_long_window_us_); });
+  ok &= try_op([&] { zone_.set_time_window_us(1, default_short_window_us_); });
+  return ok;
 }
 
 void Agent::apply_cap(const DufpController::Decision& d) {
   if (d.tighten_short_term) {
-    ++stats_.short_term_tightenings;
-    zone_.set_power_limit_w(ConstraintId::short_term,
-                            zone_.power_limit_w(ConstraintId::long_term));
+    if (try_op([&] {
+          zone_.set_power_limit_w(ConstraintId::short_term,
+                                  zone_.power_limit_w(ConstraintId::long_term));
+        })) {
+      ++stats_.short_term_tightenings;
+    }
   }
 
   switch (d.cap_action) {
     case CapAction::decrease:
-      ++stats_.cap_decreases;
-      zone_.set_power_limit_w(ConstraintId::long_term, d.cap_long_w);
-      zone_.set_power_limit_w(ConstraintId::short_term, d.cap_short_w);
+    case CapAction::increase: {
+      const bool ok = try_op([&] {
+                        zone_.set_power_limit_w(ConstraintId::long_term,
+                                                d.cap_long_w);
+                      }) &
+                      try_op([&] {
+                        zone_.set_power_limit_w(ConstraintId::short_term,
+                                                d.cap_short_w);
+                      });
+      if (ok) {
+        (d.cap_action == CapAction::decrease ? stats_.cap_decreases
+                                             : stats_.cap_increases)++;
+      }
       break;
-    case CapAction::increase:
-      ++stats_.cap_increases;
-      zone_.set_power_limit_w(ConstraintId::long_term, d.cap_long_w);
-      zone_.set_power_limit_w(ConstraintId::short_term, d.cap_short_w);
-      break;
+    }
     case CapAction::reset:
-      ++stats_.cap_resets;
-      restore_default_cap();
+      if (restore_default_cap()) ++stats_.cap_resets;
       break;
     case CapAction::hold:
     case CapAction::none:
@@ -110,28 +160,59 @@ void Agent::apply_cap(const DufpController::Decision& d) {
     // Interaction rule 2: after a joint reset the uncore may not have
     // reached its maximum (the cap's effect can still be visible); check
     // and re-pin once.
-    if (uncore_.current_mhz() < uncore_max_mhz_ - 1e-9) {
-      ++stats_.uncore_reset_retries;
-      uncore_.pin_mhz(uncore_max_mhz_);
-    }
+    try_op([&] {
+      if (uncore_.current_mhz() < uncore_max_mhz_ - 1e-9) {
+        ++stats_.uncore_reset_retries;
+        uncore_.pin_mhz(uncore_max_mhz_);
+      }
+    });
   }
 
   // DUFP-F frequency management.
   if (pstate_ != nullptr) {
     if (d.pstate_release) {
-      ++stats_.pstate_releases;
-      pstate_->release(pstate_max_mhz_);
+      if (try_op([&] { pstate_->release(pstate_max_mhz_); }))
+        ++stats_.pstate_releases;
     } else if (d.pstate_request_mhz > 0.0 &&
                d.pstate_request_mhz < pstate_max_mhz_) {
-      ++stats_.pstate_pins;
-      pstate_->set_mhz(d.pstate_request_mhz);
+      if (try_op([&] { pstate_->set_mhz(d.pstate_request_mhz); }))
+        ++stats_.pstate_pins;
     }
   }
 }
 
 void Agent::on_interval(SimTime now) {
+  // Contract: never lets an exception escape.  A crashed agent would
+  // strand the socket at whatever limits were last applied — strictly
+  // worse than any degraded-but-safe behaviour.
+  try {
+    if (degraded_) {
+      degraded_interval();
+    } else {
+      run_interval(now);
+    }
+  } catch (const std::exception&) {
+    try {
+      ++stats_.health.actuation_failures;
+      ++consecutive_failures_;
+      if (!degraded_ &&
+          consecutive_failures_ >= policy_.watchdog_failure_threshold) {
+        enter_degraded();
+      }
+    } catch (...) {
+      // A degraded entry that itself faulted is retried next interval.
+    }
+  }
+}
+
+void Agent::run_interval(SimTime now) {
+  interval_attempted_ = false;
+  interval_failed_ = false;
+
   const auto maybe_sample = sampler_.sample(now);
-  if (!maybe_sample.has_value()) return;  // baseline interval
+  stats_.health.sample_read_failures = sampler_.health().read_failures;
+  stats_.health.samples_rejected = sampler_.health().samples_rejected;
+  if (!maybe_sample.has_value()) return;  // baseline / skipped interval
   const perfmon::Sample& sample = *maybe_sample;
   last_sample_ = sample;
   ++stats_.intervals;
@@ -144,14 +225,94 @@ void Agent::on_interval(SimTime now) {
     const double before = dnpc_->cap_w();
     const auto d = dnpc_->decide(sample);
     if (d.changed) {
-      (d.cap_w < before ? stats_.cap_decreases : stats_.cap_increases)++;
-      zone_.set_power_limit_w(powercap::ConstraintId::long_term, d.cap_w);
-      zone_.set_power_limit_w(powercap::ConstraintId::short_term, d.cap_w);
+      const bool ok = try_op([&] {
+                        zone_.set_power_limit_w(ConstraintId::long_term,
+                                                d.cap_w);
+                      }) &
+                      try_op([&] {
+                        zone_.set_power_limit_w(ConstraintId::short_term,
+                                                d.cap_w);
+                      });
+      if (ok) (d.cap_w < before ? stats_.cap_decreases : stats_.cap_increases)++;
     }
   } else {
     const auto u = duf_tracker_->update(sample);
     apply_uncore(duf_->decide(u));
   }
+
+  // Watchdog accounting: only intervals that actually touched hardware
+  // move the consecutive-failure counter.  Pure holds leave it alone —
+  // otherwise an EPERM outage interleaved with holds would never trip
+  // the threshold.
+  if (interval_failed_) {
+    ++consecutive_failures_;
+    if (consecutive_failures_ >= policy_.watchdog_failure_threshold) {
+      enter_degraded();
+    }
+  } else if (interval_attempted_) {
+    consecutive_failures_ = 0;
+  }
+}
+
+void Agent::enter_degraded() {
+  degraded_ = true;
+  failsafe_applied_ = false;
+  consecutive_failures_ = 0;
+  ++stats_.health.degradations;
+  current_backoff_ = policy_.watchdog_backoff_intervals;
+  backoff_remaining_ = current_backoff_;
+  apply_failsafe();
+}
+
+void Agent::apply_failsafe() {
+  // Fail-safe OPEN: give the hardware back to its boot configuration so a
+  // dead control path costs power savings, never performance.  Each
+  // restoration is attempted independently — partial success still helps.
+  bool ok = try_op([&] {
+    uncore_.set_window_mhz(default_uncore_min_mhz_, uncore_max_mhz_);
+  });
+  ok &= restore_default_cap();
+  if (pstate_ != nullptr) {
+    ok &= try_op([&] { pstate_->release(pstate_max_mhz_); });
+  }
+  failsafe_applied_ = ok;
+}
+
+void Agent::degraded_interval() {
+  ++stats_.health.intervals_degraded;
+  if (!failsafe_applied_) {
+    // The safe state never fully reached the hardware; keep trying — this
+    // matters more than re-engagement.
+    apply_failsafe();
+  }
+  if (backoff_remaining_ > 0) {
+    --backoff_remaining_;
+    return;
+  }
+  // Probe: one representative write through the full actuation path.
+  const bool probe_ok = try_op([&] {
+    zone_.set_power_limit_w(ConstraintId::long_term, default_long_w_);
+  });
+  if (probe_ok && failsafe_applied_) {
+    reengage();
+  } else {
+    ++stats_.health.reengage_failures;
+    current_backoff_ = std::min(current_backoff_ * 2,
+                                policy_.watchdog_backoff_max_intervals);
+    backoff_remaining_ = current_backoff_;
+  }
+}
+
+void Agent::reengage() {
+  degraded_ = false;
+  consecutive_failures_ = 0;
+  current_backoff_ = policy_.watchdog_backoff_intervals;
+  ++stats_.health.reengagements;
+  // Stale controller state (phase baselines, cooldowns, equilibrium
+  // estimates) predates the outage; rebuild from the captured defaults
+  // and re-baseline the sampler before the next decision.
+  init_controllers();
+  sampler_.reset();
 }
 
 }  // namespace dufp::core

@@ -23,6 +23,19 @@
 
 namespace dufp::core {
 
+/// Robustness accounting: what the agent absorbed, retried or gave up on.
+/// All zero on a healthy substrate; deterministic for a fixed fault seed.
+struct AgentHealth {
+  std::uint64_t actuation_retries = 0;    ///< failed attempts that were retried
+  std::uint64_t actuation_failures = 0;   ///< operations dead after all retries
+  std::uint64_t sample_read_failures = 0; ///< mirrors SamplerHealth
+  std::uint64_t samples_rejected = 0;     ///< mirrors SamplerHealth
+  std::uint64_t degradations = 0;         ///< watchdog fail-safe entries
+  std::uint64_t reengage_failures = 0;    ///< re-engagement probes that failed
+  std::uint64_t reengagements = 0;        ///< successful recoveries
+  std::uint64_t intervals_degraded = 0;   ///< intervals spent degraded
+};
+
 struct AgentStats {
   std::uint64_t intervals = 0;
 
@@ -38,6 +51,8 @@ struct AgentStats {
   std::uint64_t uncore_reset_retries = 0;  ///< interaction rule 2 firings
   std::uint64_t pstate_pins = 0;           ///< DUFP-F frequency requests
   std::uint64_t pstate_releases = 0;
+
+  AgentHealth health;
 };
 
 class Agent {
@@ -55,7 +70,17 @@ class Agent {
 
   /// One control interval: sample, decide, actuate.  The first call only
   /// establishes the counter baseline.
+  ///
+  /// Never throws: hardware failures are retried (bounded by
+  /// PolicyConfig::max_actuation_attempts), and after
+  /// `watchdog_failure_threshold` consecutive failed intervals the agent
+  /// degrades to the fail-safe state (default uncore window, default power
+  /// limits, P-state released) and probes for re-engagement with
+  /// exponential backoff.  See AgentHealth for the accounting.
   void on_interval(SimTime now);
+
+  /// True while the watchdog has the socket in the fail-safe state.
+  bool degraded() const { return degraded_; }
 
   PolicyMode mode() const { return mode_; }
   const AgentStats& stats() const { return stats_; }
@@ -70,9 +95,21 @@ class Agent {
   double default_short_w() const { return default_short_w_; }
 
  private:
+  void init_controllers();
+  void run_interval(SimTime now);
   void apply_uncore(const DufController::Decision& d);
   void apply_cap(const DufpController::Decision& d);
-  void restore_default_cap();
+  bool restore_default_cap();
+
+  /// Runs a hardware-facing operation with bounded immediate retries;
+  /// counts retries/failures and flags the interval on terminal failure.
+  template <typename F>
+  bool try_op(F&& op);
+
+  void enter_degraded();
+  void apply_failsafe();
+  void degraded_interval();
+  void reengage();
 
   PolicyMode mode_;
   PolicyConfig policy_;
@@ -86,7 +123,17 @@ class Agent {
   std::uint64_t default_long_window_us_;
   std::uint64_t default_short_window_us_;
   double uncore_max_mhz_;
+  double default_uncore_min_mhz_;
   double pstate_max_mhz_ = 0.0;
+
+  // -- watchdog state -------------------------------------------------------
+  bool degraded_ = false;
+  bool failsafe_applied_ = false;   ///< the safe state actually reached hw
+  int consecutive_failures_ = 0;
+  int current_backoff_ = 0;         ///< intervals between re-engage probes
+  int backoff_remaining_ = 0;
+  bool interval_attempted_ = false; ///< any hardware op tried this interval
+  bool interval_failed_ = false;    ///< ... and at least one died
 
   // DUFP mode holds the full controller; DUF mode a tracker + DUF pair;
   // DNPC mode the frequency-model baseline.

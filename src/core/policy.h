@@ -92,6 +92,27 @@ struct PolicyConfig {
   int attribution_window_intervals = 2;
   int persistent_violation_intervals = 4;
 
+  // -- robustness / watchdog ----------------------------------------------
+  /// Hardware-facing operations (MSR writes behind the zone / uncore /
+  /// pstate controls) are attempted up to this many times per interval.
+  /// Retries are immediate — at a 200 ms control period the interval
+  /// itself is the backoff clock for transient EIO.
+  int max_actuation_attempts = 3;
+
+  /// Consecutive intervals whose actuation still failed after all retries
+  /// before the watchdog gives up and degrades the socket: fail-safe open
+  /// (uncore window restored to the hardware default, power limits and
+  /// windows back to their boot values, any pinned P-state released), so a
+  /// broken MSR path costs power savings, never performance or stability.
+  int watchdog_failure_threshold = 3;
+
+  /// Once degraded, wait this many intervals before probing the hardware
+  /// again; each failed re-engagement doubles the wait, capped at
+  /// `watchdog_backoff_max_intervals` (exponential backoff keeps a dead
+  /// MSR path from being hammered 5x per second forever).
+  int watchdog_backoff_intervals = 5;
+  int watchdog_backoff_max_intervals = 80;
+
   /// DUFP-F extension (the paper's Sec. VII future work): when the cap is
   /// active and the workload steady, pin the core clock via IA32_PERF_CTL
   /// just above the observed equilibrium instead of letting RAPL's

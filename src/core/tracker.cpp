@@ -1,6 +1,7 @@
 #include "core/tracker.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/expect.h"
 
@@ -24,6 +25,17 @@ void PhaseTracker::restart_phase() {
 
 PhaseTracker::Update PhaseTracker::update(const perfmon::Sample& sample) {
   Update u;
+  // Defense in depth behind the sampler's own validation: a garbage
+  // sample (NaN/negative rates) must not poison the phase ratchets or
+  // fabricate a phase change.  Report a neutral hold and wait for real
+  // data.
+  if (!std::isfinite(sample.flops_rate) || sample.flops_rate < 0.0 ||
+      !std::isfinite(sample.bytes_rate) || sample.bytes_rate < 0.0 ||
+      !std::isfinite(sample.operational_intensity())) {
+    u.phase_class = have_phase_ ? phase_class_ : PhaseClass::cpu;
+    u.oi = policy_.oi_memory_class;  // neutral: neither highly-memory nor -cpu
+    return u;
+  }
   u.oi = sample.operational_intensity();
   u.phase_class = classify(u.oi);
   u.highly_memory = u.oi < policy_.oi_highly_memory;

@@ -1,0 +1,43 @@
+#include "faults/faulty_counter_source.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace dufp::faults {
+
+using perfmon::Event;
+
+FaultyCounterSource::FaultyCounterSource(const perfmon::CounterSource& inner,
+                                         FaultPlan& plan)
+    : inner_(inner), plan_(plan) {}
+
+std::uint64_t FaultyCounterSource::true_value(Event e) const {
+  std::uint64_t v = inner_.read(e);
+  const std::uint64_t range = inner_.wrap_range(e);
+  if (plan_.options().force_energy_wrap && range != 0) {
+    // Advance the wrapping counters so the next wrap is only
+    // energy_wrap_lead_j joules away.  Energy counters count microjoules.
+    const auto lead =
+        static_cast<std::uint64_t>(plan_.options().energy_wrap_lead_j * 1e6);
+    if (lead < range) v = (v + (range - lead)) % range;
+  }
+  return v;
+}
+
+std::uint64_t FaultyCounterSource::read(Event e) const {
+  const auto idx = static_cast<std::size_t>(e);
+  if (armed_) {
+    if (plan_.fire(FaultClass::dropped_sample)) {
+      throw std::runtime_error("injected dropped sample: " +
+                               std::string(perfmon::event_name(e)));
+    }
+    if (last_read_[idx] && plan_.fire(FaultClass::stale_sample)) {
+      return *last_read_[idx];  // previous reading, cache unchanged
+    }
+  }
+  const std::uint64_t v = true_value(e);
+  last_read_[idx] = v;
+  return v;
+}
+
+}  // namespace dufp::faults

@@ -1,0 +1,52 @@
+// Fault-injecting decorator over any perfmon::CounterSource.
+//
+// Models the measurement-path failures of a PAPI/perf_event stack: dropped
+// reads (the syscall fails), stale samples (multiplexing returns the value
+// from the previous rotation), and — independently of the random classes —
+// a forced early energy wraparound: the 32-bit RAPL counters are offset so
+// they wrap within `energy_wrap_lead_j` joules instead of ~262 kJ, which
+// lets short runs exercise the wrap-correction path that on hardware only
+// fires every few hours.
+//
+// The random classes honour the same armed gate as FaultyMsrDevice; the
+// wrap offset is a fixed deterministic re-labelling of the counter and is
+// applied from the first read so baselines stay consistent.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "faults/fault_plan.h"
+#include "perfmon/events.h"
+
+namespace dufp::faults {
+
+class FaultyCounterSource final : public perfmon::CounterSource {
+ public:
+  /// Decorates `inner`; both `inner` and `plan` must outlive this object.
+  FaultyCounterSource(const perfmon::CounterSource& inner, FaultPlan& plan);
+
+  // -- CounterSource --------------------------------------------------------
+  std::uint64_t read(perfmon::Event e) const override;
+  std::uint64_t wrap_range(perfmon::Event e) const override {
+    return inner_.wrap_range(e);
+  }
+
+  void arm() { armed_ = true; }
+  void set_armed(bool on) { armed_ = on; }
+  bool armed() const { return armed_; }
+
+ private:
+  std::uint64_t true_value(perfmon::Event e) const;
+
+  const perfmon::CounterSource& inner_;
+  FaultPlan& plan_;
+  bool armed_ = false;
+  // read() is const on the interface, but staleness needs a memory of the
+  // previous reading per event.
+  mutable std::array<std::optional<std::uint64_t>, perfmon::kEventCount>
+      last_read_{};
+};
+
+}  // namespace dufp::faults

@@ -1,0 +1,37 @@
+#include "faults/faulty_msr.h"
+
+namespace dufp::faults {
+
+using msr::MsrError;
+
+FaultyMsrDevice::FaultyMsrDevice(msr::MsrDevice& inner, FaultPlan& plan)
+    : inner_(inner), plan_(plan) {}
+
+std::uint64_t FaultyMsrDevice::read(int cpu, std::uint32_t reg) const {
+  if (armed_) {
+    if (plan_.fire(FaultClass::read_eio)) {
+      throw MsrError(reg, "injected transient read failure (EIO)");
+    }
+    if (plan_.fire(FaultClass::bit_flip)) {
+      return inner_.read(cpu, reg) ^ (1ULL << plan_.flip_bit());
+    }
+  }
+  return inner_.read(cpu, reg);
+}
+
+void FaultyMsrDevice::write(int cpu, std::uint32_t reg, std::uint64_t value) {
+  if (armed_) {
+    if (reg != 0 && reg == plan_.options().locked_register) {
+      throw MsrError(reg, "injected locked register (writes rejected)");
+    }
+    if (plan_.fire(FaultClass::write_eperm)) {
+      throw MsrError(reg, "injected write denial (msr-safe EPERM)");
+    }
+    if (plan_.fire(FaultClass::write_eio)) {
+      throw MsrError(reg, "injected transient write failure (EIO)");
+    }
+  }
+  inner_.write(cpu, reg, value);
+}
+
+}  // namespace dufp::faults

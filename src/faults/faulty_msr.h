@@ -1,0 +1,47 @@
+// Fault-injecting decorator over any msr::MsrDevice.
+//
+// Sits between the control plane (zones, uncore/pstate controls, the DUFP
+// agent) and the real backend, injecting the failure modes of the
+// /dev/cpu/*/msr path: transient EIO on rdmsr/wrmsr, msr-safe EPERM write
+// denials, single-bit read corruption, and a permanently locked register.
+// Decisions come from a shared FaultPlan, so the pattern is deterministic
+// for a fixed seed.
+//
+// The decorator starts DISARMED: construction-time wiring (zones decoding
+// RAPL units, the agent snapshotting default limits) reads through it
+// untouched.  The harness arms it only once the run starts, so faults hit
+// the steady-state control loop — the part that must survive them.
+#pragma once
+
+#include <cstdint>
+
+#include "faults/fault_plan.h"
+#include "msr/device.h"
+
+namespace dufp::faults {
+
+class FaultyMsrDevice final : public msr::MsrDevice {
+ public:
+  /// Decorates `inner`; both `inner` and `plan` must outlive this object.
+  FaultyMsrDevice(msr::MsrDevice& inner, FaultPlan& plan);
+
+  // -- MsrDevice ------------------------------------------------------------
+  std::uint64_t read(int cpu, std::uint32_t reg) const override;
+  void write(int cpu, std::uint32_t reg, std::uint64_t value) override;
+  int core_count() const override { return inner_.core_count(); }
+
+  /// Starts injecting.  Before this, every operation passes through
+  /// verbatim and no randomness is consumed.
+  void arm() { armed_ = true; }
+  void set_armed(bool on) { armed_ = on; }
+  bool armed() const { return armed_; }
+
+  msr::MsrDevice& inner() { return inner_; }
+
+ private:
+  msr::MsrDevice& inner_;
+  FaultPlan& plan_;
+  bool armed_ = false;
+};
+
+}  // namespace dufp::faults

@@ -17,9 +17,16 @@ const std::vector<double>& paper_tolerances() {
 }
 
 RunConfig default_run_config(const workloads::WorkloadProfile& profile) {
+  const auto opts = BenchOptions::from_env();
   RunConfig cfg;
   cfg.profile = &profile;
-  cfg.machine.sockets = BenchOptions::from_env().sockets;
+  cfg.machine.sockets = opts.sockets;
+  // DUFP_FAULT_RATE > 0 turns any bench into a robustness experiment: the
+  // whole grid runs under the storm preset, and health counters surface
+  // in the output.
+  if (opts.fault_rate > 0.0) {
+    cfg.faults = faults::FaultOptions::storm(opts.fault_rate, opts.fault_seed);
+  }
   return cfg;
 }
 

@@ -1,28 +1,96 @@
 #include "harness/options.h"
 
+#include <cerrno>
 #include <cstdlib>
+#include <stdexcept>
+#include <string>
 #include <thread>
+#include <vector>
 
 namespace dufp::harness {
 
 namespace {
 
-int int_from_env(const char* name, int fallback, int min_value) {
-  if (const char* v = std::getenv(name)) {
-    const int n = std::atoi(v);
-    if (n >= min_value) return n;
+// Strict parsers: the whole value must be consumed (no trailing junk), no
+// overflow, and the result must satisfy the knob's range.  Each failure is
+// recorded in `problems`; the caller aggregates them into one exception so
+// a user fixing their environment sees every mistake at once.
+
+void note(std::vector<std::string>& problems, const char* name,
+          const char* value, const std::string& why) {
+  problems.push_back(std::string(name) + "=\"" + value + "\": " + why);
+}
+
+void parse_int(const char* name, int& out, int min_value,
+               std::vector<std::string>& problems) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return;
+  errno = 0;
+  char* end = nullptr;
+  const long n = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0') {
+    note(problems, name, v, "not an integer");
+  } else if (errno == ERANGE || n > 1000000000L || n < -1000000000L) {
+    note(problems, name, v, "out of range");
+  } else if (n < min_value) {
+    note(problems, name, v, "must be >= " + std::to_string(min_value));
+  } else {
+    out = static_cast<int>(n);
   }
-  return fallback;
+}
+
+void parse_u64(const char* name, std::uint64_t& out,
+               std::vector<std::string>& problems) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return;
+  if (v[0] == '-') {  // strtoull silently negates; reject explicitly
+    note(problems, name, v, "must be >= 0");
+    return;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(v, &end, 10);
+  if (end == v || *end != '\0') {
+    note(problems, name, v, "not an integer");
+  } else if (errno == ERANGE) {
+    note(problems, name, v, "out of range");
+  } else {
+    out = static_cast<std::uint64_t>(n);
+  }
+}
+
+void parse_unit_double(const char* name, double& out,
+                       std::vector<std::string>& problems) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return;
+  errno = 0;
+  char* end = nullptr;
+  const double d = std::strtod(v, &end);
+  if (end == v || *end != '\0') {
+    note(problems, name, v, "not a number");
+  } else if (errno == ERANGE || !(d >= 0.0 && d <= 1.0)) {
+    note(problems, name, v, "must be in [0, 1]");
+  } else {
+    out = d;
+  }
 }
 
 }  // namespace
 
 BenchOptions BenchOptions::from_env() {
   BenchOptions o;
-  o.repetitions = int_from_env("DUFP_REPS", o.repetitions, 1);
-  o.sockets = int_from_env("DUFP_SOCKETS", o.sockets, 1);
-  o.threads = int_from_env("DUFP_THREADS", o.threads, 0);
+  std::vector<std::string> problems;
+  parse_int("DUFP_REPS", o.repetitions, 1, problems);
+  parse_int("DUFP_SOCKETS", o.sockets, 1, problems);
+  parse_int("DUFP_THREADS", o.threads, 0, problems);
+  parse_unit_double("DUFP_FAULT_RATE", o.fault_rate, problems);
+  parse_u64("DUFP_FAULT_SEED", o.fault_seed, problems);
   o.quiet = std::getenv("DUFP_QUIET") != nullptr;
+  if (!problems.empty()) {
+    std::string msg = "BenchOptions: invalid environment:";
+    for (const auto& p : problems) msg += "\n  " + p;
+    throw std::invalid_argument(msg);
+  }
   return o;
 }
 

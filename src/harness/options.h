@@ -3,23 +3,36 @@
 // One struct replaces the scattered *_from_env() free functions so a
 // bench reads its whole protocol in one place:
 //
-//   DUFP_REPS=N     runs per cell (default 10, the paper's protocol)
-//   DUFP_SOCKETS=N  sockets simulated (default 4 = yeti-2)
-//   DUFP_THREADS=N  worker threads for the experiment engine
-//                   (default 0 = one per hardware thread; 1 = serial)
-//   DUFP_QUIET=1    suppress progress notes on stderr
+//   DUFP_REPS=N        runs per cell (default 10, the paper's protocol)
+//   DUFP_SOCKETS=N     sockets simulated (default 4 = yeti-2)
+//   DUFP_THREADS=N     worker threads for the experiment engine
+//                      (default 0 = one per hardware thread; 1 = serial)
+//   DUFP_QUIET=1       suppress progress notes on stderr
+//   DUFP_FAULT_RATE=R  per-operation fault probability in [0, 1]; > 0
+//                      runs the grid under FaultOptions::storm(R, seed)
+//   DUFP_FAULT_SEED=S  seed of the fault decision stream (default 0)
+//
+// Malformed values (non-numeric, trailing junk, out of range) are
+// configuration errors: from_env() throws std::invalid_argument naming
+// every bad variable rather than silently falling back to a default —
+// a typo in DUFP_REPS must not quietly produce 10-rep paper numbers.
 #pragma once
+
+#include <cstdint>
 
 namespace dufp::harness {
 
 struct BenchOptions {
-  int repetitions = 10;  ///< DUFP_REPS
-  int sockets = 4;       ///< DUFP_SOCKETS
-  int threads = 0;       ///< DUFP_THREADS; 0 = auto (hardware concurrency)
-  bool quiet = false;    ///< DUFP_QUIET
+  int repetitions = 10;       ///< DUFP_REPS, >= 1
+  int sockets = 4;            ///< DUFP_SOCKETS, >= 1
+  int threads = 0;            ///< DUFP_THREADS; 0 = auto (hardware threads)
+  bool quiet = false;         ///< DUFP_QUIET
+  double fault_rate = 0.0;    ///< DUFP_FAULT_RATE, in [0, 1]
+  std::uint64_t fault_seed = 0;  ///< DUFP_FAULT_SEED
 
-  /// Reads every knob from the environment; unset / malformed variables
-  /// keep the defaults above.
+  /// Reads every knob from the environment.  Unset variables keep the
+  /// defaults above; set-but-malformed variables throw
+  /// std::invalid_argument listing *all* problems found.
   static BenchOptions from_env();
 
   /// `threads` with 0 resolved to the hardware thread count (>= 1).

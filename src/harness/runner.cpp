@@ -3,6 +3,8 @@
 #include <stdexcept>
 
 #include "common/expect.h"
+#include "faults/faulty_counter_source.h"
+#include "faults/faulty_msr.h"
 #include "perfmon/sim_counter_source.h"
 #include "powercap/uncore_control.h"
 #include "powercap/zone.h"
@@ -55,7 +57,46 @@ std::vector<std::string> RunConfig::validate() const {
       }
     }
   }
+  if (policy.max_actuation_attempts < 1) {
+    problems.push_back("policy.max_actuation_attempts must be >= 1");
+  }
+  if (policy.watchdog_failure_threshold < 1) {
+    problems.push_back("policy.watchdog_failure_threshold must be >= 1");
+  }
+  if (policy.watchdog_backoff_intervals < 1) {
+    problems.push_back("policy.watchdog_backoff_intervals must be >= 1");
+  }
+  if (policy.watchdog_backoff_max_intervals <
+      policy.watchdog_backoff_intervals) {
+    problems.push_back(
+        "policy.watchdog_backoff_max_intervals must be >= "
+        "policy.watchdog_backoff_intervals");
+  }
+  for (const auto& p : faults.validate()) {
+    problems.push_back("faults." + p);
+  }
   return problems;
+}
+
+void HealthTotals::add(const core::AgentHealth& h) {
+  actuation_retries += h.actuation_retries;
+  actuation_failures += h.actuation_failures;
+  sample_read_failures += h.sample_read_failures;
+  samples_rejected += h.samples_rejected;
+  degradations += h.degradations;
+  reengagements += h.reengagements;
+  intervals_degraded += h.intervals_degraded;
+}
+
+void HealthTotals::add(const HealthTotals& other) {
+  actuation_retries += other.actuation_retries;
+  actuation_failures += other.actuation_failures;
+  sample_read_failures += other.sample_read_failures;
+  samples_rejected += other.samples_rejected;
+  degradations += other.degradations;
+  reengagements += other.reengagements;
+  intervals_degraded += other.intervals_degraded;
+  faults_injected += other.faults_injected;
 }
 
 namespace {
@@ -73,6 +114,9 @@ void throw_on_invalid(const RunConfig& config) {
 /// Everything owned by one run: built, wired, then discarded.
 struct RunContext {
   std::unique_ptr<sim::Simulation> simulation;
+  std::vector<std::unique_ptr<faults::FaultPlan>> plans;
+  std::vector<std::unique_ptr<faults::FaultyMsrDevice>> fdevs;
+  std::vector<std::unique_ptr<faults::FaultyCounterSource>> fsrcs;
   std::vector<std::unique_ptr<powercap::PackageZone>> zones;
   std::vector<std::unique_ptr<powercap::UncoreControl>> uncores;
   std::vector<std::unique_ptr<powercap::PstateControl>> pstates;
@@ -94,11 +138,29 @@ RunResult run_once(const RunConfig& config) {
   s.set_trace_sink(config.trace);
 
   const int n = s.socket_count();
+  const bool inject = config.faults.enabled;
   for (int i = 0; i < n; ++i) {
-    ctx.zones.push_back(std::make_unique<powercap::PackageZone>(s.msr(i), i));
-    ctx.uncores.push_back(std::make_unique<powercap::UncoreControl>(s.msr(i)));
-    ctx.sources.push_back(std::make_unique<perfmon::SimCounterSource>(
-        s.socket(i), s.msr(i)));
+    msr::MsrDevice* dev = &s.msr(i);
+    if (inject) {
+      // Per-socket decision stream: the fault seed owns the stream family,
+      // the run seed and socket index select the member, so repetitions
+      // and sockets see different storms that are still bit-reproducible.
+      Rng base(config.faults.seed);
+      Rng per_run = base.fork(config.seed);
+      ctx.plans.push_back(std::make_unique<faults::FaultPlan>(
+          config.faults, per_run.fork(static_cast<std::uint64_t>(i))));
+      ctx.fdevs.push_back(std::make_unique<faults::FaultyMsrDevice>(
+          s.msr(i), *ctx.plans.back()));
+      dev = ctx.fdevs.back().get();  // still disarmed: wiring reads clean
+    }
+    ctx.zones.push_back(std::make_unique<powercap::PackageZone>(*dev, i));
+    ctx.uncores.push_back(std::make_unique<powercap::UncoreControl>(*dev));
+    ctx.sources.push_back(
+        std::make_unique<perfmon::SimCounterSource>(s.socket(i), *dev));
+    if (inject) {
+      ctx.fsrcs.push_back(std::make_unique<faults::FaultyCounterSource>(
+          *ctx.sources.back(), *ctx.plans.back()));
+    }
   }
 
   // Static whole-run cap (Fig. 1a): programmed before the run, both
@@ -134,14 +196,20 @@ RunResult run_once(const RunConfig& config) {
                              bool entered) {
       if (phase != target) return;
       auto& z = *zones[static_cast<std::size_t>(socket)];
-      if (entered) {
-        z.set_power_limit_w(powercap::ConstraintId::long_term, cap);
-        z.set_power_limit_w(powercap::ConstraintId::short_term, cap);
-      } else {
-        z.set_power_limit_w(powercap::ConstraintId::long_term,
-                            def_long[static_cast<std::size_t>(socket)]);
-        z.set_power_limit_w(powercap::ConstraintId::short_term,
-                            def_short[static_cast<std::size_t>(socket)]);
+      // Best effort under fault injection: a phase-boundary write that
+      // faults is dropped (the experiment's cap is late or missing for
+      // that visit) rather than crashing the run.
+      try {
+        if (entered) {
+          z.set_power_limit_w(powercap::ConstraintId::long_term, cap);
+          z.set_power_limit_w(powercap::ConstraintId::short_term, cap);
+        } else {
+          z.set_power_limit_w(powercap::ConstraintId::long_term,
+                              def_long[static_cast<std::size_t>(socket)]);
+          z.set_power_limit_w(powercap::ConstraintId::short_term,
+                              def_short[static_cast<std::size_t>(socket)]);
+        }
+      } catch (const msr::MsrError&) {
       }
     });
   }
@@ -154,16 +222,20 @@ RunResult run_once(const RunConfig& config) {
       policy.manage_core_frequency = true;  // the Agent would set it too
     }
     for (int i = 0; i < n; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      const perfmon::CounterSource& source =
+          inject ? static_cast<const perfmon::CounterSource&>(*ctx.fsrcs[idx])
+                 : *ctx.sources[idx];
       perfmon::SamplerOptions so;
       so.noise_sigma = config.sampler_noise_sigma;
       perfmon::IntervalSampler sampler(
-          *ctx.sources[static_cast<std::size_t>(i)],
-          config.machine.socket.core_base_mhz,
+          source, config.machine.socket.core_base_mhz,
           s.fork_rng(0x2000 + static_cast<std::uint64_t>(i)), so);
       powercap::PstateControl* pstate = nullptr;
       if (policy.manage_core_frequency) {
-        ctx.pstates.push_back(
-            std::make_unique<powercap::PstateControl>(s.msr(i)));
+        ctx.pstates.push_back(std::make_unique<powercap::PstateControl>(
+            inject ? static_cast<msr::MsrDevice&>(*ctx.fdevs[idx])
+                   : s.msr(i)));
         pstate = ctx.pstates.back().get();
       }
       ctx.agents.push_back(std::make_unique<core::Agent>(
@@ -176,11 +248,24 @@ RunResult run_once(const RunConfig& config) {
     }
   }
 
+  // Only now arm the injectors: construction-time reads must see clean
+  // hardware (defaults captured by the agents are the restore targets),
+  // while everything from the first tick on is fair game.
+  if (inject) {
+    for (auto& d : ctx.fdevs) d->arm();
+    for (auto& f : ctx.fsrcs) f->arm();
+  }
+
   RunResult result;
   result.summary = s.run();
 
   for (const auto& agent : ctx.agents) {
     result.agent_stats.push_back(agent->stats());
+    result.health.add(agent->stats().health);
+  }
+  for (const auto& plan : ctx.plans) {
+    result.fault_stats.push_back(plan->stats());
+    result.health.faults_injected += plan->stats().total();
   }
 
   // Machine-wide per-phase totals.
@@ -228,6 +313,7 @@ RepeatedResult aggregate_runs(const std::vector<RunResult>& runs) {
   }
 
   RepeatedResult out;
+  for (const RunResult& res : runs) out.health.add(res.health);
   out.runs = repetitions;
   out.exec_seconds = trimmed_summary(exec, exec);
   out.avg_pkg_power_w = trimmed_summary(exec, pkg_power);

@@ -12,6 +12,7 @@
 #include "common/stats.h"
 #include "core/agent.h"
 #include "core/policy.h"
+#include "faults/fault_plan.h"
 #include "hwmodel/socket_config.h"
 #include "sim/simulation.h"
 #include "sim/trace.h"
@@ -53,6 +54,14 @@ struct RunConfig {
   /// Fig. 1b/1c: partial capping of one phase.
   std::optional<PhaseCapSpec> phase_cap;
 
+  /// Fault injection (robustness experiments).  When `faults.enabled` the
+  /// harness interposes FaultyMsrDevice / FaultyCounterSource between the
+  /// control plane and the substrate, armed only once the run starts.
+  /// Each socket's fault stream is seeded
+  /// Rng(faults.seed).fork(seed).fork(socket), so storms are independent
+  /// per socket yet bit-reproducible per (fault seed, run seed) pair.
+  faults::FaultOptions faults;
+
   /// Optional tracing (not owned).
   sim::TraceSink* trace = nullptr;
 
@@ -64,9 +73,34 @@ struct RunConfig {
   std::vector<std::string> validate() const;
 };
 
+/// Machine-wide robustness roll-up (agents' AgentHealth summed over
+/// sockets plus the total number of injected faults), carried through the
+/// repetition protocol into CSV/bench output so fault-storm results are
+/// auditable: zero counters under a storm would mean the storm never
+/// reached the agent, not that the agent is perfect.
+struct HealthTotals {
+  std::uint64_t actuation_retries = 0;
+  std::uint64_t actuation_failures = 0;
+  std::uint64_t sample_read_failures = 0;
+  std::uint64_t samples_rejected = 0;
+  std::uint64_t degradations = 0;
+  std::uint64_t reengagements = 0;
+  std::uint64_t intervals_degraded = 0;
+  std::uint64_t faults_injected = 0;
+
+  void add(const core::AgentHealth& h);
+  void add(const HealthTotals& other);
+};
+
 struct RunResult {
   sim::RunSummary summary;
   std::vector<core::AgentStats> agent_stats;  ///< empty in mode none
+
+  /// Per-socket injection counts (empty unless faults.enabled).
+  std::vector<faults::FaultStats> fault_stats;
+
+  /// Agent health summed over sockets + total faults injected.
+  HealthTotals health;
 
   /// Machine-wide per-phase totals, keyed by phase name (summed over
   /// sockets and over every visit of the phase).
@@ -89,6 +123,10 @@ struct RepeatedResult {
   /// Per-phase wall seconds / package power (means over the kept runs),
   /// for the partial-capping figures.
   std::map<std::string, sim::PhaseTotals> mean_phase_totals;
+
+  /// Health counters summed over *all* repetitions (not trimmed: a
+  /// degradation in the fastest run still happened).
+  HealthTotals health;
   int runs = 0;
 };
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/expect.h"
+#include "common/units.h"
 
 namespace dufp::msr {
 namespace {
@@ -131,8 +132,8 @@ PowerInfo decode_power_info(std::uint64_t raw, const RaplUnits& u) {
 
 double energy_counter_delta(std::uint32_t before, std::uint32_t after,
                             const RaplUnits& u) {
-  // Unsigned subtraction handles a single wrap naturally.
-  const std::uint32_t delta = after - before;
+  const std::uint64_t delta =
+      wrap_delta(before, after, /*wrap_range=*/1ULL << 32);
   return static_cast<double>(delta) * u.joules_per_unit();
 }
 

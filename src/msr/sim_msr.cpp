@@ -40,6 +40,7 @@ void SimulatedMsr::write(int cpu, std::uint32_t reg, std::uint64_t value) {
   if (cpu < 0 || cpu >= core_count_) throw MsrError(reg, "bad cpu index");
   Register& r = find(reg);
   if (!r.writable) throw MsrError(reg, "write to read-only register");
+  if (r.write_guard) r.write_guard(cpu, value);  // may veto by throwing
   ++write_count_;
   r.value = value;
   for (const auto& h : r.write_handlers) h(cpu, value);
@@ -64,6 +65,11 @@ void SimulatedMsr::define_dynamic(std::uint32_t reg, ReadHandler fn) {
 void SimulatedMsr::on_write(std::uint32_t reg, WriteHandler fn) {
   DUFP_EXPECT(fn != nullptr);
   find(reg).write_handlers.push_back(std::move(fn));
+}
+
+void SimulatedMsr::set_write_guard(std::uint32_t reg, WriteHandler fn) {
+  DUFP_EXPECT(fn != nullptr);
+  find(reg).write_guard = std::move(fn);
 }
 
 std::uint64_t SimulatedMsr::peek(std::uint32_t reg) const {

@@ -45,6 +45,13 @@ class SimulatedMsr final : public MsrDevice {
   /// defined).  Multiple observers compose in registration order.
   void on_write(std::uint32_t reg, WriteHandler fn);
 
+  /// Attaches a pre-write guard (must already be defined): called with the
+  /// candidate value *before* the store, and may veto the write by
+  /// throwing MsrError — the register keeps its old value and no
+  /// observers fire.  This is how the RAPL engine models the power-limit
+  /// lock bit (writes to a locked 0x610 fault like wrmsr #GP).
+  void set_write_guard(std::uint32_t reg, WriteHandler fn);
+
   /// Direct (non-faulting) access for the simulation side.
   std::uint64_t peek(std::uint32_t reg) const;
   void poke(std::uint32_t reg, std::uint64_t value);
@@ -60,6 +67,7 @@ class SimulatedMsr final : public MsrDevice {
     std::uint64_t value = 0;
     bool writable = true;
     ReadHandler read_handler;                 // optional
+    WriteHandler write_guard;                 // optional, may veto by throwing
     std::vector<WriteHandler> write_handlers;  // optional
   };
 

@@ -1,6 +1,7 @@
 #include "perfmon/events.h"
 
 #include "common/expect.h"
+#include "common/units.h"
 
 namespace dufp::perfmon {
 
@@ -24,8 +25,7 @@ std::uint64_t counter_delta(std::uint64_t before, std::uint64_t after,
     return after - before;
   }
   DUFP_EXPECT(before < wrap_range && after < wrap_range);
-  if (after >= before) return after - before;
-  return wrap_range - before + after;  // single wrap
+  return wrap_delta(before, after, wrap_range);
 }
 
 }  // namespace dufp::perfmon

@@ -1,6 +1,7 @@
 #include "perfmon/sampler.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/expect.h"
 
@@ -21,8 +22,17 @@ void IntervalSampler::reset() { have_baseline_ = false; }
 
 std::optional<Sample> IntervalSampler::sample(SimTime now) {
   std::array<std::uint64_t, kEventCount> raw{};
-  for (int i = 0; i < kEventCount; ++i) {
-    raw[static_cast<std::size_t>(i)] = source_.read(static_cast<Event>(i));
+  try {
+    for (int i = 0; i < kEventCount; ++i) {
+      raw[static_cast<std::size_t>(i)] = source_.read(static_cast<Event>(i));
+    }
+  } catch (const std::exception&) {
+    // Counter read failed (e.g. a dropped PAPI sample).  Skip the interval
+    // but keep the baseline: the counters are monotonic, so the next
+    // successful read yields a delta spanning both intervals and no energy
+    // or work is lost from the totals.
+    ++health_.read_failures;
+    return std::nullopt;
   }
 
   if (!have_baseline_) {
@@ -34,6 +44,35 @@ std::optional<Sample> IntervalSampler::sample(SimTime now) {
 
   const double dt = (now - last_time_).seconds();
   DUFP_EXPECT(dt > 0.0);
+
+  auto result = build_sample(now, dt, raw);
+  if (!result) ++health_.samples_rejected;
+  // Advance the baseline either way.  After a rejection (corrupted read)
+  // this intentionally re-baselines onto the suspect values: if they were
+  // transient garbage the *next* interval is rejected too and re-baselines
+  // onto good data, so recovery is bounded at two intervals instead of
+  // rejecting forever against a poisoned baseline.
+  last_time_ = now;
+  last_raw_ = raw;
+  return result;
+}
+
+std::optional<Sample> IntervalSampler::build_sample(
+    SimTime now, double dt,
+    const std::array<std::uint64_t, kEventCount>& raw) {
+  // Raw-value sanity: a counter beyond its wrap modulus or a 64-bit
+  // counter that went backwards can only be corruption (e.g. a flipped
+  // high bit) — no rate derived from it can be trusted.
+  for (int i = 0; i < kEventCount; ++i) {
+    const auto e = static_cast<Event>(i);
+    const auto idx = static_cast<std::size_t>(i);
+    const std::uint64_t range = source_.wrap_range(e);
+    if (range == 0) {
+      if (raw[idx] < last_raw_[idx]) return std::nullopt;
+    } else if (raw[idx] >= range || last_raw_[idx] >= range) {
+      return std::nullopt;
+    }
+  }
 
   auto delta = [&](Event e) {
     const auto i = static_cast<std::size_t>(e);
@@ -62,8 +101,14 @@ std::optional<Sample> IntervalSampler::sample(SimTime now) {
   const double mperf = delta(Event::mperf_cycles);
   s.core_mhz = mperf > 0.0 ? core_base_mhz_ * aperf / mperf : 0.0;
 
-  last_time_ = now;
-  last_raw_ = raw;
+  // Derived-rate sanity: controllers divide by and ratchet on these, so a
+  // NaN or negative rate must never escape.
+  for (const double v : {s.flops_rate, s.bytes_rate, s.pkg_power_w,
+                         s.dram_power_w, s.core_mhz}) {
+    if (!std::isfinite(v) || v < 0.0) return std::nullopt;
+  }
+  if (!std::isfinite(s.operational_intensity())) return std::nullopt;
+
   return s;
 }
 

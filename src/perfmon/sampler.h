@@ -41,6 +41,18 @@ struct SamplerOptions {
   double noise_sigma = 0.004;
 };
 
+/// Counters for the measurement failures the sampler absorbed instead of
+/// letting them reach a controller.
+struct SamplerHealth {
+  /// Counter reads that threw; the interval is skipped, the baseline kept
+  /// (counters are monotonic, so the next delta spans both intervals).
+  std::uint64_t read_failures = 0;
+  /// Intervals whose raw values or derived rates failed validation
+  /// (non-monotonic counters, out-of-range raws, NaN/negative rates); the
+  /// sampler re-baselines so at most one further interval is lost.
+  std::uint64_t samples_rejected = 0;
+};
+
 class IntervalSampler {
  public:
   IntervalSampler(const CounterSource& source, double core_base_mhz,
@@ -48,13 +60,20 @@ class IntervalSampler {
 
   /// Reads all counters and produces the sample for the interval since the
   /// previous call.  The first call establishes the baseline and returns
-  /// nullopt.
+  /// nullopt.  Also returns nullopt — never throws, never emits garbage —
+  /// when the source fails or produces values that cannot be right; see
+  /// SamplerHealth for the accounting.
   std::optional<Sample> sample(SimTime now);
 
   /// Forgets the baseline (next sample() re-establishes it).
   void reset();
 
+  const SamplerHealth& health() const { return health_; }
+
  private:
+  std::optional<Sample> build_sample(
+      SimTime now, double dt,
+      const std::array<std::uint64_t, kEventCount>& raw);
   const CounterSource& source_;
   double core_base_mhz_;
   Rng rng_;
@@ -62,6 +81,7 @@ class IntervalSampler {
   bool have_baseline_ = false;
   SimTime last_time_{};
   std::array<std::uint64_t, kEventCount> last_raw_{};
+  SamplerHealth health_{};
 };
 
 }  // namespace dufp::perfmon

@@ -28,6 +28,11 @@ double Zone::time_window_s(ConstraintId c) const {
 
 double Zone::energy_j() const { return uj_to_joules(energy_uj()); }
 
+std::uint64_t Zone::energy_delta_uj(std::uint64_t before,
+                                    std::uint64_t after) const {
+  return wrap_delta(before, after, max_energy_range_uj());
+}
+
 // ---------------------------------------------------------------------------
 // PackageZone
 // ---------------------------------------------------------------------------

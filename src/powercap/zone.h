@@ -45,6 +45,14 @@ class Zone {
   void set_power_limit_w(ConstraintId c, double watts);
   double time_window_s(ConstraintId c) const;
   double energy_j() const;
+
+  /// Microjoules elapsed between two `energy_uj()` readings, correct
+  /// across a single `max_energy_range_uj()` wrap.  Every consumer that
+  /// differences this zone's energy counter must go through here (or
+  /// `dufp::wrap_delta` directly) — naive subtraction turns the wrap into
+  /// an astronomically large unsigned delta.
+  std::uint64_t energy_delta_uj(std::uint64_t before,
+                                std::uint64_t after) const;
 };
 
 /// Package RAPL zone ("intel-rapl:<socket>"): both constraints enforced.

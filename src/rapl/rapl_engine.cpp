@@ -29,6 +29,15 @@ void RaplEngine::install_registers() {
   def.short_term_enabled = true;
   def.short_term_clamped = true;
   msr_.define_register(kMsrPkgPowerLimit, encode_power_limit(def, units_));
+  // Lock-bit semantics: once a programmed limit has bit 63 set, further
+  // writes fault until reset — the BIOS-locked-PL failure mode real
+  // controllers must survive.
+  msr_.set_write_guard(kMsrPkgPowerLimit, [this](int, std::uint64_t) {
+    if (decode_power_limit(msr_.peek(kMsrPkgPowerLimit), units_).locked) {
+      throw MsrError(kMsrPkgPowerLimit,
+                     "power-limit register locked (PL lock bit set)");
+    }
+  });
   msr_.on_write(kMsrPkgPowerLimit, [this](int, std::uint64_t raw) {
     governor_.set_limit(decode_power_limit(raw, units_));
   });

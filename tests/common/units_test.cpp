@@ -41,5 +41,31 @@ TEST(UnitsTest, RateConversions) {
   EXPECT_DOUBLE_EQ(bps_to_gbps(85e9), 85.0);
 }
 
+TEST(UnitsTest, WrapDeltaNoWrap) {
+  EXPECT_EQ(wrap_delta(100, 250, 1000), 150u);
+  EXPECT_EQ(wrap_delta(100, 100, 1000), 0u);  // after == before
+}
+
+TEST(UnitsTest, WrapDeltaAcrossTheBoundary) {
+  // RAPL-style 32-bit raw counter: 2^32 - 5 .. 10 is a 15-unit step.
+  const std::uint64_t range = 1ULL << 32;
+  EXPECT_EQ(wrap_delta(range - 5, 10, range), 15u);
+  // Landing exactly on zero at the wrap point.
+  EXPECT_EQ(wrap_delta(range - 1, 0, range), 1u);
+  // Maximal single-wrap delta: full revolution minus one.
+  EXPECT_EQ(wrap_delta(1, 0, range), range - 1);
+}
+
+TEST(UnitsTest, WrapDeltaZeroRangeMeansNoWrap) {
+  // A 64-bit counter never wraps in practice: plain subtraction.
+  EXPECT_EQ(wrap_delta(7, 1000007, 0), 1000000u);
+}
+
+TEST(UnitsTest, WrapDeltaIsConstexpr) {
+  static_assert(wrap_delta(90, 10, 100) == 20);
+  static_assert(wrap_delta(10, 90, 100) == 80);
+  SUCCEED();
+}
+
 }  // namespace
 }  // namespace dufp

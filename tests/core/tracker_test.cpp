@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace dufp::core {
 namespace {
 
@@ -115,6 +117,43 @@ TEST_F(PhaseTrackerTest, MeaningfulBandwidthTracked) {
   tracker_.update(sample(50, 40));
   const auto u = tracker_.update(sample(50, 20));
   EXPECT_NEAR(u.bw_drop, 0.5, 1e-9);
+}
+
+TEST_F(PhaseTrackerTest, GarbageSampleIsNeutralAndDoesNotPoisonRatchets) {
+  tracker_.update(sample(50, 25));  // cpu phase, maxima 50/25
+  perfmon::Sample bad;
+  bad.flops_rate = std::numeric_limits<double>::quiet_NaN();
+  bad.bytes_rate = 25e9;
+  bad.interval_s = 0.2;
+  auto u = tracker_.update(bad);
+  EXPECT_FALSE(u.phase_change);
+  EXPECT_EQ(u.phase_class, PhaseClass::cpu);  // held, not re-derived
+  EXPECT_DOUBLE_EQ(u.flops_drop, 0.0);
+  EXPECT_FALSE(u.highly_memory);
+  EXPECT_FALSE(u.highly_cpu);
+
+  bad.flops_rate = -5e9;  // negative rates are corruption too
+  bad.bytes_rate = 25e9;
+  u = tracker_.update(bad);
+  EXPECT_FALSE(u.phase_change);
+
+  // The ratchets survived: drops are still measured against 50 GFLOPS.
+  const auto good = tracker_.update(sample(40, 25));
+  EXPECT_NEAR(good.flops_drop, 1.0 - 40.0 / 50.0, 1e-9);
+  EXPECT_DOUBLE_EQ(tracker_.max_flops(), 50e9);
+}
+
+TEST_F(PhaseTrackerTest, GarbageFirstSampleDoesNotSeedAPhase) {
+  perfmon::Sample bad;
+  bad.flops_rate = std::numeric_limits<double>::infinity();
+  bad.bytes_rate = 1e9;
+  bad.interval_s = 0.2;
+  const auto u = tracker_.update(bad);
+  EXPECT_FALSE(u.phase_change);
+  // The first real sample afterwards behaves like a true first sample.
+  const auto first = tracker_.update(sample(50, 25));
+  EXPECT_FALSE(first.phase_change);
+  EXPECT_DOUBLE_EQ(first.flops_drop, 0.0);
 }
 
 TEST_F(PhaseTrackerTest, RestartPhaseForcesFreshMaxima) {

@@ -1,0 +1,127 @@
+#include "faults/faulty_counter_source.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace dufp::faults {
+namespace {
+
+using perfmon::Event;
+using perfmon::kEventCount;
+
+/// Monotonic counters advancing by a fixed step per read; energy events
+/// wrap at 1e9 like a small RAPL range.
+class FakeSource final : public perfmon::CounterSource {
+ public:
+  std::uint64_t read(Event e) const override {
+    const auto i = static_cast<std::size_t>(e);
+    values_[i] += 1000;
+    const std::uint64_t range = wrap_range(e);
+    return range == 0 ? values_[i] : values_[i] % range;
+  }
+  std::uint64_t wrap_range(Event e) const override {
+    return (e == Event::pkg_energy_uj || e == Event::dram_energy_uj)
+               ? 1000000000ULL
+               : 0ULL;
+  }
+
+ private:
+  mutable std::array<std::uint64_t, kEventCount> values_{};
+};
+
+TEST(FaultyCounterSourceTest, DisarmedQuietOptionsArePassthrough) {
+  FakeSource inner;
+  FakeSource reference;
+  FaultOptions opts;
+  opts.enabled = true;  // no rates, no forced wrap
+  FaultPlan plan(opts, Rng(1));
+  FaultyCounterSource faulty(inner, plan);
+  for (int i = 0; i < 100; ++i) {
+    for (int e = 0; e < kEventCount; ++e) {
+      EXPECT_EQ(faulty.read(static_cast<Event>(e)),
+                reference.read(static_cast<Event>(e)));
+    }
+  }
+  EXPECT_EQ(plan.stats().total(), 0u);
+}
+
+TEST(FaultyCounterSourceTest, DroppedSampleThrowsNamingTheEvent) {
+  FakeSource inner;
+  FaultOptions opts;
+  opts.enabled = true;
+  opts.dropped_sample = {1.0, 1};
+  FaultPlan plan(opts, Rng(2));
+  FaultyCounterSource faulty(inner, plan);
+  faulty.arm();
+  try {
+    faulty.read(Event::fp_ops);
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("PAPI_DP_OPS"), std::string::npos);
+  }
+}
+
+TEST(FaultyCounterSourceTest, StaleSampleRepeatsPreviousValue) {
+  // The first read cannot be stale (no cached value yet); every later
+  // read with the class firing repeats the cached one.
+  FaultOptions stale;
+  stale.enabled = true;
+  stale.stale_sample = {1.0, 1};
+  FakeSource inner;
+  FaultPlan plan(stale, Rng(3));
+  FaultyCounterSource faulty(inner, plan);
+  faulty.arm();
+  const std::uint64_t seed_read = faulty.read(Event::fp_ops);
+  EXPECT_EQ(faulty.read(Event::fp_ops), seed_read);
+  EXPECT_EQ(faulty.read(Event::fp_ops), seed_read);
+  EXPECT_GE(plan.stats().count(FaultClass::stale_sample), 2u);
+}
+
+TEST(FaultyCounterSourceTest, ForcedWrapOffsetsOnlyWrappingEvents) {
+  FakeSource inner;
+  FakeSource reference;
+  FaultOptions opts;
+  opts.enabled = true;
+  opts.force_energy_wrap = true;
+  opts.energy_wrap_lead_j = 2.0;  // 2e6 uJ before the wrap
+  FaultPlan plan(opts, Rng(4));
+  FaultyCounterSource faulty(inner, plan);
+  // Applied even before arm(): the offset is a deterministic relabelling
+  // and must be consistent from the very first (baseline) read.
+  const std::uint64_t range = 1000000000ULL;
+  const std::uint64_t offset = range - 2000000ULL;
+  const std::uint64_t got = faulty.read(Event::pkg_energy_uj);
+  const std::uint64_t want = (reference.read(Event::pkg_energy_uj) + offset) % range;
+  EXPECT_EQ(got, want);
+  // Non-wrapping events untouched.
+  EXPECT_EQ(faulty.read(Event::fp_ops), reference.read(Event::fp_ops));
+}
+
+TEST(FaultyCounterSourceTest, ForcedWrapActuallyWraps) {
+  FakeSource inner;
+  FaultOptions opts;
+  opts.enabled = true;
+  opts.force_energy_wrap = true;
+  opts.energy_wrap_lead_j = 0.0015;  // 1500 uJ: wraps on the second read
+  FaultPlan plan(opts, Rng(5));
+  FaultyCounterSource faulty(inner, plan);
+  const std::uint64_t before = faulty.read(Event::pkg_energy_uj);
+  const std::uint64_t after = faulty.read(Event::pkg_energy_uj);
+  EXPECT_LT(after, before);  // wrapped around zero
+  // The delta across the wrap is still the true 1000-unit step.
+  EXPECT_EQ(perfmon::counter_delta(before, after, 1000000000ULL), 1000u);
+}
+
+TEST(FaultyCounterSourceTest, WrapRangePassesThrough) {
+  FakeSource inner;
+  FaultOptions opts;
+  opts.enabled = true;
+  FaultPlan plan(opts, Rng(6));
+  FaultyCounterSource faulty(inner, plan);
+  EXPECT_EQ(faulty.wrap_range(Event::pkg_energy_uj), 1000000000ULL);
+  EXPECT_EQ(faulty.wrap_range(Event::fp_ops), 0ULL);
+}
+
+}  // namespace
+}  // namespace dufp::faults

@@ -1,0 +1,136 @@
+#include "faults/faulty_msr.h"
+
+#include <gtest/gtest.h>
+
+#include "msr/sim_msr.h"
+
+namespace dufp::faults {
+namespace {
+
+using msr::MsrError;
+using msr::SimulatedMsr;
+
+constexpr std::uint32_t kReg = 0x620;
+
+SimulatedMsr make_backend() {
+  SimulatedMsr dev(4);
+  dev.define_register(kReg, 0xABCD);
+  return dev;
+}
+
+TEST(FaultyMsrTest, DisarmedIsPurePassthrough) {
+  auto dev = make_backend();
+  FaultPlan plan(FaultOptions::storm(1.0, 5), Rng(5));
+  FaultyMsrDevice faulty(dev, plan);
+  EXPECT_FALSE(faulty.armed());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(faulty.read(0, kReg), 0xABCDu);
+    EXPECT_NO_THROW(faulty.write(0, kReg, 0xABCD));
+  }
+  EXPECT_EQ(plan.stats().total(), 0u);
+  EXPECT_EQ(faulty.core_count(), 4);
+}
+
+TEST(FaultyMsrTest, ReadEioThrowsMsrErrorWithRegister) {
+  auto dev = make_backend();
+  FaultOptions opts;
+  opts.enabled = true;
+  opts.read_eio = {1.0, 1};
+  FaultPlan plan(opts, Rng(1));
+  FaultyMsrDevice faulty(dev, plan);
+  faulty.arm();
+  try {
+    faulty.read(0, kReg);
+    FAIL() << "expected MsrError";
+  } catch (const MsrError& e) {
+    EXPECT_EQ(e.reg(), kReg);
+    EXPECT_NE(std::string(e.what()).find("620"), std::string::npos);
+  }
+  EXPECT_EQ(plan.stats().count(FaultClass::read_eio), 1u);
+}
+
+TEST(FaultyMsrTest, BitFlipCorruptsExactlyOneBit) {
+  auto dev = make_backend();
+  FaultOptions opts;
+  opts.enabled = true;
+  opts.bit_flip = {1.0, 1};
+  FaultPlan plan(opts, Rng(2));
+  FaultyMsrDevice faulty(dev, plan);
+  faulty.arm();
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t got = faulty.read(0, kReg);
+    const std::uint64_t diff = got ^ 0xABCDu;
+    EXPECT_NE(diff, 0u);
+    EXPECT_EQ(diff & (diff - 1), 0u) << "more than one bit flipped";
+  }
+  // The backend itself was never corrupted.
+  EXPECT_EQ(dev.peek(kReg), 0xABCDu);
+}
+
+TEST(FaultyMsrTest, WriteEpermBlocksTheStore) {
+  auto dev = make_backend();
+  FaultOptions opts;
+  opts.enabled = true;
+  opts.write_eperm = {1.0, 3};
+  FaultPlan plan(opts, Rng(3));
+  FaultyMsrDevice faulty(dev, plan);
+  faulty.arm();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_THROW(faulty.write(0, kReg, 0x1), MsrError);
+  }
+  EXPECT_EQ(dev.peek(kReg), 0xABCDu);  // nothing reached the backend
+  EXPECT_EQ(plan.stats().count(FaultClass::write_eperm), 3u);
+}
+
+TEST(FaultyMsrTest, WriteEioIsTransient) {
+  auto dev = make_backend();
+  FaultOptions opts;
+  opts.enabled = true;
+  opts.write_eio = {0.5, 1};
+  FaultPlan plan(opts, Rng(4));
+  FaultyMsrDevice faulty(dev, plan);
+  faulty.arm();
+  int failures = 0;
+  int successes = 0;
+  for (int i = 0; i < 200; ++i) {
+    try {
+      faulty.write(0, kReg, static_cast<std::uint64_t>(i));
+      ++successes;
+    } catch (const MsrError&) {
+      ++failures;
+    }
+  }
+  EXPECT_GT(failures, 0);
+  EXPECT_GT(successes, 0);  // a 50% EIO rate lets retries through
+}
+
+TEST(FaultyMsrTest, LockedRegisterAlwaysFaultsOthersPass) {
+  auto dev = make_backend();
+  dev.define_register(0x610, 7);
+  FaultOptions opts;
+  opts.enabled = true;
+  opts.locked_register = 0x610;
+  FaultPlan plan(opts, Rng(6));
+  FaultyMsrDevice faulty(dev, plan);
+  faulty.arm();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_THROW(faulty.write(0, 0x610, 1), MsrError);
+  }
+  EXPECT_NO_THROW(faulty.write(0, kReg, 0x42));  // other registers fine
+  EXPECT_EQ(dev.peek(0x610), 7u);
+  EXPECT_EQ(dev.peek(kReg), 0x42u);
+}
+
+TEST(FaultyMsrTest, InnerErrorsStillPropagate) {
+  auto dev = make_backend();
+  FaultOptions opts;
+  opts.enabled = true;
+  FaultPlan plan(opts, Rng(8));
+  FaultyMsrDevice faulty(dev, plan);
+  faulty.arm();
+  EXPECT_THROW(faulty.read(0, 0x9999), MsrError);   // unknown register
+  EXPECT_THROW(faulty.read(99, kReg), MsrError);    // bad cpu index
+}
+
+}  // namespace
+}  // namespace dufp::faults

@@ -63,6 +63,39 @@ TEST(RunnerTest, ValidateReportsAllProblemsNotJustTheFirst) {
   EXPECT_TRUE(has("static_cap_w"));
 }
 
+TEST(RunnerTest, ValidateCatchesBadWatchdogKnobs) {
+  auto cfg = small_config();
+  cfg.policy.max_actuation_attempts = 0;
+  cfg.policy.watchdog_failure_threshold = -1;
+  cfg.policy.watchdog_backoff_intervals = 0;
+  cfg.policy.watchdog_backoff_max_intervals = 0;
+  const auto problems = cfg.validate();
+  auto has = [&](const std::string& needle) {
+    for (const auto& p : problems) {
+      if (p.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("max_actuation_attempts"));
+  EXPECT_TRUE(has("watchdog_failure_threshold"));
+  EXPECT_TRUE(has("watchdog_backoff_intervals"));
+}
+
+TEST(RunnerTest, ValidateCatchesBadFaultOptions) {
+  auto cfg = small_config();
+  cfg.faults.enabled = true;
+  cfg.faults.read_eio = {1.5, 1};
+  cfg.faults.stale_sample = {0.1, 0};
+  const auto problems = cfg.validate();
+  EXPECT_GE(problems.size(), 2u);
+  bool prefixed = false;
+  for (const auto& p : problems) {
+    if (p.rfind("faults.", 0) == 0) prefixed = true;
+  }
+  EXPECT_TRUE(prefixed) << "fault problems carry the faults. prefix";
+  EXPECT_THROW(run_once(cfg), std::invalid_argument);
+}
+
 TEST(RunnerTest, ValidateCatchesUnknownPhaseCap) {
   auto cfg = small_config();
   cfg.phase_cap = PhaseCapSpec{"no_such_phase", 75.0};

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <string>
+
 #include "msr/registers.h"
 
 namespace dufp::msr {
@@ -113,6 +116,62 @@ TEST(MsrErrorTest, MessageContainsRegisterHex) {
   const MsrError e(0x620, "nope");
   EXPECT_NE(std::string(e.what()).find("620"), std::string::npos);
   EXPECT_EQ(e.reg(), 0x620u);
+}
+
+// ---------------------------------------------------------------------------
+// Error-path diagnostics: every fault names the offending register in hex
+// so a log line is actionable without a debugger.
+// ---------------------------------------------------------------------------
+
+std::string error_text(const std::function<void()>& op) {
+  try {
+    op();
+  } catch (const MsrError& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(SimulatedMsrTest, UnknownRegisterErrorNamesTheRegister) {
+  SimulatedMsr dev(4);
+  const auto read_msg = error_text([&] { dev.read(0, 0x1A4); });
+  EXPECT_NE(read_msg.find("1a4"), std::string::npos) << read_msg;
+  const auto write_msg = error_text([&] { dev.write(0, 0x1A4, 1); });
+  EXPECT_NE(write_msg.find("1a4"), std::string::npos) << write_msg;
+}
+
+TEST(SimulatedMsrTest, ReadOnlyWriteErrorNamesTheRegister) {
+  SimulatedMsr dev(4);
+  dev.define_register(0x606, 0x000a0e03, /*writable=*/false);
+  const auto msg = error_text([&] { dev.write(0, 0x606, 0); });
+  EXPECT_NE(msg.find("606"), std::string::npos) << msg;
+}
+
+TEST(SimulatedMsrTest, BadCpuErrorNamesTheRegister) {
+  SimulatedMsr dev(4);
+  dev.define_register(0x10, 0);
+  const auto msg = error_text([&] { dev.read(99, 0x10); });
+  EXPECT_NE(msg.find("10"), std::string::npos) << msg;
+}
+
+TEST(SimulatedMsrTest, WriteGuardVetoLeavesStateUntouched) {
+  SimulatedMsr dev(4);
+  dev.define_register(0x610, 0x1234);
+  int observer_fired = 0;
+  dev.on_write(0x610, [&](int, std::uint64_t) { ++observer_fired; });
+  dev.set_write_guard(0x610, [](int, std::uint64_t v) {
+    if (v == 0xBAD) throw MsrError(0x610, "guard veto");
+  });
+  // Vetoed store: value unchanged, observers not fired, counter unmoved.
+  EXPECT_THROW(dev.write(0, 0x610, 0xBAD), MsrError);
+  EXPECT_EQ(dev.peek(0x610), 0x1234ull);
+  EXPECT_EQ(observer_fired, 0);
+  EXPECT_EQ(dev.write_count(), 0ull);
+  // A permitted store still goes through normally.
+  dev.write(0, 0x610, 0x42);
+  EXPECT_EQ(dev.peek(0x610), 0x42ull);
+  EXPECT_EQ(observer_fired, 1);
+  EXPECT_EQ(dev.write_count(), 1ull);
 }
 
 }  // namespace

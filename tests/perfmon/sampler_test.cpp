@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <stdexcept>
 
 #include "hwmodel/socket_model.h"
 #include "msr/sim_msr.h"
@@ -152,6 +153,95 @@ TEST(SamplerTest, DeterministicGivenSeed) {
   src.set(Event::fp_ops, 0);
   const double b = run(5);
   EXPECT_DOUBLE_EQ(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// Hardening: counter-read failures and garbage samples must be absorbed,
+// counted, and recovered from within a bounded number of intervals.
+// ---------------------------------------------------------------------------
+
+/// FakeSource that throws on demand, modelling a flaky perf backend.
+class ThrowingSource final : public CounterSource {
+ public:
+  std::uint64_t read(Event e) const override {
+    if (throwing_) throw std::runtime_error("injected read failure");
+    return inner_.read(e);
+  }
+  std::uint64_t wrap_range(Event e) const override {
+    return inner_.wrap_range(e);
+  }
+
+  FakeSource& inner() { return inner_; }
+  void set_throwing(bool t) { throwing_ = t; }
+
+ private:
+  FakeSource inner_;
+  bool throwing_ = false;
+};
+
+TEST(SamplerTest, ReadFailureCountedAndBaselineKept) {
+  ThrowingSource src;
+  IntervalSampler s(src, 2100.0, Rng(1), noiseless());
+  s.sample(SimTime::from_millis(0));
+
+  src.set_throwing(true);
+  EXPECT_FALSE(s.sample(SimTime::from_millis(200)).has_value());
+  EXPECT_FALSE(s.sample(SimTime::from_millis(400)).has_value());
+  EXPECT_EQ(s.health().read_failures, 2u);
+  EXPECT_EQ(s.health().samples_rejected, 0u);
+
+  // The baseline survived the outage: because the counters are monotonic
+  // the next good sample spans the whole 0..600 ms window and the rates
+  // are still exact.
+  src.set_throwing(false);
+  src.inner().set(Event::fp_ops, 30'000'000'000ull);  // 30 GFLOP in 0.6 s
+  const auto smp = s.sample(SimTime::from_millis(600));
+  ASSERT_TRUE(smp.has_value());
+  EXPECT_DOUBLE_EQ(smp->interval_s, 0.6);
+  EXPECT_DOUBLE_EQ(smp->flops_rate, 50e9);
+}
+
+TEST(SamplerTest, NonMonotonicCounterRejectedThenRecovers) {
+  FakeSource src;
+  IntervalSampler s(src, 2100.0, Rng(1), noiseless());
+  src.set(Event::fp_ops, 10'000'000'000ull);
+  s.sample(SimTime::from_millis(0));
+
+  // A non-wrapping counter running backwards is corruption, not a wrap.
+  src.set(Event::fp_ops, 5'000'000'000ull);
+  EXPECT_FALSE(s.sample(SimTime::from_millis(200)).has_value());
+  EXPECT_EQ(s.health().samples_rejected, 1u);
+
+  // Bounded recovery: the sampler re-baselined onto the suspect read, so
+  // one interval later a consistent stream yields a good sample again.
+  src.set(Event::fp_ops, 15'000'000'000ull);  // 10 GFLOP over 0.2 s
+  const auto smp = s.sample(SimTime::from_millis(400));
+  ASSERT_TRUE(smp.has_value());
+  EXPECT_DOUBLE_EQ(smp->flops_rate, 50e9);
+}
+
+TEST(SamplerTest, EnergyReadingBeyondWrapRangeRejected) {
+  FakeSource src;
+  src.set_wrap(1000);
+  src.set(Event::pkg_energy_uj, 990);
+  IntervalSampler s(src, 2100.0, Rng(1), noiseless());
+  s.sample(SimTime::from_millis(0));
+  // A raw value at/above the wrap range cannot come from this counter.
+  src.set(Event::pkg_energy_uj, 5000);
+  EXPECT_FALSE(s.sample(SimTime::from_millis(200)).has_value());
+  EXPECT_EQ(s.health().samples_rejected, 1u);
+}
+
+TEST(SamplerTest, ResetClearsNothingButBaseline) {
+  ThrowingSource src;
+  IntervalSampler s(src, 2100.0, Rng(1), noiseless());
+  s.sample(SimTime::from_millis(0));
+  src.set_throwing(true);
+  s.sample(SimTime::from_millis(200));
+  EXPECT_EQ(s.health().read_failures, 1u);
+  s.reset();
+  // Health is cumulative accounting; reset() only forgets the baseline.
+  EXPECT_EQ(s.health().read_failures, 1u);
 }
 
 TEST(SimCounterSourceTest, ReadsSocketGroundTruthThroughMsrs) {

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "common/units.h"
 #include "hwmodel/socket_model.h"
+#include "msr/registers.h"
 #include "msr/sim_msr.h"
 #include "rapl/rapl_engine.h"
 
@@ -134,6 +137,31 @@ TEST_F(ZoneTest, InvalidConstraintIndexThrows) {
 TEST_F(ZoneTest, NonPositiveWattLimitRejected) {
   EXPECT_THROW(pkg_.set_power_limit_w(ConstraintId::long_term, 0.0),
                std::invalid_argument);
+}
+
+TEST_F(ZoneTest, EnergyDeltaHandlesSingleWrap) {
+  const std::uint64_t range = pkg_.max_energy_range_uj();
+  EXPECT_EQ(pkg_.energy_delta_uj(100, 400), 300u);
+  // 500 uJ before the wrap point to 700 uJ after it: 1200 uJ elapsed.
+  EXPECT_EQ(pkg_.energy_delta_uj(range - 500, 700), 1200u);
+  // Naive subtraction would have produced a ~2.6e11 uJ monster here.
+  EXPECT_LT(pkg_.energy_delta_uj(range - 1, 0), range);
+}
+
+TEST_F(ZoneTest, LockedPowerLimitRegisterRejectsWrites) {
+  // Set the PL lock bit (bit 63) the way locked BIOSes leave it; from
+  // then on every limit write must fault and leave the limits untouched.
+  dev_.poke(msr::kMsrPkgPowerLimit,
+            dev_.peek(msr::kMsrPkgPowerLimit) | (1ULL << 63));
+  EXPECT_THROW(pkg_.set_power_limit_w(ConstraintId::long_term, 100.0),
+               msr::MsrError);
+  EXPECT_DOUBLE_EQ(pkg_.power_limit_w(ConstraintId::long_term), 125.0);
+  try {
+    pkg_.set_power_limit_w(ConstraintId::short_term, 90.0);
+    FAIL() << "expected MsrError";
+  } catch (const msr::MsrError& e) {
+    EXPECT_NE(std::string(e.what()).find("lock"), std::string::npos);
+  }
 }
 
 }  // namespace

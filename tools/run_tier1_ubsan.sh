@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 test suite under UndefinedBehaviorSanitizer.
+#
+# Builds the tree in a separate build directory with
+# -DDUFP_SANITIZE=undefined (see the cache variable in the top-level
+# CMakeLists.txt) and runs every test labeled tier1 with UBSan configured
+# to fail hard on the first report.  Intended both for CI and as a local
+# pre-merge check:
+#
+#   tools/run_tier1_ubsan.sh            # configure + build + ctest
+#   tools/run_tier1_ubsan.sh -j8        # extra args forwarded to ctest
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${repo_root}/build-ubsan"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDUFP_SANITIZE=undefined
+cmake --build "${build_dir}" -j"$(nproc)"
+
+# halt_on_error turns any UB report into a test failure instead of a log
+# line that scrolls past; the stacktrace makes the report actionable.
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+
+ctest --test-dir "${build_dir}" -L tier1 --output-on-failure "$@"
