@@ -11,12 +11,17 @@
 //                   R > 0 runs the grid under a deterministic fault storm
 //                   (see faults::FaultOptions::storm); health counters are
 //                   reported alongside the figures
+//   DUFP_OUT_DIR=D  directory all CSV / trace / telemetry files land in
+//                   (default "out", created on demand)
+//   DUFP_TELEMETRY=1
+//                   enable the telemetry plane where a bench supports it
 #pragma once
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "common/csv.h"
 #include "common/string_util.h"
 #include "common/table.h"
 #include "harness/experiment.h"
@@ -77,6 +82,41 @@ inline std::string with_bar(double val, double lo, double hi) {
 
 inline std::string tol_label(double tol) {
   return strf("%d%%", static_cast<int>(tol * 100 + 0.5));
+}
+
+/// `<DUFP_OUT_DIR>/<filename>`, creating the directory on demand — every
+/// bench output file goes through this.
+inline std::string out_path(const std::string& filename) {
+  return harness::BenchOptions::from_env().out_path(filename);
+}
+
+/// The CSV shape the Fig. 3 / Fig. 4 benches share: one row per
+/// app x {DUF, DUFP} x tolerance with `value_headers` extra columns,
+/// filled by `cell(eval, mode, tolerance)`.  Writes under DUFP_OUT_DIR
+/// and reports the path on stdout.
+template <typename CellFn>
+void write_grid_csv(const std::string& filename,
+                    const std::vector<std::string>& value_headers,
+                    const std::vector<harness::Evaluation>& evals,
+                    CellFn&& cell) {
+  const std::string path = out_path(filename);
+  CsvWriter csv(path);
+  std::vector<std::string> header{"app", "mode", "tolerance_pct"};
+  header.insert(header.end(), value_headers.begin(), value_headers.end());
+  csv.write_row(header);
+  for (const auto& e : evals) {
+    for (harness::PolicyMode mode :
+         {harness::PolicyMode::duf, harness::PolicyMode::dufp}) {
+      for (double t : harness::paper_tolerances()) {
+        std::vector<std::string> row{workloads::app_name(e.app()),
+                                     harness::policy_mode_name(mode),
+                                     fmt_double(t * 100, 0)};
+        for (std::string& v : cell(e, mode, t)) row.push_back(std::move(v));
+        csv.write_row(row);
+      }
+    }
+  }
+  std::printf("Raw series written to %s\n", path.c_str());
 }
 
 }  // namespace dufp::bench

@@ -8,11 +8,17 @@
 //
 // Knobs: DUFP_FAULT_RATE (default 0.02 here — this bench always storms),
 // DUFP_FAULT_SEED, plus the usual DUFP_REPS / DUFP_SOCKETS / DUFP_THREADS.
+// With DUFP_TELEMETRY=1 the bench additionally runs one instrumented
+// DUFP repetition and exports the full telemetry plane — Prometheus
+// exposition, Chrome trace JSON, JSONL and any watchdog flight-recorder
+// dumps — under DUFP_OUT_DIR (see EXPERIMENTS.md, "Capturing a flight
+// recorder dump").
 #include <iostream>
 
 #include "bench_util.h"
 #include "common/csv.h"
 #include "faults/fault_plan.h"
+#include "telemetry/export.h"
 
 using namespace dufp;
 using harness::PolicyMode;
@@ -36,7 +42,8 @@ int main() {
   base.tolerated_slowdown = 0.10;
   base.faults = faults::FaultOptions{};  // clean, whatever the env says
 
-  CsvWriter csv("fault_storm.csv");
+  const std::string csv_path = bench::out_path("fault_storm.csv");
+  CsvWriter csv(csv_path);
   csv.write_row({"mode", "exec_s", "exec_s_clean", "avg_pkg_power_w",
                  "faults_injected", "actuation_retries", "actuation_failures",
                  "sample_read_failures", "samples_rejected", "degradations",
@@ -74,6 +81,23 @@ int main() {
   std::printf(
       "\nEvery run completed under the storm; degraded sockets fail safe\n"
       "to the hardware defaults and re-engage with exponential backoff.\n"
-      "Raw series written to fault_storm.csv\n");
+      "Raw series written to %s\n", csv_path.c_str());
+
+  if (opts.telemetry) {
+    // One instrumented DUFP repetition under the same storm: the flight
+    // recorders capture the interval-by-interval history and every
+    // watchdog fail-open dumps the last moments before degradation.
+    harness::RunConfig instr = base;
+    instr.mode = PolicyMode::dufp;
+    instr.faults = faults::FaultOptions::storm(rate, opts.fault_seed);
+    instr.telemetry.enabled = true;
+    const auto res = harness::run_once(instr);
+    const auto files = telemetry::export_run(
+        *res.telemetry, bench::out_path("fault_storm_telemetry"));
+    std::printf("\nTelemetry (1 instrumented DUFP run, %zu metric series, "
+                "%zu flight dumps):\n",
+                res.telemetry->metrics.size(), res.telemetry->dumps.size());
+    for (const auto& f : files) std::printf("  %s\n", f.c_str());
+  }
   return 0;
 }

@@ -63,21 +63,14 @@ int main() {
       "Paper: respected for 34/40 (85 %%); remaining configurations stay\n"
       "within ~3 points (LAMMPS, CG @20, UA @0 are the violators).\n");
 
-  CsvWriter csv("fig3a_slowdown.csv");
-  csv.write_row({"app", "mode", "tolerance_pct", "slowdown_pct", "min",
-                 "max"});
-  for (const auto& e : evals) {
-    for (PolicyMode mode : {PolicyMode::duf, PolicyMode::dufp}) {
-      for (double t : tols) {
-        csv.write_row({workloads::app_name(e.app()),
-                       harness::policy_mode_name(mode),
-                       fmt_double(t * 100, 0),
-                       fmt_double(e.slowdown_pct(mode, t), 3),
-                       fmt_double(e.slowdown_pct_min(mode, t), 3),
-                       fmt_double(e.slowdown_pct_max(mode, t), 3)});
-      }
-    }
-  }
-  std::printf("\nRaw series written to fig3a_slowdown.csv\n");
+  std::printf("\n");
+  bench::write_grid_csv(
+      "fig3a_slowdown.csv", {"slowdown_pct", "min", "max"}, evals,
+      [](const harness::Evaluation& e, PolicyMode mode, double t) {
+        return std::vector<std::string>{
+            fmt_double(e.slowdown_pct(mode, t), 3),
+            fmt_double(e.slowdown_pct_min(mode, t), 3),
+            fmt_double(e.slowdown_pct_max(mode, t), 3)};
+      });
   return 0;
 }

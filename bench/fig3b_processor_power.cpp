@@ -57,18 +57,11 @@ int main() {
       "Largest DUFP-over-DUF improvement: %.2f points (%s).   "
       "[paper: +7.90 points on CG @20%%]\n", best_gap, gap_cfg.c_str());
 
-  CsvWriter csv("fig3b_processor_power.csv");
-  csv.write_row({"app", "mode", "tolerance_pct", "power_savings_pct"});
-  for (const auto& e : evals) {
-    for (PolicyMode mode : {PolicyMode::duf, PolicyMode::dufp}) {
-      for (double t : tols) {
-        csv.write_row({workloads::app_name(e.app()),
-                       harness::policy_mode_name(mode),
-                       fmt_double(t * 100, 0),
-                       fmt_double(e.pkg_power_savings_pct(mode, t), 3)});
-      }
-    }
-  }
-  std::printf("Raw series written to fig3b_processor_power.csv\n");
+  bench::write_grid_csv(
+      "fig3b_processor_power.csv", {"power_savings_pct"}, evals,
+      [](const harness::Evaluation& e, PolicyMode mode, double t) {
+        return std::vector<std::string>{
+            fmt_double(e.pkg_power_savings_pct(mode, t), 3)};
+      });
   return 0;
 }

@@ -43,18 +43,11 @@ int main() {
       "at 10 %%; up to 10 %% tolerance most applications lose no energy,\n"
       "and CG @10 %% saves ~4.7 %% energy on top of ~14 %% power.\n");
 
-  CsvWriter csv("fig3c_energy.csv");
-  csv.write_row({"app", "mode", "tolerance_pct", "energy_change_pct"});
-  for (const auto& e : evals) {
-    for (PolicyMode mode : {PolicyMode::duf, PolicyMode::dufp}) {
-      for (double t : tols) {
-        csv.write_row({workloads::app_name(e.app()),
-                       harness::policy_mode_name(mode),
-                       fmt_double(t * 100, 0),
-                       fmt_double(e.energy_change_pct(mode, t), 3)});
-      }
-    }
-  }
-  std::printf("Raw series written to fig3c_energy.csv\n");
+  bench::write_grid_csv(
+      "fig3c_energy.csv", {"energy_change_pct"}, evals,
+      [](const harness::Evaluation& e, PolicyMode mode, double t) {
+        return std::vector<std::string>{
+            fmt_double(e.energy_change_pct(mode, t), 3)};
+      });
   return 0;
 }

@@ -46,18 +46,11 @@ int main() {
       "Paper: savings for most configurations, best ~8.83 %% on CG @20 %%;\n"
       "only MG @0 %% shows a small (~0.8 %%) loss.\n");
 
-  CsvWriter csv("fig4_dram_power.csv");
-  csv.write_row({"app", "mode", "tolerance_pct", "dram_savings_pct"});
-  for (const auto& e : evals) {
-    for (PolicyMode mode : {PolicyMode::duf, PolicyMode::dufp}) {
-      for (double t : tols) {
-        csv.write_row({workloads::app_name(e.app()),
-                       harness::policy_mode_name(mode),
-                       fmt_double(t * 100, 0),
-                       fmt_double(e.dram_power_savings_pct(mode, t), 3)});
-      }
-    }
-  }
-  std::printf("Raw series written to fig4_dram_power.csv\n");
+  bench::write_grid_csv(
+      "fig4_dram_power.csv", {"dram_savings_pct"}, evals,
+      [](const harness::Evaluation& e, PolicyMode mode, double t) {
+        return std::vector<std::string>{
+            fmt_double(e.dram_power_savings_pct(mode, t), 3)};
+      });
   return 0;
 }

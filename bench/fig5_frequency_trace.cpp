@@ -58,9 +58,11 @@ int main() {
       "Fig. 5 (Sec. V-E)");
 
   harness::note_progress("DUF trace");
-  const auto duf = run_with_trace(PolicyMode::duf, "fig5_duf_trace.csv");
+  const auto duf =
+      run_with_trace(PolicyMode::duf, bench::out_path("fig5_duf_trace.csv"));
   harness::note_progress("DUFP trace");
-  const auto dufp = run_with_trace(PolicyMode::dufp, "fig5_dufp_trace.csv");
+  const auto dufp =
+      run_with_trace(PolicyMode::dufp, bench::out_path("fig5_dufp_trace.csv"));
 
   TextTable t({"configuration", "avg frequency (GHz)", "min (GHz)",
                "time at 2.8 GHz max (%)"});
@@ -77,7 +79,8 @@ int main() {
       "for the majority of the execution; with DUFP the average observed\n"
       "frequency drops to ~2.5 GHz.\n");
   std::printf(
-      "Traces written to fig5_duf_trace.csv / fig5_dufp_trace.csv "
-      "(10 ms resolution, socket 0).\n");
+      "Traces written to %s / %s (10 ms resolution, socket 0).\n",
+      bench::out_path("fig5_duf_trace.csv").c_str(),
+      bench::out_path("fig5_dufp_trace.csv").c_str());
   return 0;
 }

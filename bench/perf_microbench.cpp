@@ -4,12 +4,17 @@
 // execute hundreds of millions of socket-ticks.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
+#include "core/agent.h"
 #include "core/dufp.h"
 #include "hwmodel/socket_model.h"
 #include "msr/sim_msr.h"
 #include "perfmon/sampler.h"
+#include "perfmon/sim_counter_source.h"
 #include "rapl/rapl_engine.h"
 #include "sim/simulation.h"
+#include "telemetry/telemetry.h"
 #include "workloads/profiles.h"
 
 using namespace dufp;
@@ -98,6 +103,59 @@ void BM_DufpDecide(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DufpDecide);
+
+/// One agent control interval (sample + decide + actuate) on a fully
+/// wired single-socket rig, preceded by one millisecond of physics so
+/// the counters keep moving.  The physics cost is identical in both
+/// variants below, so the Instrumented/Disabled delta bounds the
+/// telemetry overhead — the acceptance budget is <= 5 % per interval.
+void run_agent_interval(benchmark::State& state, bool instrumented) {
+  const hw::SocketConfig cfg;
+  hw::SocketModel socket(cfg, 0);
+  socket.set_demand(bench_demand());
+  msr::SimulatedMsr dev(cfg.cores);
+  rapl::RaplEngine engine(socket, dev);
+  powercap::PackageZone zone(dev, 0);
+  powercap::UncoreControl uncore(dev);
+  perfmon::SimCounterSource source(socket, dev);
+
+  std::unique_ptr<telemetry::Telemetry> telem;
+  if (instrumented) {
+    telemetry::TelemetryConfig tc;
+    tc.enabled = true;
+    telem = std::make_unique<telemetry::Telemetry>(tc, 1);
+  }
+
+  core::PolicyConfig policy;
+  policy.tolerated_slowdown = 0.10;
+  perfmon::SamplerOptions so;
+  so.noise_sigma = 0.0;
+  perfmon::IntervalSampler sampler(source, cfg.core_base_mhz, Rng(3), so);
+  core::Agent agent(core::PolicyMode::dufp, policy, zone, uncore,
+                    std::move(sampler), nullptr,
+                    telem ? &telem->socket(0) : nullptr);
+
+  SimTime now = SimTime::zero();
+  for (auto _ : state) {
+    engine.tick();
+    const auto inst = socket.evaluate();
+    socket.accumulate(inst, 0.001);
+    engine.record(inst, 0.001);
+    now += policy.interval;
+    agent.on_interval(now);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_AgentIntervalDisabled(benchmark::State& state) {
+  run_agent_interval(state, /*instrumented=*/false);
+}
+BENCHMARK(BM_AgentIntervalDisabled);
+
+void BM_AgentIntervalInstrumented(benchmark::State& state) {
+  run_agent_interval(state, /*instrumented=*/true);
+}
+BENCHMARK(BM_AgentIntervalInstrumented);
 
 void BM_SimulatedSecond(benchmark::State& state) {
   // Whole-stack throughput: one simulated second of one socket running

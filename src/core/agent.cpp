@@ -8,11 +8,20 @@
 namespace dufp::core {
 
 using powercap::ConstraintId;
+using telemetry::ActuationOp;
+using telemetry::EventKind;
+
+namespace {
+constexpr std::uint16_t op_code(ActuationOp op) {
+  return static_cast<std::uint16_t>(op);
+}
+}  // namespace
 
 Agent::Agent(PolicyMode mode, const PolicyConfig& policy,
              powercap::PackageZone& zone, powercap::UncoreControl& uncore,
              perfmon::IntervalSampler sampler,
-             powercap::PstateControl* pstate)
+             powercap::PstateControl* pstate,
+             telemetry::SocketTelemetry* telem)
     : mode_(mode),
       policy_(policy),
       zone_(zone),
@@ -24,7 +33,9 @@ Agent::Agent(PolicyMode mode, const PolicyConfig& policy,
       default_long_window_us_(zone.time_window_us(0)),
       default_short_window_us_(zone.time_window_us(1)),
       uncore_max_mhz_(uncore.window_max_mhz()),
-      default_uncore_min_mhz_(uncore.window_min_mhz()) {
+      default_uncore_min_mhz_(uncore.window_min_mhz()),
+      telem_(telem),
+      pkg_power_hist_({20, 40, 60, 80, 100, 120, 140, 160, 200}) {
   DUFP_EXPECT(mode_ != PolicyMode::none);  // none = no agent at all
   if (mode_ == PolicyMode::dufpf) policy_.manage_core_frequency = true;
 
@@ -42,6 +53,88 @@ Agent::Agent(PolicyMode mode, const PolicyConfig& policy,
   }
 
   init_controllers();
+  sampler_.set_telemetry(telem_);
+  if (telem_ != nullptr) register_instruments();
+}
+
+void Agent::register_instruments() {
+  auto& reg = telem_->registry();
+  const telemetry::LabelSet labels = {
+      {"socket", std::to_string(telem_->socket())},
+      {"mode", to_string(mode_)}};
+  reg.attach("dufp_agent_intervals_total",
+             "Control intervals that produced a decision", labels,
+             intervals_ct_);
+  reg.attach("dufp_agent_uncore_decreases_total",
+             "Uncore window decreases applied", labels, uncore_decreases_);
+  reg.attach("dufp_agent_uncore_increases_total",
+             "Uncore window increases applied", labels, uncore_increases_);
+  reg.attach("dufp_agent_uncore_resets_total",
+             "Uncore window resets to the hardware maximum", labels,
+             uncore_resets_);
+  reg.attach("dufp_agent_cap_decreases_total", "Power-cap decreases applied",
+             labels, cap_decreases_);
+  reg.attach("dufp_agent_cap_increases_total", "Power-cap increases applied",
+             labels, cap_increases_);
+  reg.attach("dufp_agent_cap_resets_total",
+             "Power caps restored to the hardware defaults", labels,
+             cap_resets_);
+  reg.attach("dufp_agent_short_term_tightenings_total",
+             "Short-term constraint tightened onto the long-term cap", labels,
+             short_term_tightenings_);
+  reg.attach("dufp_agent_uncore_reset_retries_total",
+             "Interaction rule 2 re-pins after a joint reset", labels,
+             uncore_reset_retries_);
+  reg.attach("dufp_agent_pstate_pins_total", "DUFP-F core frequency requests",
+             labels, pstate_pins_);
+  reg.attach("dufp_agent_pstate_releases_total",
+             "DUFP-F core frequency releases", labels, pstate_releases_);
+  reg.attach("dufp_agent_actuation_retries_total",
+             "Failed hardware operations that were retried", labels,
+             actuation_retries_);
+  reg.attach("dufp_agent_actuation_failures_total",
+             "Hardware operations dead after all retries", labels,
+             actuation_failures_);
+  reg.attach("dufp_agent_degradations_total", "Watchdog fail-safe entries",
+             labels, degradations_);
+  reg.attach("dufp_agent_reengage_failures_total",
+             "Re-engagement probes that failed", labels, reengage_failures_);
+  reg.attach("dufp_agent_reengagements_total",
+             "Successful recoveries from the fail-safe state", labels,
+             reengagements_);
+  reg.attach("dufp_agent_intervals_degraded_total",
+             "Intervals spent in the fail-safe state", labels,
+             intervals_degraded_);
+  reg.attach("dufp_agent_degraded", "1 while the watchdog holds the fail-safe",
+             labels, degraded_gauge_);
+  reg.attach("dufp_agent_pkg_power_watts",
+             "Package power per accepted sample", labels, pkg_power_hist_);
+}
+
+AgentStats Agent::stats() const {
+  AgentStats s;
+  s.intervals = intervals_ct_.value();
+  s.uncore_decreases = uncore_decreases_.value();
+  s.uncore_increases = uncore_increases_.value();
+  s.uncore_resets = uncore_resets_.value();
+  s.cap_decreases = cap_decreases_.value();
+  s.cap_increases = cap_increases_.value();
+  s.cap_resets = cap_resets_.value();
+  s.short_term_tightenings = short_term_tightenings_.value();
+  s.uncore_reset_retries = uncore_reset_retries_.value();
+  s.pstate_pins = pstate_pins_.value();
+  s.pstate_releases = pstate_releases_.value();
+  s.health.actuation_retries = actuation_retries_.value();
+  s.health.actuation_failures = actuation_failures_.value();
+  // Measurement health is the sampler's own; read it at the source
+  // instead of mirroring it interval by interval.
+  s.health.sample_read_failures = sampler_.health().read_failures;
+  s.health.samples_rejected = sampler_.health().samples_rejected;
+  s.health.degradations = degradations_.value();
+  s.health.reengage_failures = reengage_failures_.value();
+  s.health.reengagements = reengagements_.value();
+  s.health.intervals_degraded = intervals_degraded_.value();
+  return s;
 }
 
 void Agent::init_controllers() {
@@ -69,19 +162,21 @@ void Agent::init_controllers() {
 }
 
 template <typename F>
-bool Agent::try_op(F&& op) {
+bool Agent::try_op(ActuationOp op, F&& f) {
   interval_attempted_ = true;
   for (int attempt = 0; attempt < policy_.max_actuation_attempts; ++attempt) {
     try {
-      op();
+      f();
       return true;
     } catch (const msr::MsrError&) {
       if (attempt + 1 < policy_.max_actuation_attempts) {
-        ++stats_.health.actuation_retries;
+        actuation_retries_.inc();
+        rec(EventKind::actuation_retry, op_code(op));
       }
     }
   }
-  ++stats_.health.actuation_failures;
+  actuation_failures_.inc();
+  rec(EventKind::actuation_failure, op_code(op));
   interval_failed_ = true;
   return false;
 }
@@ -89,16 +184,24 @@ bool Agent::try_op(F&& op) {
 void Agent::apply_uncore(const DufController::Decision& d) {
   switch (d.action) {
     case UncoreAction::decrease:
-      if (try_op([&] { uncore_.pin_mhz(d.target_mhz); }))
-        ++stats_.uncore_decreases;
+      if (try_op(ActuationOp::uncore, [&] { uncore_.pin_mhz(d.target_mhz); })) {
+        uncore_decreases_.inc();
+        rec(EventKind::actuation, op_code(ActuationOp::uncore), d.target_mhz);
+      }
       break;
     case UncoreAction::increase:
-      if (try_op([&] { uncore_.pin_mhz(d.target_mhz); }))
-        ++stats_.uncore_increases;
+      if (try_op(ActuationOp::uncore, [&] { uncore_.pin_mhz(d.target_mhz); })) {
+        uncore_increases_.inc();
+        rec(EventKind::actuation, op_code(ActuationOp::uncore), d.target_mhz);
+      }
       break;
     case UncoreAction::reset:
-      if (try_op([&] { uncore_.pin_mhz(uncore_max_mhz_); }))
-        ++stats_.uncore_resets;
+      if (try_op(ActuationOp::uncore,
+                 [&] { uncore_.pin_mhz(uncore_max_mhz_); })) {
+        uncore_resets_.inc();
+        rec(EventKind::actuation, op_code(ActuationOp::uncore),
+            uncore_max_mhz_);
+      }
       break;
     case UncoreAction::hold:
     case UncoreAction::none:
@@ -110,46 +213,58 @@ bool Agent::restore_default_cap() {
   // Four independent stores; attempt all of them even if one dies, so a
   // partially-broken path still restores as much of the default as it can.
   bool ok = true;
-  ok &= try_op([&] {
+  ok &= try_op(ActuationOp::cap_long, [&] {
     zone_.set_power_limit_w(ConstraintId::long_term, default_long_w_);
   });
-  ok &= try_op([&] {
+  ok &= try_op(ActuationOp::cap_short, [&] {
     zone_.set_power_limit_w(ConstraintId::short_term, default_short_w_);
   });
-  ok &= try_op([&] { zone_.set_time_window_us(0, default_long_window_us_); });
-  ok &= try_op([&] { zone_.set_time_window_us(1, default_short_window_us_); });
+  ok &= try_op(ActuationOp::time_window,
+               [&] { zone_.set_time_window_us(0, default_long_window_us_); });
+  ok &= try_op(ActuationOp::time_window,
+               [&] { zone_.set_time_window_us(1, default_short_window_us_); });
   return ok;
 }
 
 void Agent::apply_cap(const DufpController::Decision& d) {
   if (d.tighten_short_term) {
-    if (try_op([&] {
+    if (try_op(ActuationOp::cap_short, [&] {
           zone_.set_power_limit_w(ConstraintId::short_term,
                                   zone_.power_limit_w(ConstraintId::long_term));
         })) {
-      ++stats_.short_term_tightenings;
+      short_term_tightenings_.inc();
+      rec(EventKind::actuation, op_code(ActuationOp::cap_short),
+          zone_.power_limit_w(ConstraintId::short_term));
     }
   }
 
   switch (d.cap_action) {
     case CapAction::decrease:
     case CapAction::increase: {
-      const bool ok = try_op([&] {
-                        zone_.set_power_limit_w(ConstraintId::long_term,
-                                                d.cap_long_w);
-                      }) &
-                      try_op([&] {
+      const bool ok = try_op(ActuationOp::cap_long,
+                             [&] {
+                               zone_.set_power_limit_w(ConstraintId::long_term,
+                                                       d.cap_long_w);
+                             }) &
+                      try_op(ActuationOp::cap_short, [&] {
                         zone_.set_power_limit_w(ConstraintId::short_term,
                                                 d.cap_short_w);
                       });
       if (ok) {
-        (d.cap_action == CapAction::decrease ? stats_.cap_decreases
-                                             : stats_.cap_increases)++;
+        (d.cap_action == CapAction::decrease ? cap_decreases_
+                                             : cap_increases_)
+            .inc();
+        rec(EventKind::actuation, op_code(ActuationOp::cap_long), d.cap_long_w,
+            d.cap_short_w);
       }
       break;
     }
     case CapAction::reset:
-      if (restore_default_cap()) ++stats_.cap_resets;
+      if (restore_default_cap()) {
+        cap_resets_.inc();
+        rec(EventKind::actuation, op_code(ActuationOp::cap_long),
+            default_long_w_, default_short_w_);
+      }
       break;
     case CapAction::hold:
     case CapAction::none:
@@ -160,9 +275,9 @@ void Agent::apply_cap(const DufpController::Decision& d) {
     // Interaction rule 2: after a joint reset the uncore may not have
     // reached its maximum (the cap's effect can still be visible); check
     // and re-pin once.
-    try_op([&] {
+    try_op(ActuationOp::uncore, [&] {
       if (uncore_.current_mhz() < uncore_max_mhz_ - 1e-9) {
-        ++stats_.uncore_reset_retries;
+        uncore_reset_retries_.inc();
         uncore_.pin_mhz(uncore_max_mhz_);
       }
     });
@@ -171,17 +286,26 @@ void Agent::apply_cap(const DufpController::Decision& d) {
   // DUFP-F frequency management.
   if (pstate_ != nullptr) {
     if (d.pstate_release) {
-      if (try_op([&] { pstate_->release(pstate_max_mhz_); }))
-        ++stats_.pstate_releases;
+      if (try_op(ActuationOp::pstate,
+                 [&] { pstate_->release(pstate_max_mhz_); })) {
+        pstate_releases_.inc();
+        rec(EventKind::actuation, op_code(ActuationOp::pstate),
+            pstate_max_mhz_);
+      }
     } else if (d.pstate_request_mhz > 0.0 &&
                d.pstate_request_mhz < pstate_max_mhz_) {
-      if (try_op([&] { pstate_->set_mhz(d.pstate_request_mhz); }))
-        ++stats_.pstate_pins;
+      if (try_op(ActuationOp::pstate,
+                 [&] { pstate_->set_mhz(d.pstate_request_mhz); })) {
+        pstate_pins_.inc();
+        rec(EventKind::actuation, op_code(ActuationOp::pstate),
+            d.pstate_request_mhz);
+      }
     }
   }
 }
 
 void Agent::on_interval(SimTime now) {
+  now_ = now;
   // Contract: never lets an exception escape.  A crashed agent would
   // strand the socket at whatever limits were last applied — strictly
   // worse than any degraded-but-safe behaviour.
@@ -193,7 +317,7 @@ void Agent::on_interval(SimTime now) {
     }
   } catch (const std::exception&) {
     try {
-      ++stats_.health.actuation_failures;
+      actuation_failures_.inc();
       ++consecutive_failures_;
       if (!degraded_ &&
           consecutive_failures_ >= policy_.watchdog_failure_threshold) {
@@ -203,6 +327,7 @@ void Agent::on_interval(SimTime now) {
       // A degraded entry that itself faulted is retried next interval.
     }
   }
+  degraded_gauge_.set(degraded_ ? 1.0 : 0.0);
 }
 
 void Agent::run_interval(SimTime now) {
@@ -210,12 +335,11 @@ void Agent::run_interval(SimTime now) {
   interval_failed_ = false;
 
   const auto maybe_sample = sampler_.sample(now);
-  stats_.health.sample_read_failures = sampler_.health().read_failures;
-  stats_.health.samples_rejected = sampler_.health().samples_rejected;
   if (!maybe_sample.has_value()) return;  // baseline / skipped interval
   const perfmon::Sample& sample = *maybe_sample;
   last_sample_ = sample;
-  ++stats_.intervals;
+  intervals_ct_.inc();
+  pkg_power_hist_.observe(sample.pkg_power_w);
 
   if (mode_ == PolicyMode::dufp || mode_ == PolicyMode::dufpf) {
     const auto d = dufp_->decide(sample);
@@ -225,15 +349,20 @@ void Agent::run_interval(SimTime now) {
     const double before = dnpc_->cap_w();
     const auto d = dnpc_->decide(sample);
     if (d.changed) {
-      const bool ok = try_op([&] {
-                        zone_.set_power_limit_w(ConstraintId::long_term,
-                                                d.cap_w);
-                      }) &
-                      try_op([&] {
+      const bool ok = try_op(ActuationOp::cap_long,
+                             [&] {
+                               zone_.set_power_limit_w(ConstraintId::long_term,
+                                                       d.cap_w);
+                             }) &
+                      try_op(ActuationOp::cap_short, [&] {
                         zone_.set_power_limit_w(ConstraintId::short_term,
                                                 d.cap_w);
                       });
-      if (ok) (d.cap_w < before ? stats_.cap_decreases : stats_.cap_increases)++;
+      if (ok) {
+        (d.cap_w < before ? cap_decreases_ : cap_increases_).inc();
+        rec(EventKind::actuation, op_code(ActuationOp::cap_long), d.cap_w,
+            d.cap_w);
+      }
     }
   } else {
     const auto u = duf_tracker_->update(sample);
@@ -258,7 +387,10 @@ void Agent::enter_degraded() {
   degraded_ = true;
   failsafe_applied_ = false;
   consecutive_failures_ = 0;
-  ++stats_.health.degradations;
+  degradations_.inc();
+  // Fail-open is the flight recorder's trigger: capture the socket's
+  // recent history *before* the fail-safe restoration overwrites it.
+  if (telem_ != nullptr) telem_->fail_open(now_);
   current_backoff_ = policy_.watchdog_backoff_intervals;
   backoff_remaining_ = current_backoff_;
   apply_failsafe();
@@ -268,18 +400,19 @@ void Agent::apply_failsafe() {
   // Fail-safe OPEN: give the hardware back to its boot configuration so a
   // dead control path costs power savings, never performance.  Each
   // restoration is attempted independently — partial success still helps.
-  bool ok = try_op([&] {
+  bool ok = try_op(ActuationOp::uncore, [&] {
     uncore_.set_window_mhz(default_uncore_min_mhz_, uncore_max_mhz_);
   });
   ok &= restore_default_cap();
   if (pstate_ != nullptr) {
-    ok &= try_op([&] { pstate_->release(pstate_max_mhz_); });
+    ok &= try_op(ActuationOp::pstate,
+                 [&] { pstate_->release(pstate_max_mhz_); });
   }
   failsafe_applied_ = ok;
 }
 
 void Agent::degraded_interval() {
-  ++stats_.health.intervals_degraded;
+  intervals_degraded_.inc();
   if (!failsafe_applied_) {
     // The safe state never fully reached the hardware; keep trying — this
     // matters more than re-engagement.
@@ -290,13 +423,14 @@ void Agent::degraded_interval() {
     return;
   }
   // Probe: one representative write through the full actuation path.
-  const bool probe_ok = try_op([&] {
+  rec(EventKind::reengage_probe, op_code(ActuationOp::probe), current_backoff_);
+  const bool probe_ok = try_op(ActuationOp::probe, [&] {
     zone_.set_power_limit_w(ConstraintId::long_term, default_long_w_);
   });
   if (probe_ok && failsafe_applied_) {
     reengage();
   } else {
-    ++stats_.health.reengage_failures;
+    reengage_failures_.inc();
     current_backoff_ = std::min(current_backoff_ * 2,
                                 policy_.watchdog_backoff_max_intervals);
     backoff_remaining_ = current_backoff_;
@@ -307,7 +441,8 @@ void Agent::reengage() {
   degraded_ = false;
   consecutive_failures_ = 0;
   current_backoff_ = policy_.watchdog_backoff_intervals;
-  ++stats_.health.reengagements;
+  reengagements_.inc();
+  rec(EventKind::reengaged);
   // Stale controller state (phase baselines, cooldowns, equilibrium
   // estimates) predates the outage; rebuild from the captured defaults
   // and re-baseline the sampler before the next decision.

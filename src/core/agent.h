@@ -20,11 +20,15 @@
 #include "powercap/pstate_control.h"
 #include "powercap/uncore_control.h"
 #include "powercap/zone.h"
+#include "telemetry/telemetry.h"
 
 namespace dufp::core {
 
 /// Robustness accounting: what the agent absorbed, retried or gave up on.
 /// All zero on a healthy substrate; deterministic for a fixed fault seed.
+/// A value snapshot assembled by Agent::stats() from the agent's
+/// counter-backed instruments — the counters are the single source of
+/// truth, shared with the telemetry registry when one is attached.
 struct AgentHealth {
   std::uint64_t actuation_retries = 0;    ///< failed attempts that were retried
   std::uint64_t actuation_failures = 0;   ///< operations dead after all retries
@@ -62,11 +66,14 @@ class Agent {
   /// PolicyMode::none is a harness-level value and is rejected.
   /// PolicyMode::dufpf implies policy.manage_core_frequency; for it (or
   /// whenever that flag is set) `pstate` is required, otherwise pass
-  /// nullptr.
+  /// nullptr.  `telem` is the socket's telemetry view; nullptr (the
+  /// default) is the null sink — instruments still count, but nothing is
+  /// exported and no events are recorded.
   Agent(PolicyMode mode, const PolicyConfig& policy,
         powercap::PackageZone& zone, powercap::UncoreControl& uncore,
         perfmon::IntervalSampler sampler,
-        powercap::PstateControl* pstate = nullptr);
+        powercap::PstateControl* pstate = nullptr,
+        telemetry::SocketTelemetry* telem = nullptr);
 
   /// One control interval: sample, decide, actuate.  The first call only
   /// establishes the counter baseline.
@@ -83,7 +90,9 @@ class Agent {
   bool degraded() const { return degraded_; }
 
   PolicyMode mode() const { return mode_; }
-  const AgentStats& stats() const { return stats_; }
+  /// Value snapshot assembled from the counter-backed instruments (and
+  /// the sampler's own health — the agent no longer mirrors it).
+  AgentStats stats() const;
   const PolicyConfig& policy() const { return policy_; }
 
   /// Last sample observed (empty before the second interval).
@@ -102,9 +111,17 @@ class Agent {
   bool restore_default_cap();
 
   /// Runs a hardware-facing operation with bounded immediate retries;
-  /// counts retries/failures and flags the interval on terminal failure.
+  /// counts retries/failures (tagged with the actuation op for the flight
+  /// recorder) and flags the interval on terminal failure.
   template <typename F>
-  bool try_op(F&& op);
+  bool try_op(telemetry::ActuationOp op, F&& f);
+
+  /// Flight-recorder shorthand; no-op when telemetry is disabled.
+  void rec(telemetry::EventKind kind, std::uint16_t code = 0, double a = 0.0,
+           double b = 0.0) {
+    if (telem_ != nullptr) telem_->record(kind, now_, code, a, b);
+  }
+  void register_instruments();
 
   void enter_degraded();
   void apply_failsafe();
@@ -142,7 +159,33 @@ class Agent {
   std::optional<DufController> duf_;
   std::optional<DnpcController> dnpc_;
 
-  AgentStats stats_;
+  // -- instruments ----------------------------------------------------------
+  // Counter-backed single source of truth for AgentStats/AgentHealth;
+  // register_instruments() shares these cells with the registry when a
+  // telemetry view is attached.  cap_overshoot_resets has no instrument:
+  // it is reserved accounting that nothing increments yet.
+  telemetry::SocketTelemetry* telem_;  ///< nullable (telemetry disabled)
+  SimTime now_{};                      ///< current interval's clock stamp
+  telemetry::Counter intervals_ct_;
+  telemetry::Counter uncore_decreases_;
+  telemetry::Counter uncore_increases_;
+  telemetry::Counter uncore_resets_;
+  telemetry::Counter cap_decreases_;
+  telemetry::Counter cap_increases_;
+  telemetry::Counter cap_resets_;
+  telemetry::Counter short_term_tightenings_;
+  telemetry::Counter uncore_reset_retries_;
+  telemetry::Counter pstate_pins_;
+  telemetry::Counter pstate_releases_;
+  telemetry::Counter actuation_retries_;
+  telemetry::Counter actuation_failures_;
+  telemetry::Counter degradations_;
+  telemetry::Counter reengage_failures_;
+  telemetry::Counter reengagements_;
+  telemetry::Counter intervals_degraded_;
+  telemetry::Gauge degraded_gauge_;
+  telemetry::Histogram pkg_power_hist_;
+
   std::optional<perfmon::Sample> last_sample_;
 };
 

@@ -17,6 +17,7 @@
 #include "common/clock.h"
 #include "msr/device.h"
 #include "powercap/zone.h"
+#include "telemetry/telemetry.h"
 
 namespace dufp::core {
 
@@ -48,7 +49,13 @@ class BudgetBalancer {
   /// Current allocation (watts per socket).
   const std::vector<double>& allocation_w() const { return allocation_; }
 
-  std::uint64_t intervals() const { return intervals_; }
+  std::uint64_t intervals() const { return intervals_ct_.value(); }
+
+  /// Attach the machine's telemetry plane (nullptr = null sink, the
+  /// default): registers the interval counter and a per-socket allocation
+  /// gauge, and records a balancer_realloc event on each socket's
+  /// recorder per balancing interval.
+  void set_telemetry(telemetry::Telemetry* telem);
 
  private:
   BalancerConfig config_;
@@ -61,7 +68,9 @@ class BudgetBalancer {
   std::vector<std::uint64_t> last_aperf_;
   std::vector<std::uint64_t> last_mperf_;
   std::vector<double> allocation_;
-  std::uint64_t intervals_ = 0;
+  telemetry::Counter intervals_ct_;
+  telemetry::Telemetry* telem_ = nullptr;  ///< nullable
+  std::vector<telemetry::Gauge> alloc_gauges_;
 };
 
 }  // namespace dufp::core

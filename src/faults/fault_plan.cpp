@@ -85,12 +85,43 @@ FaultPlan::FaultPlan(const FaultOptions& options, Rng rng)
   DUFP_EXPECT(options.validate().empty());
 }
 
+void FaultPlan::set_telemetry(telemetry::SocketTelemetry* telem) {
+  telem_ = telem;
+  if (telem_ == nullptr) return;
+  auto& reg = telem_->registry();
+  for (int i = 0; i < kFaultClassCount; ++i) {
+    const auto c = static_cast<FaultClass>(i);
+    reg.attach("dufp_faults_injected_total", "Faults injected, per class",
+               {{"socket", std::to_string(telem_->socket())},
+                {"class", std::string(fault_class_name(c))}},
+               injected_[static_cast<std::size_t>(i)]);
+  }
+}
+
+FaultStats FaultPlan::stats() const {
+  FaultStats s;
+  for (std::size_t i = 0; i < injected_.size(); ++i) {
+    s.injected[i] = injected_[i].value();
+  }
+  return s;
+}
+
+void FaultPlan::injected(FaultClass c) {
+  injected_[static_cast<std::size_t>(c)].inc();
+  if (telem_ != nullptr) {
+    // The decorators never see the sim clock; record_now() uses the run
+    // clock the harness attached.
+    telem_->record_now(telemetry::EventKind::fault_injected,
+                       static_cast<std::uint16_t>(c));
+  }
+}
+
 bool FaultPlan::fire(FaultClass c) {
   const auto idx = static_cast<std::size_t>(c);
   auto& remaining = burst_remaining_[idx];
   if (remaining > 0) {
     --remaining;
-    ++stats_.injected[idx];
+    injected(c);
     return true;
   }
   const auto& p = options_.params(c);
@@ -100,7 +131,7 @@ bool FaultPlan::fire(FaultClass c) {
   if (p.rate <= 0.0) return false;
   if (rng_.next_double() >= p.rate) return false;
   remaining = p.burst - 1;
-  ++stats_.injected[idx];
+  injected(c);
   return true;
 }
 

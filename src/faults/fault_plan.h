@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "telemetry/telemetry.h"
 
 namespace dufp::faults {
 
@@ -49,6 +50,8 @@ struct FaultClassParams {
 };
 
 /// Injection counts per class, for health reporting and determinism tests.
+/// A value snapshot assembled by FaultPlan::stats() from counter-backed
+/// instruments (shared with the telemetry registry when one is attached).
 struct FaultStats {
   std::array<std::uint64_t, kFaultClassCount> injected{};
 
@@ -117,14 +120,24 @@ class FaultPlan {
   /// Bit position for a bit-flip fault (deterministic draw, 0..63).
   unsigned flip_bit();
 
+  /// Attach the socket's telemetry view (nullptr = null sink, the
+  /// default): registers per-class injection counters and records a
+  /// fault_injected event per firing.  Telemetry never draws from the
+  /// decision stream, so the injection pattern is unchanged.
+  void set_telemetry(telemetry::SocketTelemetry* telem);
+
   const FaultOptions& options() const { return options_; }
-  const FaultStats& stats() const { return stats_; }
+  FaultStats stats() const;
 
  private:
+  /// Counts one firing and records the flight-recorder event.
+  void injected(FaultClass c);
+
   FaultOptions options_;
   Rng rng_;
   std::array<int, kFaultClassCount> burst_remaining_{};
-  FaultStats stats_;
+  std::array<telemetry::Counter, kFaultClassCount> injected_;
+  telemetry::SocketTelemetry* telem_ = nullptr;  ///< nullable
 };
 
 }  // namespace dufp::faults

@@ -2,8 +2,10 @@
 
 #include <cerrno>
 #include <cstdlib>
+#include <filesystem>
 #include <stdexcept>
 #include <string>
+#include <system_error>
 #include <thread>
 #include <vector>
 
@@ -86,6 +88,14 @@ BenchOptions BenchOptions::from_env() {
   parse_unit_double("DUFP_FAULT_RATE", o.fault_rate, problems);
   parse_u64("DUFP_FAULT_SEED", o.fault_seed, problems);
   o.quiet = std::getenv("DUFP_QUIET") != nullptr;
+  o.telemetry = std::getenv("DUFP_TELEMETRY") != nullptr;
+  if (const char* v = std::getenv("DUFP_OUT_DIR")) {
+    if (v[0] == '\0') {
+      note(problems, "DUFP_OUT_DIR", v, "must be non-empty");
+    } else {
+      o.out_dir = v;
+    }
+  }
   if (!problems.empty()) {
     std::string msg = "BenchOptions: invalid environment:";
     for (const auto& p : problems) msg += "\n  " + p;
@@ -98,6 +108,17 @@ int BenchOptions::resolved_threads() const {
   if (threads > 0) return threads;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+std::string BenchOptions::out_path(const std::string& filename) const {
+  const std::filesystem::path dir(out_dir);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    throw std::runtime_error("cannot create output directory \"" + out_dir +
+                             "\": " + ec.message());
+  }
+  return (dir / filename).string();
 }
 
 }  // namespace dufp::harness

@@ -11,6 +11,10 @@
 //   DUFP_FAULT_RATE=R  per-operation fault probability in [0, 1]; > 0
 //                      runs the grid under FaultOptions::storm(R, seed)
 //   DUFP_FAULT_SEED=S  seed of the fault decision stream (default 0)
+//   DUFP_OUT_DIR=DIR   directory for every CSV / trace / telemetry file
+//                      (default "out"; created on first use)
+//   DUFP_TELEMETRY=1   run with the telemetry plane enabled and export
+//                      Prometheus / Chrome-trace / JSONL alongside the CSVs
 //
 // Malformed values (non-numeric, trailing junk, out of range) are
 // configuration errors: from_env() throws std::invalid_argument naming
@@ -19,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 namespace dufp::harness {
 
@@ -29,6 +34,8 @@ struct BenchOptions {
   bool quiet = false;         ///< DUFP_QUIET
   double fault_rate = 0.0;    ///< DUFP_FAULT_RATE, in [0, 1]
   std::uint64_t fault_seed = 0;  ///< DUFP_FAULT_SEED
+  std::string out_dir = "out";   ///< DUFP_OUT_DIR, non-empty
+  bool telemetry = false;        ///< DUFP_TELEMETRY
 
   /// Reads every knob from the environment.  Unset variables keep the
   /// defaults above; set-but-malformed variables throw
@@ -37,6 +44,12 @@ struct BenchOptions {
 
   /// `threads` with 0 resolved to the hardware thread count (>= 1).
   int resolved_threads() const;
+
+  /// `<out_dir>/<filename>`, creating out_dir (and parents) on demand —
+  /// every bench output goes through this so DUFP_OUT_DIR redirects the
+  /// whole run.  Throws std::runtime_error when the directory cannot be
+  /// created.
+  std::string out_path(const std::string& filename) const;
 };
 
 }  // namespace dufp::harness

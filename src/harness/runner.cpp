@@ -75,6 +75,11 @@ std::vector<std::string> RunConfig::validate() const {
   for (const auto& p : faults.validate()) {
     problems.push_back("faults." + p);
   }
+  if (telemetry.enabled) {  // disabled = nothing constructed, nothing checked
+    for (const auto& p : telemetry.validate()) {
+      problems.push_back("telemetry." + p);
+    }
+  }
   return problems;
 }
 
@@ -114,6 +119,7 @@ void throw_on_invalid(const RunConfig& config) {
 /// Everything owned by one run: built, wired, then discarded.
 struct RunContext {
   std::unique_ptr<sim::Simulation> simulation;
+  std::unique_ptr<telemetry::Telemetry> telemetry;
   std::vector<std::unique_ptr<faults::FaultPlan>> plans;
   std::vector<std::unique_ptr<faults::FaultyMsrDevice>> fdevs;
   std::vector<std::unique_ptr<faults::FaultyCounterSource>> fsrcs;
@@ -139,6 +145,16 @@ RunResult run_once(const RunConfig& config) {
 
   const int n = s.socket_count();
   const bool inject = config.faults.enabled;
+  const bool telem_on = config.telemetry.enabled;
+  if (telem_on) {
+    ctx.telemetry =
+        std::make_unique<telemetry::Telemetry>(config.telemetry, n);
+    // record_now() (fault decorators) stamps with the simulation clock.
+    ctx.telemetry->set_clock([&s] { return s.now(); });
+  }
+  auto socket_telem = [&](int i) -> telemetry::SocketTelemetry* {
+    return telem_on ? &ctx.telemetry->socket(i) : nullptr;
+  };
   for (int i = 0; i < n; ++i) {
     msr::MsrDevice* dev = &s.msr(i);
     if (inject) {
@@ -149,6 +165,7 @@ RunResult run_once(const RunConfig& config) {
       Rng per_run = base.fork(config.seed);
       ctx.plans.push_back(std::make_unique<faults::FaultPlan>(
           config.faults, per_run.fork(static_cast<std::uint64_t>(i))));
+      ctx.plans.back()->set_telemetry(socket_telem(i));
       ctx.fdevs.push_back(std::make_unique<faults::FaultyMsrDevice>(
           s.msr(i), *ctx.plans.back()));
       dev = ctx.fdevs.back().get();  // still disarmed: wiring reads clean
@@ -241,7 +258,7 @@ RunResult run_once(const RunConfig& config) {
       ctx.agents.push_back(std::make_unique<core::Agent>(
           config.mode, policy, *ctx.zones[static_cast<std::size_t>(i)],
           *ctx.uncores[static_cast<std::size_t>(i)], std::move(sampler),
-          pstate));
+          pstate, socket_telem(i)));
       core::Agent* agent = ctx.agents.back().get();
       s.schedule_periodic(policy.interval,
                           [agent](SimTime now) { agent->on_interval(now); });
@@ -282,6 +299,25 @@ RunResult run_once(const RunConfig& config) {
   // Wall seconds are per-socket-parallel, not additive: report the mean.
   for (auto& [name, agg] : result.phase_totals) {
     agg.wall_seconds /= static_cast<double>(n);
+  }
+
+  if (telem_on) {
+    // Run-summary gauges so a scrape of the exposition alone carries the
+    // headline numbers (the registry keeps the shared cells alive).
+    auto& reg = ctx.telemetry->registry();
+    reg.gauge("dufp_run_exec_seconds", "Simulated execution time")
+        .set(result.summary.exec_seconds);
+    reg.gauge("dufp_run_pkg_power_watts", "Run-average package power")
+        .set(result.summary.avg_pkg_power_w);
+    reg.gauge("dufp_run_dram_power_watts", "Run-average DRAM power")
+        .set(result.summary.avg_dram_power_w);
+    reg.gauge("dufp_run_pkg_energy_joules", "Package energy consumed")
+        .set(result.summary.pkg_energy_j);
+    reg.gauge("dufp_run_dram_energy_joules", "DRAM energy consumed")
+        .set(result.summary.dram_energy_j);
+    reg.gauge("dufp_run_total_energy_joules", "Package + DRAM energy")
+        .set(result.summary.total_energy_j());
+    result.telemetry = ctx.telemetry->snapshot();
   }
   return result;
 }

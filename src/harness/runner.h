@@ -16,6 +16,7 @@
 #include "hwmodel/socket_config.h"
 #include "sim/simulation.h"
 #include "sim/trace.h"
+#include "telemetry/telemetry.h"
 #include "workloads/profiles.h"
 
 namespace dufp::harness {
@@ -65,6 +66,12 @@ struct RunConfig {
   /// Optional tracing (not owned).
   sim::TraceSink* trace = nullptr;
 
+  /// Telemetry (metrics registry + per-socket flight recorders).  Off by
+  /// default — the null-sink path leaves every existing output
+  /// bit-identical; telemetry draws no randomness and never changes a
+  /// decision, so enabling it is also bit-identical (a tier-1 guarantee).
+  telemetry::TelemetryConfig telemetry;
+
   /// Checks the whole config and reports *every* problem found (empty =
   /// valid), instead of failing on the first one: null profile,
   /// non-positive tolerance / interval / tick, a phase cap naming a phase
@@ -105,6 +112,12 @@ struct RunResult {
   /// Machine-wide per-phase totals, keyed by phase name (summed over
   /// sockets and over every visit of the phase).
   std::map<std::string, sim::PhaseTotals> phase_totals;
+
+  /// Present iff config.telemetry.enabled: every metric series (including
+  /// run-summary gauges registered after the run), each socket's final
+  /// flight-recorder contents, and the watchdog fail-open dumps.  Feed it
+  /// to telemetry::export_run / write_prometheus / write_chrome_trace.
+  std::optional<telemetry::TelemetrySnapshot> telemetry;
 };
 
 /// Executes one run.  Throws std::invalid_argument on malformed configs.

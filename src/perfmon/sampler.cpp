@@ -20,6 +20,23 @@ IntervalSampler::IntervalSampler(const CounterSource& source,
 
 void IntervalSampler::reset() { have_baseline_ = false; }
 
+void IntervalSampler::set_telemetry(telemetry::SocketTelemetry* telem) {
+  telem_ = telem;
+  if (telem_ == nullptr) return;
+  auto& reg = telem_->registry();
+  const telemetry::LabelSet labels = {
+      {"socket", std::to_string(telem_->socket())}};
+  reg.attach("dufp_sampler_samples_total",
+             "Samples accepted and handed to a controller", labels,
+             samples_accepted_);
+  reg.attach("dufp_sampler_read_failures_total",
+             "Counter reads that threw; interval skipped, baseline kept",
+             labels, read_failures_);
+  reg.attach("dufp_sampler_rejected_total",
+             "Samples that failed validation; re-baselined", labels,
+             samples_rejected_);
+}
+
 std::optional<Sample> IntervalSampler::sample(SimTime now) {
   std::array<std::uint64_t, kEventCount> raw{};
   try {
@@ -31,7 +48,10 @@ std::optional<Sample> IntervalSampler::sample(SimTime now) {
     // but keep the baseline: the counters are monotonic, so the next
     // successful read yields a delta spanning both intervals and no energy
     // or work is lost from the totals.
-    ++health_.read_failures;
+    read_failures_.inc();
+    if (telem_ != nullptr) {
+      telem_->record(telemetry::EventKind::sample_read_failure, now);
+    }
     return std::nullopt;
   }
 
@@ -46,7 +66,18 @@ std::optional<Sample> IntervalSampler::sample(SimTime now) {
   DUFP_EXPECT(dt > 0.0);
 
   auto result = build_sample(now, dt, raw);
-  if (!result) ++health_.samples_rejected;
+  if (result) {
+    samples_accepted_.inc();
+    if (telem_ != nullptr) {
+      telem_->record(telemetry::EventKind::sample_accepted, now, 0,
+                     result->pkg_power_w, result->core_mhz);
+    }
+  } else {
+    samples_rejected_.inc();
+    if (telem_ != nullptr) {
+      telem_->record(telemetry::EventKind::sample_rejected, now);
+    }
+  }
   // Advance the baseline either way.  After a rejection (corrupted read)
   // this intentionally re-baselines onto the suspect values: if they were
   // transient garbage the *next* interval is rejected too and re-baselines

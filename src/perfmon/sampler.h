@@ -13,6 +13,7 @@
 #include "common/clock.h"
 #include "common/rng.h"
 #include "perfmon/events.h"
+#include "telemetry/telemetry.h"
 
 namespace dufp::perfmon {
 
@@ -42,7 +43,8 @@ struct SamplerOptions {
 };
 
 /// Counters for the measurement failures the sampler absorbed instead of
-/// letting them reach a controller.
+/// letting them reach a controller.  A value snapshot assembled by
+/// IntervalSampler::health() from its counter-backed instruments.
 struct SamplerHealth {
   /// Counter reads that threw; the interval is skipped, the baseline kept
   /// (counters are monotonic, so the next delta spans both intervals).
@@ -68,7 +70,17 @@ class IntervalSampler {
   /// Forgets the baseline (next sample() re-establishes it).
   void reset();
 
-  const SamplerHealth& health() const { return health_; }
+  /// Attach the socket's telemetry view (nullptr = null sink, the
+  /// default): registers the sampler's counters and enables
+  /// sample_accepted / sample_rejected / sample_read_failure events.
+  void set_telemetry(telemetry::SocketTelemetry* telem);
+
+  SamplerHealth health() const {
+    SamplerHealth h;
+    h.read_failures = read_failures_.value();
+    h.samples_rejected = samples_rejected_.value();
+    return h;
+  }
 
  private:
   std::optional<Sample> build_sample(
@@ -81,7 +93,11 @@ class IntervalSampler {
   bool have_baseline_ = false;
   SimTime last_time_{};
   std::array<std::uint64_t, kEventCount> last_raw_{};
-  SamplerHealth health_{};
+
+  telemetry::SocketTelemetry* telem_ = nullptr;  ///< nullable
+  telemetry::Counter samples_accepted_;
+  telemetry::Counter read_failures_;
+  telemetry::Counter samples_rejected_;
 };
 
 }  // namespace dufp::perfmon

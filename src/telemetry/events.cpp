@@ -1,0 +1,35 @@
+#include "telemetry/events.h"
+
+namespace dufp::telemetry {
+
+std::string_view event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::sample_accepted: return "sample_accepted";
+    case EventKind::sample_rejected: return "sample_rejected";
+    case EventKind::sample_read_failure: return "sample_read_failure";
+    case EventKind::actuation: return "actuation";
+    case EventKind::actuation_retry: return "actuation_retry";
+    case EventKind::actuation_failure: return "actuation_failure";
+    case EventKind::fail_open: return "fail_open";
+    case EventKind::reengage_probe: return "reengage_probe";
+    case EventKind::reengaged: return "reengaged";
+    case EventKind::balancer_realloc: return "balancer_realloc";
+    case EventKind::fault_injected: return "fault_injected";
+    case EventKind::count_: break;
+  }
+  return "unknown";
+}
+
+std::string_view actuation_op_name(ActuationOp op) {
+  switch (op) {
+    case ActuationOp::uncore: return "uncore";
+    case ActuationOp::cap_long: return "cap_long";
+    case ActuationOp::cap_short: return "cap_short";
+    case ActuationOp::time_window: return "time_window";
+    case ActuationOp::pstate: return "pstate";
+    case ActuationOp::probe: return "probe";
+  }
+  return "unknown";
+}
+
+}  // namespace dufp::telemetry

@@ -1,0 +1,42 @@
+#include "telemetry/flight_recorder.h"
+
+#include <algorithm>
+
+namespace dufp::telemetry {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 2;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : slots_(round_up_pow2(std::max<std::size_t>(capacity, 2))),
+      mask_(slots_.size() - 1) {}
+
+std::vector<Event> FlightRecorder::snapshot() const {
+  const std::size_t cap = slots_.size();
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const std::uint64_t end = head_.load(std::memory_order_acquire);
+    // Shrink the window on each retry so a fast writer cannot starve us.
+    const std::uint64_t want =
+        std::min<std::uint64_t>(end, cap >> attempt);
+    const std::uint64_t begin = end - want;
+    std::vector<Event> out;
+    out.reserve(static_cast<std::size_t>(want));
+    for (std::uint64_t seq = begin; seq < end; ++seq) {
+      out.push_back(slots_[static_cast<std::size_t>(seq) & mask_]);
+    }
+    // Records in [begin, end) are intact iff the writer has not lapped
+    // past begin + capacity while we copied.
+    const std::uint64_t end2 = head_.load(std::memory_order_acquire);
+    if (end2 <= begin + cap) return out;
+  }
+  return {};
+}
+
+}  // namespace dufp::telemetry

@@ -1,0 +1,67 @@
+// Per-socket flight recorder: a lock-free single-producer ring of the
+// last N structured interval events.
+//
+// Contract (SPSC): exactly one producer thread calls record().  The
+// publication cursor is release-stored after the slot is written, so a
+// consumer that loads it with acquire sees every record up to the cursor.
+// Because old slots are overwritten in place, snapshot() is exact when it
+// runs on the producer thread (the watchdog dump path) or after the
+// producer has stopped (post-run export) — the two places the harness
+// calls it.  A concurrent snapshot detects writer overtake via the cursor
+// and retries with a narrower window rather than returning torn records.
+//
+// record() is allocation-free and branch-light: one relaxed load, a
+// 32-byte POD store, one release store — cheap enough for every control
+// interval of every socket.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/events.h"
+
+namespace dufp::telemetry {
+
+/// A bounded dump of one socket's recent history, taken when the socket
+/// degraded (or on demand).  Value type: survives the run that made it.
+struct FlightDump {
+  int socket = 0;
+  std::int64_t at_us = 0;      ///< sim time of the trigger
+  std::vector<Event> events;   ///< oldest -> newest
+};
+
+class FlightRecorder {
+ public:
+  /// `capacity` is rounded up to a power of two, minimum 2.
+  explicit FlightRecorder(std::size_t capacity);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Single producer only.  Overwrites the oldest record when full.
+  void record(const Event& e) {
+    const std::uint64_t seq = head_.load(std::memory_order_relaxed);
+    slots_[static_cast<std::size_t>(seq) & mask_] = e;
+    head_.store(seq + 1, std::memory_order_release);
+  }
+
+  /// Events currently held, oldest -> newest (at most capacity()).
+  std::vector<Event> snapshot() const;
+
+  /// Total events ever recorded (monotonic; exceeds capacity when the
+  /// ring has wrapped).
+  std::uint64_t recorded() const {
+    return head_.load(std::memory_order_acquire);
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  std::vector<Event> slots_;
+  std::size_t mask_;
+  std::atomic<std::uint64_t> head_{0};  ///< next sequence number to write
+};
+
+}  // namespace dufp::telemetry

@@ -23,6 +23,8 @@ class OptionsEnvTest : public ::testing::Test {
     unsetenv("DUFP_QUIET");
     unsetenv("DUFP_FAULT_RATE");
     unsetenv("DUFP_FAULT_SEED");
+    unsetenv("DUFP_OUT_DIR");
+    unsetenv("DUFP_TELEMETRY");
   }
 
   static std::string error_of_from_env() {
@@ -43,6 +45,28 @@ TEST_F(OptionsEnvTest, DefaultsWhenUnset) {
   EXPECT_FALSE(o.quiet);
   EXPECT_DOUBLE_EQ(o.fault_rate, 0.0);
   EXPECT_EQ(o.fault_seed, 0u);
+  EXPECT_EQ(o.out_dir, "out");
+  EXPECT_FALSE(o.telemetry);
+}
+
+TEST_F(OptionsEnvTest, OutDirOverrideAndPathJoin) {
+  setenv("DUFP_OUT_DIR", "/tmp/dufp_options_test_out", 1);
+  const auto o = BenchOptions::from_env();
+  EXPECT_EQ(o.out_dir, "/tmp/dufp_options_test_out");
+  // out_path creates the directory and joins the filename onto it.
+  EXPECT_EQ(o.out_path("x.csv"), "/tmp/dufp_options_test_out/x.csv");
+}
+
+TEST_F(OptionsEnvTest, EmptyOutDirRejected) {
+  setenv("DUFP_OUT_DIR", "", 1);
+  const auto msg = error_of_from_env();
+  EXPECT_NE(msg.find("DUFP_OUT_DIR"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("non-empty"), std::string::npos) << msg;
+}
+
+TEST_F(OptionsEnvTest, TelemetryIsPresenceFlag) {
+  setenv("DUFP_TELEMETRY", "1", 1);
+  EXPECT_TRUE(BenchOptions::from_env().telemetry);
 }
 
 TEST_F(OptionsEnvTest, ValidValuesParse) {

@@ -1,0 +1,76 @@
+// Flight-recorder ring semantics: capacity rounding, ordered snapshots,
+// overwrite-oldest wraparound and the monotonic recorded() cursor.
+#include "telemetry/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+namespace dufp::telemetry {
+namespace {
+
+Event ev(std::int64_t t) {
+  Event e;
+  e.t_us = t;
+  e.kind = EventKind::sample_accepted;
+  e.a = static_cast<double>(t);
+  return e;
+}
+
+TEST(FlightRecorderTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(FlightRecorder(0).capacity(), 2u);
+  EXPECT_EQ(FlightRecorder(1).capacity(), 2u);
+  EXPECT_EQ(FlightRecorder(2).capacity(), 2u);
+  EXPECT_EQ(FlightRecorder(3).capacity(), 4u);
+  EXPECT_EQ(FlightRecorder(256).capacity(), 256u);
+  EXPECT_EQ(FlightRecorder(300).capacity(), 512u);
+}
+
+TEST(FlightRecorderTest, SnapshotBeforeWrapReturnsAllInOrder) {
+  FlightRecorder r(8);
+  for (int i = 0; i < 5; ++i) r.record(ev(i));
+  const auto snap = r.snapshot();
+  ASSERT_EQ(snap.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(snap[static_cast<size_t>(i)].t_us, i);
+  EXPECT_EQ(r.recorded(), 5u);
+}
+
+TEST(FlightRecorderTest, WrapOverwritesOldestKeepsNewest) {
+  FlightRecorder r(4);
+  for (int i = 0; i < 11; ++i) r.record(ev(i));
+  const auto snap = r.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  // The last capacity() events, oldest -> newest.
+  EXPECT_EQ(snap[0].t_us, 7);
+  EXPECT_EQ(snap[1].t_us, 8);
+  EXPECT_EQ(snap[2].t_us, 9);
+  EXPECT_EQ(snap[3].t_us, 10);
+  EXPECT_EQ(r.recorded(), 11u);
+}
+
+TEST(FlightRecorderTest, EmptySnapshotIsEmpty) {
+  FlightRecorder r(16);
+  EXPECT_TRUE(r.snapshot().empty());
+  EXPECT_EQ(r.recorded(), 0u);
+}
+
+TEST(FlightRecorderTest, PayloadSurvivesTheRing) {
+  FlightRecorder r(2);
+  Event e;
+  e.t_us = 123456;
+  e.kind = EventKind::actuation;
+  e.socket = 1;
+  e.code = static_cast<std::uint16_t>(ActuationOp::cap_long);
+  e.a = 95.0;
+  e.b = 120.0;
+  r.record(e);
+  const auto snap = r.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].t_us, 123456);
+  EXPECT_EQ(snap[0].kind, EventKind::actuation);
+  EXPECT_EQ(snap[0].socket, 1);
+  EXPECT_EQ(snap[0].code, static_cast<std::uint16_t>(ActuationOp::cap_long));
+  EXPECT_DOUBLE_EQ(snap[0].a, 95.0);
+  EXPECT_DOUBLE_EQ(snap[0].b, 120.0);
+}
+
+}  // namespace
+}  // namespace dufp::telemetry

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# The full pre-merge gate: plain tier-1, then UBSan, then TSan.
+#
+#   tools/ci.sh            # everything
+#   tools/ci.sh -j8        # extra args forwarded to every ctest
+#
+# Each stage uses its own build directory (build-ci, build-ubsan,
+# build-tsan) so the three configurations never poison each other's
+# caches.  Fails on the first stage that fails.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+echo "== plain tier-1 =="
+build_dir="${repo_root}/build-ci"
+cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${build_dir}" -j"$(nproc)"
+ctest --test-dir "${build_dir}" -L tier1 --output-on-failure "$@"
+
+echo "== tier-1 under UBSan =="
+"${repo_root}/tools/run_tier1_ubsan.sh" "$@"
+
+echo "== tier-1 under TSan =="
+"${repo_root}/tools/run_tier1_tsan.sh" "$@"
+
+echo "== ci: all stages passed =="

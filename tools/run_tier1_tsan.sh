@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 test suite under ThreadSanitizer.
+#
+# Builds the tree in a separate build directory with
+# -DDUFP_SANITIZE=thread (see the cache variable in the top-level
+# CMakeLists.txt) and runs every test labeled tier1 with TSan configured
+# to fail hard on the first report.  This is the check that guards the
+# parallel experiment engine and the telemetry plane (relaxed-atomic
+# instruments, SPSC flight recorders):
+#
+#   tools/run_tier1_tsan.sh            # configure + build + ctest
+#   tools/run_tier1_tsan.sh -j8        # extra args forwarded to ctest
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${repo_root}/build-tsan"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDUFP_SANITIZE=thread
+cmake --build "${build_dir}" -j"$(nproc)"
+
+# halt_on_error turns any race report into a test failure instead of a
+# log line that scrolls past.
+export TSAN_OPTIONS="halt_on_error=1"
+
+ctest --test-dir "${build_dir}" -L tier1 --output-on-failure "$@"
