@@ -194,7 +194,10 @@ RunResult run_once(const RunConfig& config) {
   // Partial capping of one phase (Fig. 1b/1c).
   if (config.phase_cap.has_value()) {
     const double cap = config.phase_cap->cap_w;
-    const std::string target = config.phase_cap->phase;
+    // Resolve the target phase name to its interned index once, at the
+    // edge; the listener then runs a plain integer compare per event.
+    const std::size_t target_idx =
+        config.profile->phase_index(config.phase_cap->phase);
     std::vector<double> def_long(static_cast<std::size_t>(n));
     std::vector<double> def_short(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) {
@@ -206,12 +209,14 @@ RunResult run_once(const RunConfig& config) {
               powercap::ConstraintId::short_term);
     }
     // The listener captures the zone pointers by reference into the
-    // context, which outlives the simulation loop.
+    // context, which outlives the simulation loop.  It touches only the
+    // socket it is called for, which is exactly the confinement the
+    // socket-parallel engine requires of listeners.
     auto& zones = ctx.zones;
-    s.add_phase_listener([target, cap, def_long, def_short, &zones](
-                             int socket, const std::string& phase,
+    s.add_phase_listener([target_idx, cap, def_long, def_short, &zones](
+                             int socket, std::size_t phase_idx,
                              bool entered) {
-      if (phase != target) return;
+      if (phase_idx != target_idx) return;
       auto& z = *zones[static_cast<std::size_t>(socket)];
       // Best effort under fault injection: a phase-boundary write that
       // faults is dropped (the experiment's cap is late or missing for

@@ -28,6 +28,10 @@ struct PhaseDemand {
   /// True when no application is running (simulation warm-up / drain).
   bool idle = false;
 
+  /// Memberwise equality lets the socket model detect that a demand write
+  /// is a no-op and keep its memoized evaluation.
+  friend bool operator==(const PhaseDemand&, const PhaseDemand&) = default;
+
   static PhaseDemand make_idle() {
     PhaseDemand d;
     d.w_cpu = 0.0;

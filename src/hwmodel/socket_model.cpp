@@ -39,15 +39,30 @@ double SocketModel::quantize_uncore_mhz(double mhz) const {
   return config_.uncore_min_mhz + steps * config_.uncore_step_mhz;
 }
 
+// Every setter quantizes first and only invalidates the memoized
+// evaluation when the stored value actually changes: the RAPL governor
+// re-asserts its limit every tick and the engine re-asserts the phase
+// demand every segment, and both are no-ops almost every time.
+
 void SocketModel::set_core_freq_limit_mhz(double mhz) {
-  core_freq_limit_mhz_ = quantize_core_mhz(mhz);
+  const double q = quantize_core_mhz(mhz);
+  if (q != core_freq_limit_mhz_) {
+    core_freq_limit_mhz_ = q;
+    cache_valid_ = false;
+  }
 }
 
 void SocketModel::set_uncore_window_mhz(double min_mhz, double max_mhz) {
   // Hardware normalizes a reversed window by honouring the max field.
   if (min_mhz > max_mhz) min_mhz = max_mhz;
-  uncore_min_mhz_ = quantize_uncore_mhz(min_mhz);
-  uncore_max_mhz_ = quantize_uncore_mhz(max_mhz);
+  const double qmin = quantize_uncore_mhz(min_mhz);
+  const double qmax = quantize_uncore_mhz(max_mhz);
+  if (qmin != uncore_min_mhz_ || qmax != uncore_max_mhz_) {
+    uncore_min_mhz_ = qmin;
+    uncore_max_mhz_ = qmax;
+    cache_valid_ = false;
+    ++state_version_;
+  }
 }
 
 void SocketModel::set_demand(const PhaseDemand& demand) {
@@ -56,11 +71,19 @@ void SocketModel::set_demand(const PhaseDemand& demand) {
   const double sum =
       demand.w_cpu + demand.w_mem + demand.w_unc + demand.w_fixed;
   DUFP_EXPECT(std::abs(sum - 1.0) < 1e-6);
-  demand_ = demand;
+  if (!(demand == demand_)) {
+    demand_ = demand;
+    cache_valid_ = false;
+    ++state_version_;
+  }
 }
 
 void SocketModel::set_user_pstate_limit_mhz(double mhz) {
-  user_pstate_mhz_ = quantize_core_mhz(mhz);
+  const double q = quantize_core_mhz(mhz);
+  if (q != user_pstate_mhz_) {
+    user_pstate_mhz_ = q;
+    cache_valid_ = false;
+  }
 }
 
 double SocketModel::effective_core_mhz() const {
@@ -80,6 +103,7 @@ double SocketModel::effective_uncore_mhz() const {
 }
 
 SocketInstant SocketModel::evaluate() const {
+  if (cache_valid_) return cached_instant_;
   SocketInstant out;
   out.core_mhz = effective_core_mhz();
   out.uncore_mhz = effective_uncore_mhz();
@@ -90,6 +114,8 @@ SocketInstant SocketModel::evaluate() const {
   out.pkg_power_w =
       power_model_.package_power_w(out.core_mhz, out.uncore_mhz, demand_);
   out.dram_power_w = power_model_.dram_power_w(out.bytes_rate);
+  cached_instant_ = out;
+  cache_valid_ = true;
   return out;
 }
 
@@ -99,8 +125,17 @@ double SocketModel::package_power_at(double core_mhz) const {
 }
 
 double SocketModel::core_mhz_for_power(double target_w) const {
-  return power_model_.core_mhz_for_power(target_w, effective_uncore_mhz(),
-                                         demand_);
+  // Exact-input memo: a hit replays the identical bisection result, so
+  // the memo is invisible to the determinism contract.
+  if (inverse_version_ == state_version_ && target_w == inverse_target_w_) {
+    return inverse_result_mhz_;
+  }
+  const double mhz = power_model_.core_mhz_for_power(
+      target_w, effective_uncore_mhz(), demand_);
+  inverse_version_ = state_version_;
+  inverse_target_w_ = target_w;
+  inverse_result_mhz_ = mhz;
+  return mhz;
 }
 
 void SocketModel::accumulate(const SocketInstant& instant, double dt_s) {

@@ -57,6 +57,14 @@ class SocketModel {
   double effective_uncore_mhz() const;
 
   /// Full instantaneous state at the current settings and demand.
+  ///
+  /// Memoized: the result is a pure function of the actuator settings and
+  /// the demand, so it is recomputed only after one of them actually
+  /// changes (the setters compare before invalidating).  The firmware
+  /// governor rewrites its frequency limit every tick but rarely *changes*
+  /// it, which makes this the single biggest win on the simulation hot
+  /// path — and because the cached struct is returned bit-for-bit, the
+  /// memoization is invisible to the determinism contract.
   SocketInstant evaluate() const;
 
   /// Package power if the core clock were `core_mhz` (current demand and
@@ -66,6 +74,13 @@ class SocketModel {
   /// Unquantized core clock at which package power would equal `target_w`
   /// (current demand and uncore setting); see
   /// PowerModel::core_mhz_for_power.
+  ///
+  /// Memoized on exact input equality: the RAPL governor calls this every
+  /// tick with an allowance derived from its power windows, and in steady
+  /// state (constant recorded power, constant demand) that allowance is
+  /// bit-identical tick after tick — so the bisection (the single hottest
+  /// computation in a simulation tick) runs only when something actually
+  /// moved.
   double core_mhz_for_power(double target_w) const;
 
   // -- ground-truth accounting ---------------------------------------------------
@@ -105,6 +120,17 @@ class SocketModel {
   double uncore_min_mhz_;
   double uncore_max_mhz_;
   PhaseDemand demand_ = PhaseDemand::make_idle();
+
+  mutable SocketInstant cached_instant_{};
+  mutable bool cache_valid_ = false;
+
+  // Inverse-model memo: valid while inverse_version_ matches
+  // state_version_ (bumped by any demand / uncore-window change — the
+  // inputs core_mhz_for_power depends on besides target_w).
+  mutable std::uint64_t state_version_ = 1;
+  mutable std::uint64_t inverse_version_ = 0;
+  mutable double inverse_target_w_ = 0.0;
+  mutable double inverse_result_mhz_ = 0.0;
 
   double pkg_energy_j_ = 0.0;
   double dram_energy_j_ = 0.0;

@@ -1,12 +1,48 @@
 #include "sim/simulation.h"
 
 #include <algorithm>
+#include <future>
 #include <stdexcept>
 
 #include "common/expect.h"
+#include "common/thread_pool.h"
 #include "common/units.h"
 
 namespace dufp::sim {
+
+namespace {
+
+// Mid-batch time override for worker threads.  While a worker steps
+// socket physics for tick k of a batch, the shared clock still reads the
+// batch start time; anything that asks the simulation for "now" from
+// inside that physics (telemetry timestamps on fault events, listener
+// logging) must instead see the exact per-tick time the serial engine
+// would have shown it.
+thread_local bool tls_has_now = false;
+thread_local SimTime tls_now{};
+
+struct NowOverrideScope {
+  NowOverrideScope() { tls_has_now = true; }
+  ~NowOverrideScope() { tls_has_now = false; }
+  NowOverrideScope(const NowOverrideScope&) = delete;
+  NowOverrideScope& operator=(const NowOverrideScope&) = delete;
+};
+
+/// Upper bound on ticks per parallel batch: bounds the replay buffer and
+/// keeps the serial replay loop cache-resident.
+constexpr std::int64_t kMaxBatchTicks = 512;
+
+/// Below this batch size the submit/barrier overhead outweighs the
+/// parallel work; the engine falls back to serial step()s.
+constexpr std::int64_t kMinBatchTicks = 4;
+
+/// Safety factor on the workload progress-rate bound.  The perf model
+/// guarantees speed <= 1/(sum of weights) and profile validation allows
+/// the weights to sum to 1 +/- 1e-6, so actual speed can exceed 1.0 by up
+/// to ~1e-6; 1.001 gives three orders of magnitude of slack.
+constexpr double kSpeedBoundMargin = 1.001;
+
+}  // namespace
 
 Simulation::Simulation(const hw::MachineConfig& machine,
                        const workloads::WorkloadProfile& app,
@@ -23,6 +59,7 @@ Simulation::Simulation(
     : options_(options), root_rng_(options.seed), machine_(machine) {
   DUFP_EXPECT(options.tick.micros() > 0);
   DUFP_EXPECT(options.max_seconds > 0.0);
+  DUFP_EXPECT(options.socket_threads >= 1);
   DUFP_EXPECT(static_cast<int>(apps.size()) == machine_.socket_count());
 
   rapl::GovernorParams gov = options_.governor;
@@ -75,13 +112,22 @@ workloads::WorkloadInstance& Simulation::workload(int i) {
   return *workloads_[static_cast<std::size_t>(i)];
 }
 
+SimTime Simulation::now() const {
+  return tls_has_now ? tls_now : clock_.now();
+}
+
 Rng Simulation::fork_rng(std::uint64_t tag) { return root_rng_.fork(tag); }
 
 void Simulation::schedule_periodic(SimDuration interval, PeriodicFn fn) {
   DUFP_EXPECT(interval.micros() > 0);
   DUFP_EXPECT(interval.micros() % options_.tick.micros() == 0);
   DUFP_EXPECT(fn != nullptr);
-  periodics_.push_back(Periodic{interval, std::move(fn)});
+  // First firing: the next multiple of `interval` strictly after now
+  // (identical to the historical `t % interval == 0` check, but O(1) per
+  // tick instead of a modulo per periodic per tick).
+  const std::int64_t next =
+      (clock_.now().micros() / interval.micros() + 1) * interval.micros();
+  periodics_.push_back(Periodic{interval, next, std::move(fn)});
 }
 
 void Simulation::add_phase_listener(PhaseListener fn) {
@@ -96,132 +142,232 @@ bool Simulation::finished() const {
   return true;
 }
 
-void Simulation::fire_phase_transitions(int socket,
-                                        const std::string& before_phase,
-                                        bool before_finished) {
+void Simulation::fire_phase_transitions(int socket, std::size_t before_idx) {
   if (phase_listeners_.empty()) return;
   auto& w = *workloads_[static_cast<std::size_t>(socket)];
-  const bool after_finished = w.finished();
-  const std::string after_phase =
-      after_finished ? std::string{} : w.current_phase().name;
-  if (before_finished == after_finished && before_phase == after_phase) return;
+  // Phase names are unique within a profile, so index equality is name
+  // equality: this is the pre-interning comparison without the string
+  // copies.
+  const std::size_t after_idx = w.finished() ? kNoPhase : w.current_phase_idx();
+  if (before_idx == after_idx) return;
   for (const auto& l : phase_listeners_) {
-    if (!before_finished && !before_phase.empty()) {
-      l(socket, before_phase, /*entered=*/false);
-    }
-    if (!after_finished && !after_phase.empty()) {
-      l(socket, after_phase, /*entered=*/true);
+    if (before_idx != kNoPhase) l(socket, before_idx, /*entered=*/false);
+    if (after_idx != kNoPhase) l(socket, after_idx, /*entered=*/true);
+  }
+}
+
+void Simulation::announce_initial_phases() {
+  // Announce the initial phases so listeners see a consistent enter/exit
+  // stream from the very first tick.
+  for (int s = 0; s < socket_count(); ++s) {
+    auto& w = *workloads_[static_cast<std::size_t>(s)];
+    if (!w.finished()) {
+      for (const auto& l : phase_listeners_) {
+        l(s, w.current_phase_idx(), /*entered=*/true);
+      }
     }
   }
 }
 
-bool Simulation::step() {
-  const int n = socket_count();
-  const double tick_s = options_.tick.seconds();
-
-  // On the very first tick, announce the initial phases so listeners see a
-  // consistent enter/exit stream.
-  if (!started_) {
-    started_ = true;
-    for (int s = 0; s < n; ++s) {
-      auto& w = *workloads_[static_cast<std::size_t>(s)];
-      if (!w.finished()) {
-        for (const auto& l : phase_listeners_) {
-          l(s, w.current_phase().name, /*entered=*/true);
-        }
-      }
-    }
-  }
+void Simulation::integrate_socket_tick(int s, double tick_s,
+                                       TickRecord& record) {
+  const auto si = static_cast<std::size_t>(s);
 
   // 1. Firmware power-capping decision for this tick.
-  for (int s = 0; s < n; ++s) rapls_[static_cast<std::size_t>(s)]->tick();
+  rapls_[si]->tick();
 
   // 2. Integrate the tick, splitting at phase boundaries.
-  std::vector<double> tick_pkg_energy(static_cast<std::size_t>(n), 0.0);
-  for (int s = 0; s < n; ++s) {
-    auto& w = *workloads_[static_cast<std::size_t>(s)];
-    auto& sock = machine_.socket(s);
-    double remaining = tick_s;
-    hw::SocketInstant last_instant{};
-    // Bounded iteration: each segment either exhausts the tick or crosses
-    // one sequence entry, and sequences are finite.
-    while (remaining > 1e-12) {
-      const bool was_finished = w.finished();
-      const std::string phase_before =
-          was_finished ? std::string{} : w.current_phase().name;
-      sock.set_demand(w.current_demand());
-      const hw::SocketInstant inst = sock.evaluate();
-      last_instant = inst;
+  auto& w = *workloads_[si];
+  auto& sock = machine_.socket(s);
+  double remaining = tick_s;
+  double pkg_energy = 0.0;
+  hw::SocketInstant last_instant{};
+  // Bounded iteration: each segment either exhausts the tick or crosses
+  // one sequence entry, and sequences are finite.
+  while (remaining > 1e-12) {
+    const bool was_finished = w.finished();
+    const std::size_t phase_before =
+        was_finished ? kNoPhase : w.current_phase_idx();
+    sock.set_demand(w.current_demand());
+    const hw::SocketInstant inst = sock.evaluate();
+    last_instant = inst;
 
-      double seg = remaining;
-      if (!was_finished && inst.speed > 0.0) {
-        const double to_phase_end = w.remaining_in_phase() / inst.speed;
-        seg = std::min(seg, to_phase_end);
-      }
-      // Guard against a zero-length segment from numerical round-off.
-      seg = std::max(seg, 1e-9);
-      seg = std::min(seg, remaining);
-
-      sock.accumulate(inst, seg);
-      tick_pkg_energy[static_cast<std::size_t>(s)] += inst.pkg_power_w * seg;
-      if (!was_finished) {
-        const std::size_t phase_idx =
-            w.profile().sequence()[w.position()];
-        PhaseTotals& pt =
-            phase_totals_[static_cast<std::size_t>(s)][phase_idx];
-        pt.wall_seconds += seg;
-        pt.pkg_energy_j += inst.pkg_power_w * seg;
-        pt.dram_energy_j += inst.dram_power_w * seg;
-        w.advance(inst.speed * seg);
-        fire_phase_transitions(s, phase_before, was_finished);
-      }
-      remaining -= seg;
+    double seg = remaining;
+    if (!was_finished && inst.speed > 0.0) {
+      const double to_phase_end = w.remaining_in_phase() / inst.speed;
+      seg = std::min(seg, to_phase_end);
     }
+    // Guard against a zero-length segment from numerical round-off.
+    seg = std::max(seg, 1e-9);
+    seg = std::min(seg, remaining);
 
-    TickRecord& r = tick_records_[static_cast<std::size_t>(s)];
-    r.core_mhz = static_cast<float>(last_instant.core_mhz);
-    r.uncore_mhz = static_cast<float>(last_instant.uncore_mhz);
-    r.pkg_power_w = static_cast<float>(
-        tick_pkg_energy[static_cast<std::size_t>(s)] / tick_s);
-    r.dram_power_w = static_cast<float>(last_instant.dram_power_w);
-    const auto& lim = rapls_[static_cast<std::size_t>(s)]->governor().limit();
-    r.cap_long_w = static_cast<float>(lim.long_term_w);
-    r.cap_short_w = static_cast<float>(lim.short_term_w);
-    r.flops_grate = static_cast<float>(flops_to_gflops(last_instant.flops_rate));
-    r.speed = static_cast<float>(last_instant.speed);
+    sock.accumulate(inst, seg);
+    pkg_energy += inst.pkg_power_w * seg;
+    if (!was_finished) {
+      PhaseTotals& pt = phase_totals_[si][phase_before];
+      pt.wall_seconds += seg;
+      pt.pkg_energy_j += inst.pkg_power_w * seg;
+      pt.dram_energy_j += inst.dram_power_w * seg;
+      w.advance(inst.speed * seg);
+      fire_phase_transitions(s, phase_before);
+    }
+    remaining -= seg;
   }
 
-  // 3. Feed the firmware's running-average windows with the tick's
+  record.core_mhz = static_cast<float>(last_instant.core_mhz);
+  record.uncore_mhz = static_cast<float>(last_instant.uncore_mhz);
+  record.pkg_power_w = static_cast<float>(pkg_energy / tick_s);
+  record.dram_power_w = static_cast<float>(last_instant.dram_power_w);
+  const auto& lim = rapls_[si]->governor().limit();
+  record.cap_long_w = static_cast<float>(lim.long_term_w);
+  record.cap_short_w = static_cast<float>(lim.short_term_w);
+  record.flops_grate =
+      static_cast<float>(flops_to_gflops(last_instant.flops_rate));
+  record.speed = static_cast<float>(last_instant.speed);
+
+  // 3. Feed the firmware's running-average window with the tick's
   //    time-averaged power (phase splits included).
-  for (int s = 0; s < n; ++s) {
-    rapls_[static_cast<std::size_t>(s)]->record(
-        hw::SocketInstant{
-            .core_mhz = 0, .uncore_mhz = 0, .speed = 0, .flops_rate = 0,
-            .bytes_rate = 0,
-            .pkg_power_w = tick_pkg_energy[static_cast<std::size_t>(s)] /
-                           tick_s,
-            .dram_power_w = 0},
-        tick_s);
-  }
+  rapls_[si]->record(
+      hw::SocketInstant{.core_mhz = 0, .uncore_mhz = 0, .speed = 0,
+                        .flops_rate = 0, .bytes_rate = 0,
+                        .pkg_power_w = pkg_energy / tick_s,
+                        .dram_power_w = 0},
+      tick_s);
+}
 
-  // 4. Advance the clock, then fire any periodic callbacks landing on the
-  //    new time (controllers observe a completed interval).
+void Simulation::finish_tick(const std::vector<TickRecord>& records) {
+  // Advance the clock, then fire any periodic callbacks whose deadline is
+  // the new time (controllers observe a completed interval).
   const SimTime t = clock_.advance(options_.tick);
-  for (const auto& p : periodics_) {
-    if (t.micros() % p.interval.micros() == 0) p.fn(t);
+  const std::int64_t t_us = t.micros();
+  for (auto& p : periodics_) {
+    if (t_us == p.next_due_us) {
+      p.fn(t);
+      p.next_due_us += p.interval.micros();
+    }
   }
 
-  if (trace_ != nullptr) trace_->on_tick(t, tick_records_);
+  if (trace_ != nullptr) trace_->on_tick(t, records);
 
   if (t.seconds() > options_.max_seconds) {
     throw std::runtime_error(
         "Simulation exceeded max_seconds — controller stalled progress?");
   }
+}
+
+bool Simulation::step() {
+  if (!started_) {
+    started_ = true;
+    announce_initial_phases();
+  }
+  const double tick_s = options_.tick.seconds();
+  for (int s = 0; s < socket_count(); ++s) {
+    integrate_socket_tick(s, tick_s, tick_records_[static_cast<std::size_t>(s)]);
+  }
+  finish_tick(tick_records_);
   return !finished();
 }
 
+std::int64_t Simulation::max_batch_ticks() const {
+  const std::int64_t tick_us = options_.tick.micros();
+  const double tick_s = options_.tick.seconds();
+  const std::int64_t now_us = clock_.now().micros();
+  std::int64_t bound = kMaxBatchTicks;
+
+  // No periodic may fire strictly inside a batch: controllers read state
+  // from every socket, so they may only run at the barrier.
+  for (const auto& p : periodics_) {
+    bound = std::min(bound, (p.next_due_us - now_us) / tick_us);
+  }
+
+  // No workload may finish inside a batch: the serial engine stops on the
+  // tick the last workload finishes, so a batch overrunning that tick
+  // would integrate idle time the serial run never saw.  Progress per
+  // tick is at most tick_s * (max speed), and speed is bounded by
+  // 1/(weight sum) — see kSpeedBoundMargin.
+  bool any_unfinished = false;
+  for (const auto& w : workloads_) {
+    if (w->finished()) continue;
+    any_unfinished = true;
+    const double min_ticks_to_finish =
+        w->remaining_nominal_seconds() / (tick_s * kSpeedBoundMargin);
+    bound = std::min(bound, static_cast<std::int64_t>(min_ticks_to_finish));
+  }
+  // All finished: mirror the serial do-while, which still processes the
+  // final tick serially.
+  return any_unfinished ? bound : 0;
+}
+
+void Simulation::run_parallel() {
+  const int n = socket_count();
+  const double tick_s = options_.tick.seconds();
+  const std::int64_t tick_us = options_.tick.micros();
+  ThreadPool pool(std::min(options_.socket_threads, n));
+
+  if (!started_) {
+    started_ = true;
+    announce_initial_phases();
+  }
+  batch_records_.reserve(static_cast<std::size_t>(kMaxBatchTicks) *
+                         static_cast<std::size_t>(n));
+  std::vector<std::future<void>> futures;
+  futures.reserve(static_cast<std::size_t>(n));
+
+  for (;;) {
+    const std::int64_t batch = max_batch_ticks();
+    if (batch < kMinBatchTicks) {
+      // Endgame (a workload is about to finish) or a periodic is due in a
+      // few ticks: the barrier overhead isn't worth it.
+      step();
+      if (finished()) return;
+      continue;
+    }
+
+    // Physics for `batch` ticks of every socket, sockets in parallel.
+    // Socket state is fully independent between barriers (per-socket
+    // MSRs, governor, workload, model, listener targets), so each worker
+    // replays the exact serial per-socket instruction stream.
+    batch_records_.resize(static_cast<std::size_t>(batch) *
+                          static_cast<std::size_t>(n));
+    const std::int64_t t0_us = clock_.now().micros();
+    futures.clear();
+    for (int s = 0; s < n; ++s) {
+      futures.push_back(pool.submit([this, s, batch, t0_us, tick_s,
+                                     tick_us] {
+        NowOverrideScope scope;
+        TickRecord* rows =
+            batch_records_.data() + static_cast<std::size_t>(s) *
+                                        static_cast<std::size_t>(batch);
+        for (std::int64_t k = 0; k < batch; ++k) {
+          tls_now = SimTime{t0_us + k * tick_us};
+          integrate_socket_tick(s, tick_s, rows[k]);
+        }
+      }));
+    }
+    for (auto& f : futures) f.get();  // barrier (rethrows worker errors)
+
+    // Replay the batch's bookkeeping in serial tick order: clock,
+    // periodic deadlines (by construction only the final tick of the
+    // batch can be due), trace rows, watchdog.
+    for (std::int64_t k = 0; k < batch; ++k) {
+      for (int s = 0; s < n; ++s) {
+        tick_records_[static_cast<std::size_t>(s)] =
+            batch_records_[static_cast<std::size_t>(s) *
+                               static_cast<std::size_t>(batch) +
+                           static_cast<std::size_t>(k)];
+      }
+      finish_tick(tick_records_);
+    }
+    if (finished()) return;
+  }
+}
+
 RunSummary Simulation::run() {
-  while (step()) {
+  if (options_.socket_threads > 1 && socket_count() > 1) {
+    run_parallel();
+  } else {
+    while (step()) {
+    }
   }
   RunSummary sum;
   sum.exec_seconds = clock_.now().seconds();

@@ -7,8 +7,19 @@
 // when a workload phase ends mid-tick, the tick is split into segments so
 // energy / flops / bytes accounting never smears one phase's rates into
 // the next.
+//
+// Hot-path design (see DESIGN.md § Hot path & scaling): the steady-state
+// tick performs no heap allocation — phase transitions are keyed by
+// interned phase *indices* rather than name strings, per-tick scratch
+// lives in members sized at construction, and periodic scheduling is a
+// next-deadline countdown instead of a modulo scan.  With
+// SimulationOptions::socket_threads > 1, run() steps independent sockets
+// in parallel in batches sized so no controller callback and no workload
+// completion can land inside a batch; the outputs are byte-identical to
+// the serial engine.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <memory>
 #include <string>
@@ -39,6 +50,14 @@ struct SimulationOptions {
   /// Hard stop: abort (throw) if the run exceeds this wall time — guards
   /// against a controller bug stalling progress forever.
   double max_seconds = 3600.0;
+
+  /// Number of threads run() may use to step independent sockets in
+  /// parallel (1 = serial, the default).  Results are byte-identical to
+  /// the serial engine for any value; see Simulation::run().  Phase
+  /// listeners then fire on worker threads and must confine themselves to
+  /// the socket they are called for (the harness's phase-cap listener
+  /// does).
+  int socket_threads = 1;
 };
 
 /// Wall time and energy attributed to one phase of the workload on one
@@ -64,6 +83,9 @@ struct RunSummary {
 
 class Simulation {
  public:
+  /// Sentinel phase index meaning "no phase" (workload finished).
+  static constexpr std::size_t kNoPhase = static_cast<std::size_t>(-1);
+
   /// Symmetric machine: every socket runs its share of the same
   /// application (the paper's OpenMP setup).
   Simulation(const hw::MachineConfig& machine,
@@ -87,7 +109,12 @@ class Simulation {
   msr::SimulatedMsr& msr(int i);
   rapl::RaplEngine& rapl(int i);
   workloads::WorkloadInstance& workload(int i);
-  SimTime now() const { return clock_.now(); }
+
+  /// Current simulated time.  During a socket-parallel batch this returns
+  /// the exact mid-batch time of the tick the calling worker thread is
+  /// stepping, so timestamps observed from listeners (telemetry, fault
+  /// events) match the serial engine bit for bit.
+  SimTime now() const;
 
   /// Independent RNG stream derived from the run seed.
   Rng fork_rng(std::uint64_t tag);
@@ -98,10 +125,17 @@ class Simulation {
   using PeriodicFn = std::function<void(SimTime)>;
   void schedule_periodic(SimDuration interval, PeriodicFn fn);
 
-  /// Notified when socket `s` enters (`entered`=true) or finishes a phase.
-  /// Used by the partial-capping experiments (Fig. 1b/1c).
+  /// Notified when socket `s` enters (`entered`=true) or leaves a phase.
+  /// `phase_idx` indexes workload(s).profile().phases(); resolve to a name
+  /// with workload(s).profile().phase_name(phase_idx) when needed.  Used
+  /// by the partial-capping experiments (Fig. 1b/1c).
+  ///
+  /// Contract: with socket_threads > 1 the listener fires on the worker
+  /// thread stepping socket `s`; it must only touch state belonging to
+  /// that socket (its zone, its MSR device, per-socket buffers) or
+  /// synchronize explicitly.
   using PhaseListener =
-      std::function<void(int socket, const std::string& phase, bool entered)>;
+      std::function<void(int socket, std::size_t phase_idx, bool entered)>;
   void add_phase_listener(PhaseListener fn);
 
   /// Non-owning; pass nullptr to detach.
@@ -113,18 +147,38 @@ class Simulation {
 
   // -- execution -------------------------------------------------------------
 
-  /// Advances one tick.  Returns false once every socket's workload has
-  /// finished (the final tick is still fully processed).
+  /// Advances one tick (always serial).  Returns false once every
+  /// socket's workload has finished (the final tick is still fully
+  /// processed).
   bool step();
 
-  /// Runs to completion and summarizes.
+  /// Runs to completion and summarizes.  With socket_threads > 1 the
+  /// sockets are stepped in parallel batches; every observable output
+  /// (trace stream, accounting, per-socket listener/fault/telemetry
+  /// streams) is byte-identical to the serial run.
   RunSummary run();
 
   bool finished() const;
 
  private:
-  void fire_phase_transitions(
-      int socket, const std::string& before_phase, bool before_finished);
+  struct Periodic {
+    SimDuration interval;
+    std::int64_t next_due_us;  ///< absolute deadline of the next firing
+    PeriodicFn fn;
+  };
+
+  void announce_initial_phases();
+  void fire_phase_transitions(int socket, std::size_t before_idx);
+  /// Physics + accounting for one socket on one tick; fills the given
+  /// record.  `tick_s` is the tick length in seconds.
+  void integrate_socket_tick(int s, double tick_s, TickRecord& record);
+  /// Clock advance + periodic / trace / watchdog handling shared by the
+  /// serial step and the batched replay.
+  void finish_tick(const std::vector<TickRecord>& records);
+  void run_parallel();
+  /// Upper bound on ticks that can run before any periodic fires inside
+  /// the batch or any unfinished workload can possibly finish.
+  std::int64_t max_batch_ticks() const;
 
   SimulationOptions options_;
   Rng root_rng_;
@@ -135,16 +189,15 @@ class Simulation {
   std::vector<std::unique_ptr<rapl::RaplEngine>> rapls_;
   std::vector<std::unique_ptr<workloads::WorkloadInstance>> workloads_;
 
-  struct Periodic {
-    SimDuration interval;
-    PeriodicFn fn;
-  };
   std::vector<Periodic> periodics_;
   std::vector<PhaseListener> phase_listeners_;
   TraceSink* trace_ = nullptr;
 
   std::vector<TickRecord> tick_records_;  // scratch, reused per tick
   std::vector<std::vector<PhaseTotals>> phase_totals_;  // [socket][phase]
+  // Socket-major ([socket * batch + tick]) so concurrent workers never
+  // write the same cache line; the replay loop gathers per-tick rows.
+  std::vector<TickRecord> batch_records_;
   bool started_ = false;
 };
 

@@ -96,6 +96,10 @@ WorkloadInstance::WorkloadInstance(const WorkloadProfile& profile,
         std::max(0.5, 1.0 + jitter_rng.gaussian(0.0, jitter_sigma));
     durations_.push_back(base * factor);
   }
+  remaining_after_.assign(durations_.size() + 1, 0.0);
+  for (std::size_t i = durations_.size(); i-- > 0;) {
+    remaining_after_[i] = remaining_after_[i + 1] + durations_[i];
+  }
 }
 
 const PhaseSpec& WorkloadInstance::current_phase() const {
@@ -108,9 +112,18 @@ hw::PhaseDemand WorkloadInstance::current_demand() const {
   return current_phase().demand();
 }
 
+std::size_t WorkloadInstance::current_phase_idx() const {
+  DUFP_EXPECT(!finished());
+  return profile_.sequence()[position_];
+}
+
 double WorkloadInstance::remaining_in_phase() const {
   DUFP_EXPECT(!finished());
   return durations_[position_] - consumed_in_current_;
+}
+
+double WorkloadInstance::remaining_nominal_seconds() const {
+  return remaining_after_[position_] - consumed_in_current_;
 }
 
 void WorkloadInstance::advance(double nominal_seconds) {

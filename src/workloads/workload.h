@@ -4,6 +4,7 @@
 
 #include <cstddef>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/rng.h"
@@ -38,6 +39,15 @@ class WorkloadProfile {
   std::size_t phase_index(const std::string& phase_name) const;
   const PhaseSpec& phase(std::size_t index) const;
 
+  /// Interned phase name: phase names are unique within a profile (see
+  /// add_phase), so a phase *index* is a stable, allocation-free key for a
+  /// phase and index equality is name equality.  The view stays valid for
+  /// the profile's lifetime; hot-path consumers pass indices around and
+  /// resolve to a name only at the edges (logging, CSV, user listeners).
+  std::string_view phase_name(std::size_t index) const {
+    return phase(index).name;
+  }
+
   /// Total nominal (unjittered) duration of the sequence.
   double nominal_total_seconds() const;
 
@@ -71,8 +81,18 @@ class WorkloadInstance {
   const PhaseSpec& current_phase() const;
   hw::PhaseDemand current_demand() const;
 
+  /// Index (into profile().phases()) of the current phase; requires
+  /// !finished().  The engine's allocation-free transition tracking keys
+  /// on this instead of copying phase-name strings.
+  std::size_t current_phase_idx() const;
+
   /// Nominal seconds left in the current sequence entry.
   double remaining_in_phase() const;
+
+  /// Jittered nominal seconds left in the whole sequence (0 when
+  /// finished).  O(1): the socket-parallel engine queries this every batch
+  /// to bound how many ticks can run before any workload could finish.
+  double remaining_nominal_seconds() const;
 
   /// Consumes `nominal_seconds` of progress, crossing sequence entries as
   /// needed.  Requires nominal_seconds >= 0.
@@ -88,6 +108,9 @@ class WorkloadInstance {
  private:
   const WorkloadProfile& profile_;
   std::vector<double> durations_;  ///< jittered, index-aligned with sequence
+  /// remaining_after_[i] = sum of durations_[i..end); one trailing 0 entry
+  /// makes remaining_nominal_seconds() branch-free at the finish line.
+  std::vector<double> remaining_after_;
   std::size_t position_ = 0;
   double consumed_in_current_ = 0.0;
   double consumed_total_ = 0.0;

@@ -1,0 +1,130 @@
+// Byte-identical golden regression for the simulation hot path.
+//
+// The golden CSVs/summaries in tests/perf/golden were produced by the
+// pre-optimization engine; these tests pin the optimized engine (serial
+// and, once available, socket-parallel) to the exact same bytes for the
+// same seeds — the repo's determinism contract extended to the hot-path
+// rework.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "golden_util.h"
+#include "sim/trace.h"
+#include "telemetry/export.h"
+
+namespace dufp::perf_test {
+namespace {
+
+std::string run_trace_csv(const harness::RunConfig& base,
+                          const std::string& tag) {
+  harness::RunConfig cfg = base;
+  const std::string path = temp_path(tag + ".csv");
+  {
+    sim::CsvTraceSink sink(path, /*decimation=*/1);
+    cfg.trace = &sink;
+    harness::run_once(cfg);
+  }
+  return read_file(path);
+}
+
+harness::RunConfig parallel(harness::RunConfig cfg, int threads = 4) {
+  cfg.sim.socket_threads = threads;
+  return cfg;
+}
+
+/// Every deterministic byte the telemetry subsystem can emit for a run:
+/// Prometheus exposition, Chrome trace JSON, and JSONL events.  Fault
+/// events are stamped through Simulation::now(), so under parallel
+/// stepping this exercises the worker-thread mid-batch time override.
+std::string telemetry_text(const harness::RunResult& res) {
+  EXPECT_TRUE(res.telemetry.has_value());
+  if (!res.telemetry.has_value()) return {};
+  std::ostringstream out;
+  telemetry::write_prometheus(res.telemetry->metrics, out);
+  telemetry::write_chrome_trace(*res.telemetry, out);
+  telemetry::write_jsonl(*res.telemetry, out);
+  return out.str();
+}
+
+TEST(GoldenTraceTest, SerialTraceMatchesPreChangeGolden) {
+  const auto profile = golden_profile();
+  expect_matches_golden(run_trace_csv(golden_config(profile), "serial"),
+                        "trace_reference.csv");
+}
+
+TEST(GoldenTraceTest, SerialSummaryMatchesPreChangeGolden) {
+  const auto profile = golden_profile();
+  expect_matches_golden(summary_text(harness::run_once(golden_config(profile))),
+                        "summary_reference.txt");
+}
+
+TEST(GoldenTraceTest, FaultStormTraceMatchesPreChangeGolden) {
+  const auto profile = golden_profile();
+  expect_matches_golden(run_trace_csv(golden_storm_config(profile), "storm"),
+                        "trace_storm.csv");
+}
+
+TEST(GoldenTraceTest, FaultStormSummaryMatchesPreChangeGolden) {
+  const auto profile = golden_profile();
+  expect_matches_golden(
+      summary_text(harness::run_once(golden_storm_config(profile))),
+      "summary_storm.txt");
+}
+
+// -- socket-parallel stepping against the same pre-change goldens ------------
+
+TEST(GoldenTraceTest, ParallelTraceMatchesPreChangeGolden) {
+  const auto profile = golden_profile();
+  expect_matches_golden(
+      run_trace_csv(parallel(golden_config(profile)), "par"),
+      "trace_reference.csv");
+}
+
+TEST(GoldenTraceTest, ParallelSummaryMatchesPreChangeGolden) {
+  const auto profile = golden_profile();
+  expect_matches_golden(
+      summary_text(harness::run_once(parallel(golden_config(profile)))),
+      "summary_reference.txt");
+}
+
+TEST(GoldenTraceTest, ParallelFaultStormTraceMatchesPreChangeGolden) {
+  const auto profile = golden_profile();
+  expect_matches_golden(
+      run_trace_csv(parallel(golden_storm_config(profile)), "par_storm"),
+      "trace_storm.csv");
+}
+
+TEST(GoldenTraceTest, ParallelFaultStormSummaryMatchesPreChangeGolden) {
+  const auto profile = golden_profile();
+  expect_matches_golden(
+      summary_text(harness::run_once(parallel(golden_storm_config(profile)))),
+      "summary_storm.txt");
+}
+
+// Two threads force batches whose sockets are stepped by a *pool smaller
+// than the socket count* — the work-queue order differs from both serial
+// and 4-thread runs, and the bytes still must not.
+TEST(GoldenTraceTest, TwoThreadTraceMatchesPreChangeGolden) {
+  const auto profile = golden_profile();
+  expect_matches_golden(
+      run_trace_csv(parallel(golden_storm_config(profile), 2), "par2"),
+      "trace_storm.csv");
+}
+
+TEST(GoldenTraceTest, SerialAndParallelTelemetryBytesAreIdentical) {
+  const auto profile = golden_profile();
+  harness::RunConfig cfg = golden_storm_config(profile);
+  cfg.telemetry.enabled = true;
+  const std::string serial_text =
+      telemetry_text(harness::run_once(cfg));
+  const std::string parallel_text =
+      telemetry_text(harness::run_once(parallel(cfg)));
+  ASSERT_FALSE(serial_text.empty());
+  EXPECT_EQ(serial_text, parallel_text)
+      << "telemetry (incl. fault-event timestamps from worker threads) "
+         "drifted under socket-parallel stepping";
+}
+
+}  // namespace
+}  // namespace dufp::perf_test

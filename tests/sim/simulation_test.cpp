@@ -116,11 +116,13 @@ TEST(SimulationTest, PhaseListenersSeeEveryTransition) {
   Simulation s(one_socket(), prof, fast_options());
   std::map<std::string, int> enters;
   std::map<std::string, int> exits;
-  s.add_phase_listener(
-      [&](int socket, const std::string& name, bool entered) {
-        EXPECT_EQ(socket, 0);
-        (entered ? enters[name] : exits[name])++;
-      });
+  s.add_phase_listener([&](int socket, std::size_t phase_idx, bool entered) {
+    // Names are resolved at the edge; the engine hands out interned
+    // indices.
+    const std::string name(prof.phase_name(phase_idx));
+    EXPECT_EQ(socket, 0);
+    (entered ? enters[name] : exits[name])++;
+  });
   s.run();
   EXPECT_EQ(enters["compute"], 3);
   EXPECT_EQ(enters["memory"], 3);

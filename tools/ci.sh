@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# The full pre-merge gate: plain tier-1, then UBSan, then TSan.
+# The full pre-merge gate: plain tier-1 (Release, -O2 -DNDEBUG — the
+# configuration the tracked benchmark numbers come from), a throughput-
+# bench smoke, then UBSan, then TSan.
 #
 #   tools/ci.sh            # everything
 #   tools/ci.sh -j8        # extra args forwarded to every ctest
@@ -7,15 +9,40 @@
 # Each stage uses its own build directory (build-ci, build-ubsan,
 # build-tsan) so the three configurations never poison each other's
 # caches.  Fails on the first stage that fails.
+#
+# The hot-path regression tests (byte-identity goldens, allocation guard)
+# carry the additional ctest label `perf`; after touching the engine,
+# `ctest --test-dir build-ci -L perf` re-runs just those.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 
-echo "== plain tier-1 =="
+echo "== plain tier-1 (Release) =="
 build_dir="${repo_root}/build-ci"
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${build_dir}" -j"$(nproc)"
 ctest --test-dir "${build_dir}" -L tier1 --output-on-failure "$@"
+
+echo "== sim_throughput smoke =="
+# DUFP_SMOKE: tiny profile, one repetition.  Validates that the bench
+# runs and emits parseable JSON matching bench/sim_throughput_schema.json
+# (structurally — no performance gate here; thresholds are a ROADMAP
+# item until CI hardware is stable enough to gate on).
+smoke_dir="${build_dir}/smoke-out"
+rm -rf "${smoke_dir}"
+DUFP_SMOKE=1 DUFP_OUT_DIR="${smoke_dir}" "${build_dir}/bench/sim_throughput"
+python3 - "${smoke_dir}/BENCH_sim_throughput.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+for key in ("schema_version", "bench", "smoke", "config", "baseline",
+            "serial", "socket_threads_4", "speedup"):
+    assert key in doc, f"missing key: {key}"
+assert doc["schema_version"] == 1
+assert doc["smoke"] is True
+assert doc["serial"]["ticks"] > 0
+print("sim_throughput smoke: JSON OK")
+EOF
 
 echo "== tier-1 under UBSan =="
 "${repo_root}/tools/run_tier1_ubsan.sh" "$@"
