@@ -1,0 +1,202 @@
+// Multi-process scaling of the sharded experiment engine on the
+// reference grid: the same GridSpec run as 1 in-process serial execution
+// and as N forked shard workers + gather, reporting wall-clock per
+// variant and verifying the gathered output bytes match serial exactly.
+//
+// Forking happens BEFORE any thread pool exists (every run here uses
+// threads=1), so the children are plain single-threaded processes — the
+// same shape tools/shard_run.sh launches, minus the exec.
+//
+// On a single-CPU host the N-process rows time-slice one core and
+// measure sharding overhead (serialization, gather, process startup),
+// not a speedup — `config.host_cpus` is recorded so the JSON is
+// interpretable either way (same convention as sim_throughput).
+//
+// Knobs:
+//   DUFP_SMOKE=1      1-app, 2-repetition grid: CI smoke
+//   DUFP_OUT_DIR=DIR  where BENCH_shard_scaling.json lands (default out)
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "harness/shard.h"
+
+namespace dufp::bench {
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One worker's whole life, run inside the fork: execute shard k of N
+/// and stream the JSONL.  Exit code is the only channel back.
+int child_main(const harness::GridSpec& spec, int shard, int shards,
+               const std::string& out_file) {
+  try {
+    std::ofstream out(out_file, std::ios::binary);
+    if (!out.good()) return 1;
+    harness::ShardRunOptions opts;
+    opts.shard = shard;
+    opts.shards = shards;
+    opts.threads = 1;
+    harness::run_shard(spec, opts, out);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[shard %d] %s\n", shard, e.what());
+    return 1;
+  }
+}
+
+struct ShardedRun {
+  double wall_seconds = 0.0;
+  bool identical = false;
+};
+
+/// Forks `shards` single-threaded workers, waits, gathers, and
+/// byte-compares the finalized outputs against the serial reference.
+ShardedRun measure_sharded(const harness::GridSpec& spec, int shards,
+                           const harness::GridOutputs& reference) {
+  std::vector<std::string> files;
+  for (int k = 0; k < shards; ++k) {
+    files.push_back(
+        out_path(strf("bench_shard_%d_of_%d.jsonl", k, shards)));
+  }
+
+  ShardedRun run;
+  const double t0 = now_seconds();
+  std::vector<pid_t> pids;
+  for (int k = 0; k < shards; ++k) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::perror("fork");
+      return run;
+    }
+    if (pid == 0) {
+      ::_exit(child_main(spec, k, shards, files[k]));
+    }
+    pids.push_back(pid);
+  }
+  bool ok = true;
+  for (const pid_t pid : pids) {
+    int status = 0;
+    if (::waitpid(pid, &status, 0) < 0 || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      ok = false;
+    }
+  }
+  if (!ok) {
+    std::fprintf(stderr, "a shard worker failed\n");
+    return run;
+  }
+  const auto outputs = harness::finalize_grid(
+      spec, harness::gather_shards(spec, files));
+  run.wall_seconds = now_seconds() - t0;  // workers + gather + finalize
+  run.identical =
+      outputs.evaluation_csv == reference.evaluation_csv &&
+      outputs.merged_prometheus == reference.merged_prometheus;
+  return run;
+}
+
+int run_main() {
+  const bool smoke = std::getenv("DUFP_SMOKE") != nullptr;
+
+  print_banner("shard_scaling: N-process sharded grid vs one process",
+               "horizontal engine scaling (ROADMAP), not a paper figure");
+
+  harness::GridSpec spec = harness::GridSpec::reference();
+  if (smoke) {
+    spec.name = "smoke";
+    spec.apps = {workloads::AppId::cg};
+    spec.tolerances = {0.10};
+    spec.repetitions = 2;
+  }
+  const auto gp = harness::build_plan(spec);
+  const unsigned host_cpus = std::thread::hardware_concurrency();
+  std::printf("grid: %s (%zu jobs across %zu cells), host_cpus=%u\n",
+              spec.name.c_str(), gp.plan.job_count(), gp.plan.cell_count(),
+              host_cpus);
+
+  // The single-process reference (also the byte oracle).  threads=1: no
+  // thread pool may exist before the forks below.
+  const double t0 = now_seconds();
+  const auto reference = harness::run_grid_serial(spec, 1);
+  const double single_wall = now_seconds() - t0;
+  std::printf("single process:  %7.3f s\n", single_wall);
+
+  const std::vector<int> shard_counts{2, 4};
+  std::vector<ShardedRun> runs;
+  for (const int n : shard_counts) {
+    const ShardedRun run = measure_sharded(spec, n, reference);
+    runs.push_back(run);
+    std::printf("%d processes:     %7.3f s  (%.2fx vs single, bytes %s)\n",
+                n, run.wall_seconds,
+                run.wall_seconds > 0.0 ? single_wall / run.wall_seconds : 0.0,
+                run.identical ? "identical" : "DIFFER");
+  }
+  if (host_cpus < 2) {
+    std::printf("note: host exposes %u CPU(s) — multi-process rows "
+                "time-slice one core and measure sharding overhead, not "
+                "speedup; interpret together with config.host_cpus\n",
+                host_cpus);
+  }
+
+  std::string json = "{\n";
+  json += "  \"schema_version\": 1,\n";
+  json += "  \"bench\": \"shard_scaling\",\n";
+  json += strf("  \"smoke\": %s,\n", smoke ? "true" : "false");
+  json += strf(
+      "  \"config\": {\n"
+      "    \"spec\": \"%s\",\n"
+      "    \"jobs\": %zu,\n"
+      "    \"cells\": %zu,\n"
+      "    \"host_cpus\": %u\n"
+      "  },\n",
+      spec.name.c_str(), gp.plan.job_count(), gp.plan.cell_count(),
+      host_cpus);
+  json += strf(
+      "  \"single_process\": {\n"
+      "    \"wall_seconds\": %.6f\n"
+      "  }",
+      single_wall);
+  bool all_identical = true;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    all_identical = all_identical && runs[i].identical;
+    json += strf(
+        ",\n"
+        "  \"processes_%d\": {\n"
+        "    \"wall_seconds\": %.6f,\n"
+        "    \"speedup_vs_single\": %.3f,\n"
+        "    \"identical_bytes\": %s\n"
+        "  }",
+        shard_counts[i], runs[i].wall_seconds,
+        runs[i].wall_seconds > 0.0 ? single_wall / runs[i].wall_seconds : 0.0,
+        runs[i].identical ? "true" : "false");
+  }
+  json += "\n}\n";
+
+  const std::string path = out_path("BENCH_shard_scaling.json");
+  if (std::FILE* f = std::fopen(path.c_str(), "wb")) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("JSON written to %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  return all_identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace dufp::bench
+
+int main() { return dufp::bench::run_main(); }

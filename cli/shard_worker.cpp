@@ -1,0 +1,231 @@
+// dufp_shard_worker — one process of a sharded experiment-grid run.
+//
+// Subcommands (see tools/shard_run.sh for the orchestrated flow and
+// DESIGN.md § Sharded execution for the contract):
+//
+//   spec   [--reference | --spec FILE]
+//          Print the canonical spec JSON (+ fingerprint to stderr).
+//          `--reference` (default) emits the built-in reference grid —
+//          the starting point for writing custom specs.
+//
+//   plan   --spec FILE
+//          Print the job table (job, cell, repetition, label, seed) the
+//          spec enumerates — identical in every process, which is what
+//          makes job indices portable shard identities.
+//
+//   run    --spec FILE --out FILE [--shard K --shards N] [--threads T]
+//          [--chunk-size C --claim-dir DIR]
+//          Execute this worker's share of the jobs and stream the
+//          versioned JSONL to --out.  Default is static round-robin;
+//          --chunk-size switches to dynamic chunk claiming through
+//          O_CREAT|O_EXCL claim files in --claim-dir.
+//
+//   gather --spec FILE --out PREFIX FILES...
+//          Merge shard JSONL files: validates headers/fingerprints,
+//          demands every job exactly once, aggregates bit-identically
+//          to a serial run, and writes PREFIX.csv (+ PREFIX.prom /
+//          telemetry exports when the spec has telemetry on).
+//
+//   serial --spec FILE --out PREFIX [--threads T]
+//          Run the whole grid in this process and write the same
+//          outputs — the byte-identical reference for `gather`.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "harness/shard.h"
+#include "telemetry/export.h"
+
+namespace {
+
+using dufp::strf;
+using dufp::harness::GridOutputs;
+using dufp::harness::GridSpec;
+
+[[noreturn]] void usage_error(const std::string& what) {
+  std::fprintf(stderr, "dufp_shard_worker: %s\n", what.c_str());
+  std::fprintf(stderr,
+               "usage: dufp_shard_worker spec [--reference|--spec FILE]\n"
+               "       dufp_shard_worker plan --spec FILE\n"
+               "       dufp_shard_worker run --spec FILE --out FILE"
+               " [--shard K --shards N] [--threads T]"
+               " [--chunk-size C --claim-dir DIR]\n"
+               "       dufp_shard_worker gather --spec FILE --out PREFIX"
+               " FILES...\n"
+               "       dufp_shard_worker serial --spec FILE --out PREFIX"
+               " [--threads T]\n");
+  std::exit(2);
+}
+
+struct Args {
+  std::map<std::string, std::string> options;
+  std::vector<std::string> positional;
+};
+
+Args parse_args(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const std::string key = arg.substr(2);
+      if (key == "reference") {
+        args.options[key] = "1";
+        continue;
+      }
+      if (i + 1 >= argc) usage_error("missing value for --" + key);
+      args.options[key] = argv[++i];
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+int get_int(const Args& args, const std::string& key, int fallback) {
+  const auto it = args.options.find(key);
+  if (it == args.options.end()) return fallback;
+  try {
+    return std::stoi(it->second);
+  } catch (const std::exception&) {
+    usage_error("--" + key + " wants an integer, got '" + it->second + "'");
+  }
+}
+
+GridSpec load_spec(const Args& args) {
+  const auto it = args.options.find("spec");
+  if (it == args.options.end()) usage_error("--spec FILE is required");
+  return GridSpec::load(it->second);
+}
+
+std::string require_out(const Args& args) {
+  const auto it = args.options.find("out");
+  if (it == args.options.end()) usage_error("--out is required");
+  return it->second;
+}
+
+void write_outputs(const GridSpec& spec, const GridOutputs& out,
+                   const std::string& prefix) {
+  const std::string csv_path = prefix + ".csv";
+  {
+    std::ofstream csv(csv_path, std::ios::binary);
+    if (!csv.good()) {
+      throw std::runtime_error("cannot write " + csv_path);
+    }
+    csv << out.evaluation_csv;
+  }
+  std::fprintf(stderr, "[shard_worker] wrote %s\n", csv_path.c_str());
+  if (spec.telemetry) {
+    const std::string prom_path = prefix + ".prom";
+    std::ofstream prom(prom_path, std::ios::binary);
+    if (!prom.good()) {
+      throw std::runtime_error("cannot write " + prom_path);
+    }
+    prom << out.merged_prometheus;
+    std::fprintf(stderr, "[shard_worker] wrote %s\n", prom_path.c_str());
+    if (out.job0_telemetry.has_value()) {
+      for (const auto& path :
+           dufp::telemetry::export_run(*out.job0_telemetry, prefix + ".job0")) {
+        std::fprintf(stderr, "[shard_worker] wrote %s\n", path.c_str());
+      }
+    }
+  }
+}
+
+int cmd_spec(const Args& args) {
+  GridSpec spec = GridSpec::reference();
+  if (const auto it = args.options.find("spec"); it != args.options.end()) {
+    spec = GridSpec::load(it->second);
+  }
+  std::printf("%s\n", spec.canonical_text().c_str());
+  std::fprintf(stderr, "[shard_worker] fingerprint %016llx\n",
+               static_cast<unsigned long long>(spec.fingerprint()));
+  return 0;
+}
+
+int cmd_plan(const Args& args) {
+  const GridSpec spec = load_spec(args);
+  const auto gp = dufp::harness::build_plan(spec);
+  std::printf("job,cell,repetition,seed\n");
+  for (std::size_t i = 0; i < gp.plan.job_count(); ++i) {
+    const auto job = gp.plan.job(i);
+    std::printf("%zu,%zu,%d,%llu\n", i, job.cell, job.repetition,
+                static_cast<unsigned long long>(gp.plan.job_config(i).seed));
+  }
+  std::fprintf(stderr, "[shard_worker] %zu jobs across %zu cells\n",
+               gp.plan.job_count(), gp.plan.cell_count());
+  return 0;
+}
+
+int cmd_run(const Args& args) {
+  const GridSpec spec = load_spec(args);
+  const std::string out_path = require_out(args);
+
+  dufp::harness::ShardRunOptions options;
+  options.shard = get_int(args, "shard", 0);
+  options.shards = get_int(args, "shards", 1);
+  options.threads = get_int(args, "threads", 1);
+  options.chunk_size = get_int(args, "chunk-size", 0);
+
+  std::unique_ptr<dufp::harness::FileChunkClaimer> claimer;
+  if (options.chunk_size > 0) {
+    const auto it = args.options.find("claim-dir");
+    if (it == args.options.end()) {
+      usage_error("--chunk-size needs --claim-dir");
+    }
+    claimer = std::make_unique<dufp::harness::FileChunkClaimer>(it->second);
+    options.claimer = claimer.get();
+  }
+
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out.good()) {
+    throw std::runtime_error("cannot write " + out_path);
+  }
+  dufp::harness::run_shard(spec, options, out);
+  std::fprintf(stderr, "[shard_worker] shard %d/%d done -> %s\n",
+               options.shard, options.shards, out_path.c_str());
+  return 0;
+}
+
+int cmd_gather(const Args& args) {
+  const GridSpec spec = load_spec(args);
+  const std::string prefix = require_out(args);
+  if (args.positional.empty()) {
+    usage_error("gather needs at least one shard file");
+  }
+  auto results = dufp::harness::gather_shards(spec, args.positional);
+  write_outputs(spec, dufp::harness::finalize_grid(spec, std::move(results)),
+                prefix);
+  return 0;
+}
+
+int cmd_serial(const Args& args) {
+  const GridSpec spec = load_spec(args);
+  const std::string prefix = require_out(args);
+  const int threads = get_int(args, "threads", 1);
+  write_outputs(spec, dufp::harness::run_grid_serial(spec, threads), prefix);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage_error("missing subcommand");
+  const std::string cmd = argv[1];
+  const Args args = parse_args(argc, argv, 2);
+  try {
+    if (cmd == "spec") return cmd_spec(args);
+    if (cmd == "plan") return cmd_plan(args);
+    if (cmd == "run") return cmd_run(args);
+    if (cmd == "gather") return cmd_gather(args);
+    if (cmd == "serial") return cmd_serial(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dufp_shard_worker: %s\n", e.what());
+    return 1;
+  }
+  usage_error("unknown subcommand '" + cmd + "'");
+}

@@ -87,28 +87,22 @@ Evaluation evaluate_app(workloads::AppId app,
   return std::move(evals.front());
 }
 
-std::vector<Evaluation> evaluate_apps(
-    const std::vector<workloads::AppId>& apps,
-    const std::vector<PolicyMode>& modes,
-    const std::vector<double>& tolerances, int repetitions,
-    std::uint64_t seed) {
-  // Enumerate the whole apps x (baseline + modes x tolerances) grid as
-  // one job set; cell ids are recorded per app so the evaluations can be
-  // reassembled after the single parallel run.
-  ExperimentPlan plan;
-  struct AppCells {
-    ExperimentPlan::CellId baseline;
-    std::vector<ExperimentPlan::CellId> cells;  // modes-major, like below
-  };
-  std::vector<AppCells> index;
+std::vector<AppGridCells> add_grid_cells(ExperimentPlan& plan,
+                                         const std::vector<workloads::AppId>& apps,
+                                         const std::vector<PolicyMode>& modes,
+                                         const std::vector<double>& tolerances,
+                                         int repetitions, std::uint64_t seed,
+                                         const BaseConfigFn& base_config) {
+  std::vector<AppGridCells> index;
   index.reserve(apps.size());
 
   for (workloads::AppId app : apps) {
     const auto& prof = workloads::profile(app);
-    RunConfig base = default_run_config(prof);
+    RunConfig base = base_config(prof);
     base.seed = seed;
 
-    AppCells ac;
+    AppGridCells ac;
+    ac.app = app;
     RunConfig def = base;
     def.mode = PolicyMode::none;
     ac.baseline = plan.add_cell(def, repetitions,
@@ -127,15 +121,16 @@ std::vector<Evaluation> evaluate_apps(
     }
     index.push_back(std::move(ac));
   }
+  return index;
+}
 
-  const int threads = BenchOptions::from_env().resolved_threads();
-  note_progress(strf("%zu jobs across %zu cells on %d threads",
-                     plan.job_count(), plan.cell_count(), threads));
-  plan.run(threads);
-
+std::vector<Evaluation> assemble_evaluations(
+    const ExperimentPlan& plan, const std::vector<AppGridCells>& index,
+    const std::vector<PolicyMode>& modes,
+    const std::vector<double>& tolerances) {
   std::vector<Evaluation> evals;
-  evals.reserve(apps.size());
-  for (std::size_t a = 0; a < apps.size(); ++a) {
+  evals.reserve(index.size());
+  for (const auto& ac : index) {
     std::vector<EvaluationCell> cells;
     std::size_t c = 0;
     for (PolicyMode mode : modes) {
@@ -143,14 +138,36 @@ std::vector<Evaluation> evaluate_apps(
         EvaluationCell cell;
         cell.mode = mode;
         cell.tolerance = tol;
-        cell.result = plan.result(index[a].cells[c++]);
+        cell.result = plan.result(ac.cells[c++]);
         cells.push_back(std::move(cell));
       }
     }
-    evals.emplace_back(apps[a], plan.result(index[a].baseline),
-                       std::move(cells));
+    evals.emplace_back(ac.app, plan.result(ac.baseline), std::move(cells));
   }
   return evals;
+}
+
+std::vector<Evaluation> evaluate_apps(
+    const std::vector<workloads::AppId>& apps,
+    const std::vector<PolicyMode>& modes,
+    const std::vector<double>& tolerances, int repetitions,
+    std::uint64_t seed) {
+  // Enumerate the whole apps x (baseline + modes x tolerances) grid as
+  // one job set; cell ids are recorded per app so the evaluations can be
+  // reassembled after the single parallel run.
+  ExperimentPlan plan;
+  const auto index =
+      add_grid_cells(plan, apps, modes, tolerances, repetitions, seed,
+                     [](const workloads::WorkloadProfile& prof) {
+                       return default_run_config(prof);
+                     });
+
+  const int threads = BenchOptions::from_env().resolved_threads();
+  note_progress(strf("%zu jobs across %zu cells on %d threads",
+                     plan.job_count(), plan.cell_count(), threads));
+  plan.run(threads);
+
+  return assemble_evaluations(plan, index, modes, tolerances);
 }
 
 void note_progress(const std::string& what) {

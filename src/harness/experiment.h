@@ -3,9 +3,11 @@
 // and derive the percentage metrics the paper's figures plot.
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <vector>
 
+#include "harness/plan.h"
 #include "harness/runner.h"
 
 namespace dufp::harness {
@@ -72,6 +74,43 @@ std::vector<Evaluation> evaluate_apps(
     const std::vector<PolicyMode>& modes,
     const std::vector<double>& tolerances, int repetitions,
     std::uint64_t seed = 1);
+
+// -- grid enumeration shared with the shard layer ----------------------------
+
+/// Cell ids of one application's slice of a grid plan, as laid out by
+/// add_grid_cells.
+struct AppGridCells {
+  workloads::AppId app = workloads::AppId::cg;
+  ExperimentPlan::CellId baseline = 0;
+  std::vector<ExperimentPlan::CellId> cells;  ///< modes-major, tolerances inner
+};
+
+/// Produces each app's base RunConfig (machine size, faults, telemetry —
+/// everything but mode/tolerance/seed, which the grid fills in).
+using BaseConfigFn =
+    std::function<RunConfig(const workloads::WorkloadProfile&)>;
+
+/// Enumerates the apps x (baseline + modes x tolerances) grid into
+/// `plan`, one cell per grid point with `repetitions` jobs each.  Cell
+/// order — and hence the job enumeration (see ExperimentPlan::JobRef) —
+/// is: per app in list order, baseline first, then modes-major with
+/// tolerances inner.  Deterministic: two processes calling this with
+/// equal arguments build byte-equal plans, which is what lets shard
+/// workers and the gatherer agree on job identities without talking to
+/// each other.
+std::vector<AppGridCells> add_grid_cells(ExperimentPlan& plan,
+                                         const std::vector<workloads::AppId>& apps,
+                                         const std::vector<PolicyMode>& modes,
+                                         const std::vector<double>& tolerances,
+                                         int repetitions, std::uint64_t seed,
+                                         const BaseConfigFn& base_config);
+
+/// Reads a finished plan back into per-app Evaluations (inverse of
+/// add_grid_cells' layout).
+std::vector<Evaluation> assemble_evaluations(
+    const ExperimentPlan& plan, const std::vector<AppGridCells>& index,
+    const std::vector<PolicyMode>& modes,
+    const std::vector<double>& tolerances);
 
 /// Prints a one-line progress note to stderr unless DUFP_QUIET is set.
 void note_progress(const std::string& what);

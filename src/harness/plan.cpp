@@ -46,19 +46,24 @@ ExperimentPlan::CellId ExperimentPlan::add_cell(RunConfig config,
   cell.repetitions = repetitions;
   cell.label = std::move(label);
   cells_.push_back(std::move(cell));
+  // The enumeration contract (see JobRef): cell-major in add_cell order,
+  // repetition-minor.
   for (int r = 0; r < repetitions; ++r) {
-    jobs_.push_back(Job{id, r});
+    jobs_.push_back(JobRef{id, r});
   }
   return id;
 }
 
-void ExperimentPlan::run() {
-  run(BenchOptions::from_env().resolved_threads());
+RunConfig ExperimentPlan::job_config(std::size_t i) const {
+  const JobRef& job = jobs_.at(i);
+  RunConfig cfg = cells_[job.cell].config;
+  cfg.seed = job_seed(cfg.seed, job.repetition);
+  return cfg;
 }
 
-void ExperimentPlan::run(int threads) {
-  if (finished_) return;
-  const std::size_t total = jobs_.size();
+std::vector<RunResult> ExperimentPlan::run_jobs(
+    const std::vector<std::size_t>& indices, int threads) const {
+  const std::size_t total = indices.size();
   std::vector<RunResult> results(total);
 
   // Completion counter for coarse progress notes (stderr only; stdout
@@ -66,13 +71,10 @@ void ExperimentPlan::run(int threads) {
   std::atomic<std::size_t> done{0};
   const std::size_t note_step = total >= 16 ? total / 8 : total;
 
-  auto execute = [&](std::size_t job_index) {
-    const Job& job = jobs_[job_index];
-    RunConfig cfg = cells_[job.cell].config;
-    cfg.seed = job_seed(cfg.seed, job.repetition);
-    results[job_index] = run_once(cfg);
+  auto execute = [&](std::size_t slot) {
+    results[slot] = run_once(job_config(indices[slot]));
     const std::size_t d = done.fetch_add(1) + 1;
-    if (d % note_step == 0 && d < total) {
+    if (note_step != 0 && d % note_step == 0 && d < total) {
       note_progress(strf("  jobs %zu/%zu", d, total));
     }
   };
@@ -91,7 +93,16 @@ void ExperimentPlan::run(int threads) {
     }
     for (auto& f : futures) f.get();  // rethrows the first job failure
   }
+  return results;
+}
 
+void ExperimentPlan::finish_with(std::vector<RunResult> results) {
+  if (finished_) return;
+  if (results.size() != jobs_.size()) {
+    throw std::invalid_argument(
+        strf("ExperimentPlan: finish_with() got %zu results for %zu jobs",
+             results.size(), jobs_.size()));
+  }
   // Reassemble in deterministic job order: jobs_ lists each cell's
   // repetitions consecutively and in repetition order.
   std::size_t next = 0;
@@ -104,6 +115,17 @@ void ExperimentPlan::run(int threads) {
     cell.result = aggregate_runs(runs);
   }
   finished_ = true;
+}
+
+void ExperimentPlan::run() {
+  run(BenchOptions::from_env().resolved_threads());
+}
+
+void ExperimentPlan::run(int threads) {
+  if (finished_) return;
+  std::vector<std::size_t> all(jobs_.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  finish_with(run_jobs(all, threads));
 }
 
 const RepeatedResult& ExperimentPlan::result(CellId cell) const {

@@ -38,6 +38,21 @@ class ExperimentPlan {
   /// Identifies a cell within this plan (dense, starting at 0).
   using CellId = std::size_t;
 
+  /// Identifies one job within this plan.
+  ///
+  /// Enumeration-order CONTRACT (load-bearing: shard assignment and the
+  /// gather merge both key on job indices): jobs are enumerated
+  /// cell-major in add_cell order, repetition-minor — cell 0's
+  /// repetitions 0..R0-1 occupy job indices 0..R0-1, then cell 1's, and
+  /// so on.  Any process that builds the same plan (same add_cell
+  /// sequence, same repetitions) derives the identical job list, so a
+  /// job index is a portable job identity.  Asserted by tier-1 tests
+  /// (plan_test.cpp) — change it only with a shard-format version bump.
+  struct JobRef {
+    CellId cell = 0;
+    int repetition = 0;
+  };
+
   /// Adds one cell: `repetitions` jobs with seeds derived from
   /// config.seed.  Validates the config and throws std::invalid_argument
   /// listing every problem.  `label` (optional) names the cell in
@@ -48,9 +63,34 @@ class ExperimentPlan {
   std::size_t cell_count() const { return cells_.size(); }
   std::size_t job_count() const { return jobs_.size(); }
 
-  /// Executes every job across `threads` pool workers (<= 1 runs inline
-  /// on the calling thread; the thread count never changes the results).
-  /// A plan runs once; calling run() again is a no-op.
+  /// The (cell, repetition) identity of job `i` (see the JobRef
+  /// contract above).
+  JobRef job(std::size_t i) const { return jobs_.at(i); }
+
+  /// The fully derived config job `i` runs: the cell's config with the
+  /// repetition's job_seed applied.  This is the *only* seed derivation
+  /// in the engine — shard workers call this, so a job's config is a
+  /// pure function of (plan, index), independent of placement.
+  RunConfig job_config(std::size_t i) const;
+
+  /// Executes the given jobs (indices into the enumeration) across
+  /// `threads` pool workers (<= 1 runs inline) and returns their results
+  /// in the order of `indices` — never in completion order.  Const: the
+  /// plan itself is not advanced, so shard workers can execute disjoint
+  /// slices of the same plan in different processes.
+  std::vector<RunResult> run_jobs(const std::vector<std::size_t>& indices,
+                                  int threads) const;
+
+  /// Completes the plan from externally executed per-job results
+  /// (results[i] must be job i's result, e.g. a gathered shard merge)
+  /// and aggregates each cell's RepeatedResult.  Throws
+  /// std::invalid_argument on a size mismatch.
+  void finish_with(std::vector<RunResult> results);
+
+  /// Executes every job across `threads` pool workers and aggregates —
+  /// exactly run_jobs over all indices + finish_with, so a serial run
+  /// and a gathered shard run are identical by construction.  A plan
+  /// runs once; calling run() again is a no-op.
   void run(int threads);
 
   /// run() with threads from DUFP_THREADS (BenchOptions::from_env()).
@@ -69,13 +109,9 @@ class ExperimentPlan {
     std::string label;
     RepeatedResult result;
   };
-  struct Job {
-    CellId cell = 0;
-    int repetition = 0;
-  };
 
   std::vector<Cell> cells_;
-  std::vector<Job> jobs_;
+  std::vector<JobRef> jobs_;
   bool finished_ = false;
 };
 

@@ -1,0 +1,470 @@
+#include "harness/shard.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/string_util.h"
+#include "harness/shard_codec.h"
+#include "telemetry/export.h"
+#include "workloads/profiles.h"
+
+namespace dufp::harness {
+
+namespace {
+
+using json::Value;
+
+Value raw_double(double v) { return Value::make_raw_number(strf("%.17g", v)); }
+
+[[noreturn]] void gather_fail(const std::string& file, int line,
+                              const std::string& what) {
+  throw std::runtime_error(
+      strf("gather: %s:%d: %s", file.c_str(), line, what.c_str()));
+}
+
+}  // namespace
+
+// -- GridSpec ----------------------------------------------------------------
+
+json::Value GridSpec::to_json() const {
+  Value o = Value::make_object();
+  o.add("format", Value::make_string(kGridSpecFormat));
+  o.add("version", Value::make_i64(kShardFormatVersion));
+  o.add("name", Value::make_string(name));
+  Value app_arr = Value::make_array();
+  for (const auto app : apps) {
+    app_arr.push_back(Value::make_string(workloads::app_name(app)));
+  }
+  o.add("apps", std::move(app_arr));
+  Value mode_arr = Value::make_array();
+  for (const auto mode : modes) {
+    mode_arr.push_back(Value::make_string(core::to_string(mode)));
+  }
+  o.add("modes", std::move(mode_arr));
+  Value tol_arr = Value::make_array();
+  for (const double tol : tolerances) tol_arr.push_back(raw_double(tol));
+  o.add("tolerances", std::move(tol_arr));
+  o.add("repetitions", Value::make_i64(repetitions));
+  o.add("seed", Value::make_u64(seed));
+  o.add("sockets", Value::make_i64(sockets));
+  o.add("fault_rate", raw_double(fault_rate));
+  o.add("fault_seed", Value::make_u64(fault_seed));
+  o.add("telemetry", Value::make_bool(telemetry));
+  return o;
+}
+
+std::string GridSpec::canonical_text() const { return to_json().dump(); }
+
+std::uint64_t GridSpec::fingerprint() const {
+  return json::fnv1a(canonical_text());
+}
+
+GridSpec GridSpec::from_json(const json::Value& v) {
+  if (v.at("format").as_string() != kGridSpecFormat) {
+    throw std::runtime_error("GridSpec: not a " + std::string(kGridSpecFormat) +
+                             " document");
+  }
+  if (v.at("version").as_i64() != kShardFormatVersion) {
+    throw std::runtime_error(
+        strf("GridSpec: unsupported version %lld (this build speaks %d)",
+             static_cast<long long>(v.at("version").as_i64()),
+             kShardFormatVersion));
+  }
+  GridSpec spec;
+  spec.name = v.at("name").as_string();
+  spec.apps.clear();
+  for (const Value& app : v.at("apps").as_array()) {
+    spec.apps.push_back(workloads::app_by_name(app.as_string()));
+  }
+  for (const Value& mode : v.at("modes").as_array()) {
+    spec.modes.push_back(core::policy_mode_from_string(mode.as_string()));
+  }
+  for (const Value& tol : v.at("tolerances").as_array()) {
+    spec.tolerances.push_back(tol.as_double());
+  }
+  spec.repetitions = static_cast<int>(v.at("repetitions").as_i64());
+  spec.seed = v.at("seed").as_u64();
+  spec.sockets = static_cast<int>(v.at("sockets").as_i64());
+  spec.fault_rate = v.at("fault_rate").as_double();
+  spec.fault_seed = v.at("fault_seed").as_u64();
+  spec.telemetry = v.at("telemetry").as_bool();
+
+  const auto problems = spec.validate();
+  if (!problems.empty()) {
+    std::string msg = "GridSpec: invalid spec:";
+    for (std::size_t i = 0; i < problems.size(); ++i) {
+      msg += (i == 0 ? " " : "; ") + problems[i];
+    }
+    throw std::runtime_error(msg);
+  }
+  return spec;
+}
+
+GridSpec GridSpec::parse(std::string_view text) {
+  return from_json(json::parse(text));
+}
+
+GridSpec GridSpec::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    throw std::runtime_error("GridSpec: cannot open " + path);
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+GridSpec GridSpec::reference() {
+  GridSpec spec;
+  spec.name = "reference";
+  spec.apps = {workloads::AppId::cg, workloads::AppId::ep};
+  spec.modes = {PolicyMode::duf, PolicyMode::dufp};
+  spec.tolerances = {0.05, 0.10};
+  spec.repetitions = 3;
+  spec.seed = 1;
+  spec.sockets = 4;
+  return spec;
+}
+
+std::vector<std::string> GridSpec::validate() const {
+  std::vector<std::string> problems;
+  if (name.empty()) problems.push_back("name is empty");
+  if (apps.empty()) problems.push_back("apps is empty");
+  if (modes.empty()) problems.push_back("modes is empty");
+  for (const auto mode : modes) {
+    if (mode == PolicyMode::none) {
+      problems.push_back(
+          "modes must not contain 'default' (the baseline is implicit)");
+      break;
+    }
+  }
+  if (tolerances.empty()) problems.push_back("tolerances is empty");
+  if (repetitions < 1) problems.push_back("repetitions must be >= 1");
+  if (sockets < 1) problems.push_back("sockets must be >= 1");
+  if (fault_rate < 0.0 || fault_rate > 1.0) {
+    problems.push_back("fault_rate must be in [0, 1]");
+  }
+  return problems;
+}
+
+// -- plan building -----------------------------------------------------------
+
+GridPlan build_plan(const GridSpec& spec) {
+  GridPlan gp;
+  // Deliberately NOT default_run_config: that reads the environment
+  // (DUFP_SOCKETS / DUFP_FAULT_RATE / ...), and a spec-driven plan must
+  // be identical in every process regardless of its environment.
+  const GridSpec& s = spec;
+  gp.index = add_grid_cells(
+      gp.plan, spec.apps, spec.modes, spec.tolerances, spec.repetitions,
+      spec.seed, [&s](const workloads::WorkloadProfile& prof) {
+        RunConfig cfg;
+        cfg.profile = &prof;
+        cfg.machine.sockets = s.sockets;
+        if (s.fault_rate > 0.0) {
+          cfg.faults = faults::FaultOptions::storm(s.fault_rate, s.fault_seed);
+        }
+        cfg.telemetry.enabled = s.telemetry;
+        return cfg;
+      });
+  return gp;
+}
+
+// -- shard assignment --------------------------------------------------------
+
+std::vector<std::size_t> shard_jobs_static(std::size_t job_count, int shards,
+                                           int shard) {
+  if (shards < 1 || shard < 0 || shard >= shards) {
+    throw std::invalid_argument(
+        strf("shard_jobs_static: shard %d of %d is out of range", shard,
+             shards));
+  }
+  std::vector<std::size_t> indices;
+  for (std::size_t j = static_cast<std::size_t>(shard); j < job_count;
+       j += static_cast<std::size_t>(shards)) {
+    indices.push_back(j);
+  }
+  return indices;
+}
+
+FileChunkClaimer::FileChunkClaimer(std::string dir) : dir_(std::move(dir)) {}
+
+bool FileChunkClaimer::try_claim(int chunk) {
+  const std::string path = dir_ + "/chunk" + std::to_string(chunk) + ".claim";
+  const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+  if (fd >= 0) {
+    ::close(fd);
+    return true;
+  }
+  if (errno == EEXIST) return false;
+  throw std::runtime_error("FileChunkClaimer: cannot create " + path + ": " +
+                           std::strerror(errno));
+}
+
+// -- shard worker ------------------------------------------------------------
+
+namespace {
+
+void write_job_lines(const ExperimentPlan& plan,
+                     const std::vector<std::size_t>& indices, int threads,
+                     std::ostream& out) {
+  const auto results = plan.run_jobs(indices, threads);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    Value line = Value::make_object();
+    line.add("job", Value::make_u64(indices[i]));
+    line.add("result", encode_run_result(results[i]));
+    out << line.dump() << '\n';
+  }
+  out.flush();  // one chunk's results survive a later worker crash
+}
+
+}  // namespace
+
+void run_shard(const GridSpec& spec, const ShardRunOptions& options,
+               std::ostream& out) {
+  if (options.chunk_size > 0 && options.claimer == nullptr) {
+    throw std::invalid_argument("run_shard: dynamic mode needs a claimer");
+  }
+  const GridPlan gp = build_plan(spec);
+  const std::size_t jobs = gp.plan.job_count();
+
+  Value header = Value::make_object();
+  header.add("format", Value::make_string(kShardResultFormat));
+  header.add("version", Value::make_i64(kShardFormatVersion));
+  header.add("spec_name", Value::make_string(spec.name));
+  header.add("spec_fingerprint",
+             Value::make_string(strf("%016llx",
+                                     static_cast<unsigned long long>(
+                                         spec.fingerprint()))));
+  header.add("shard", Value::make_i64(options.shard));
+  header.add("shards", Value::make_i64(options.shards));
+  header.add("job_count", Value::make_u64(jobs));
+  out << header.dump() << '\n';
+
+  if (options.chunk_size > 0) {
+    // Dynamic mode: claim fixed-size chunks until none remain.  Workers
+    // race on the claimer; whichever worker wins a chunk runs and emits
+    // it, so the union of all files covers every job exactly once.
+    const std::size_t size = static_cast<std::size_t>(options.chunk_size);
+    const int chunks = static_cast<int>((jobs + size - 1) / size);
+    for (int c = 0; c < chunks; ++c) {
+      if (!options.claimer->try_claim(c)) continue;
+      std::vector<std::size_t> indices;
+      const std::size_t begin = static_cast<std::size_t>(c) * size;
+      const std::size_t end = std::min(jobs, begin + size);
+      for (std::size_t j = begin; j < end; ++j) indices.push_back(j);
+      write_job_lines(gp.plan, indices, options.threads, out);
+    }
+  } else {
+    write_job_lines(gp.plan,
+                    shard_jobs_static(jobs, options.shards, options.shard),
+                    options.threads, out);
+  }
+}
+
+// -- gather ------------------------------------------------------------------
+
+std::vector<RunResult> gather_shards(const GridSpec& spec,
+                                     const std::vector<std::string>& files) {
+  const GridPlan gp = build_plan(spec);
+  const std::size_t jobs = gp.plan.job_count();
+  const std::string want_fingerprint =
+      strf("%016llx", static_cast<unsigned long long>(spec.fingerprint()));
+
+  std::vector<RunResult> results(jobs);
+  std::vector<bool> seen(jobs, false);
+
+  for (const std::string& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in.good()) {
+      throw std::runtime_error("gather: cannot open " + file);
+    }
+    std::string text;
+    int line_no = 0;
+    bool saw_header = false;
+    while (std::getline(in, text)) {
+      ++line_no;
+      if (text.empty()) continue;
+      Value line;
+      try {
+        line = json::parse(text);
+      } catch (const std::exception& e) {
+        gather_fail(file, line_no, e.what());
+      }
+      if (!saw_header) {
+        // The first line must be the header — a file that starts with a
+        // job record was truncated at the front or is not a shard file.
+        try {
+          if (line.at("format").as_string() != kShardResultFormat) {
+            gather_fail(file, line_no,
+                        "format is not " + std::string(kShardResultFormat));
+          }
+          if (line.at("version").as_i64() != kShardFormatVersion) {
+            gather_fail(
+                file, line_no,
+                strf("unsupported shard format version %lld",
+                     static_cast<long long>(line.at("version").as_i64())));
+          }
+          if (line.at("spec_fingerprint").as_string() != want_fingerprint) {
+            gather_fail(file, line_no,
+                        "spec fingerprint mismatch (file was produced from a "
+                        "different spec than the one being gathered)");
+          }
+          if (line.at("job_count").as_u64() != jobs) {
+            gather_fail(file, line_no, "job_count mismatch");
+          }
+        } catch (const std::runtime_error&) {
+          throw;
+        }
+        saw_header = true;
+        continue;
+      }
+      std::size_t job = 0;
+      try {
+        job = line.at("job").as_u64();
+        if (job >= jobs) {
+          gather_fail(file, line_no,
+                      strf("job index %zu out of range (plan has %zu jobs)",
+                           job, jobs));
+        }
+        if (seen[job]) {
+          gather_fail(file, line_no,
+                      strf("job %zu already gathered (duplicate across the "
+                           "input files)",
+                           job));
+        }
+        results[job] = decode_run_result(line.at("result"));
+      } catch (const std::runtime_error&) {
+        throw;
+      } catch (const std::exception& e) {
+        gather_fail(file, line_no, e.what());
+      }
+      seen[job] = true;
+    }
+    if (!saw_header) {
+      throw std::runtime_error("gather: " + file +
+                               ": empty file (missing header line)");
+    }
+  }
+
+  std::size_t missing = 0;
+  std::size_t first_missing = jobs;
+  for (std::size_t j = 0; j < jobs; ++j) {
+    if (!seen[j]) {
+      ++missing;
+      if (first_missing == jobs) first_missing = j;
+    }
+  }
+  if (missing != 0) {
+    throw std::runtime_error(
+        strf("gather: %zu of %zu jobs missing from the input files (first "
+             "missing: job %zu) — a shard did not finish or its file was "
+             "not passed in",
+             missing, jobs, first_missing));
+  }
+  return results;
+}
+
+// -- finalize ----------------------------------------------------------------
+
+std::string evaluation_csv(const std::vector<Evaluation>& evals,
+                           const std::vector<PolicyMode>& modes,
+                           const std::vector<double>& tolerances) {
+  std::string csv =
+      "app,mode,tolerance_pct,runs,exec_s_mean,exec_s_min,exec_s_max,"
+      "avg_pkg_w_mean,avg_dram_w_mean,pkg_energy_j_mean,dram_energy_j_mean,"
+      "total_energy_j_mean,slowdown_pct,pkg_power_savings_pct,"
+      "dram_power_savings_pct,energy_change_pct,actuation_retries,"
+      "actuation_failures,degradations,faults_injected\n";
+
+  auto row = [&csv](const std::string& app, const std::string& mode,
+                    double tol_pct, const RepeatedResult& r, double slowdown,
+                    double pkg_savings, double dram_savings,
+                    double energy_change) {
+    csv += strf(
+        "%s,%s,%.17g,%d,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,"
+        "%.17g,%.17g,%.17g,%.17g,%llu,%llu,%llu,%llu\n",
+        app.c_str(), mode.c_str(), tol_pct, r.runs, r.exec_seconds.mean,
+        r.exec_seconds.min, r.exec_seconds.max, r.avg_pkg_power_w.mean,
+        r.avg_dram_power_w.mean, r.pkg_energy_j.mean, r.dram_energy_j.mean,
+        r.total_energy_j.mean, slowdown, pkg_savings, dram_savings,
+        energy_change,
+        static_cast<unsigned long long>(r.health.actuation_retries),
+        static_cast<unsigned long long>(r.health.actuation_failures),
+        static_cast<unsigned long long>(r.health.degradations),
+        static_cast<unsigned long long>(r.health.faults_injected));
+  };
+
+  for (const Evaluation& ev : evals) {
+    const std::string app = workloads::app_name(ev.app());
+    row(app, policy_mode_name(PolicyMode::none), 0.0, ev.baseline(), 0.0, 0.0,
+        0.0, 0.0);
+    for (const PolicyMode mode : modes) {
+      for (const double tol : tolerances) {
+        row(app, policy_mode_name(mode), tol * 100.0, ev.at(mode, tol),
+            ev.slowdown_pct(mode, tol), ev.pkg_power_savings_pct(mode, tol),
+            ev.dram_power_savings_pct(mode, tol),
+            ev.energy_change_pct(mode, tol));
+      }
+    }
+  }
+  return csv;
+}
+
+GridOutputs finalize_grid(const GridSpec& spec,
+                          std::vector<RunResult> results) {
+  GridOutputs out;
+
+  // Telemetry is a per-job artifact that aggregation drops — extract it
+  // before the results are consumed.  The merged exposition labels every
+  // sample with its job index and stable-sorts by metric name, so the
+  // bytes depend only on job identities, never on which shard ran what.
+  if (spec.telemetry) {
+    if (!results.empty() && results[0].telemetry.has_value()) {
+      out.job0_telemetry = results[0].telemetry;
+    }
+    std::vector<telemetry::MetricSample> merged;
+    for (std::size_t j = 0; j < results.size(); ++j) {
+      if (!results[j].telemetry.has_value()) continue;
+      for (telemetry::MetricSample m : results[j].telemetry->metrics) {
+        m.labels.emplace_back("job", std::to_string(j));
+        merged.push_back(std::move(m));
+      }
+    }
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const telemetry::MetricSample& a,
+                        const telemetry::MetricSample& b) {
+                       return a.name < b.name;
+                     });
+    std::ostringstream prom;
+    telemetry::write_prometheus(merged, prom);
+    out.merged_prometheus = prom.str();
+  }
+
+  GridPlan gp = build_plan(spec);
+  gp.plan.finish_with(std::move(results));
+  out.evaluations =
+      assemble_evaluations(gp.plan, gp.index, spec.modes, spec.tolerances);
+  out.evaluation_csv =
+      evaluation_csv(out.evaluations, spec.modes, spec.tolerances);
+  return out;
+}
+
+GridOutputs run_grid_serial(const GridSpec& spec, int threads) {
+  const GridPlan gp = build_plan(spec);
+  std::vector<std::size_t> all(gp.plan.job_count());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  // Exactly the gather path: per-job results produced by the same
+  // run_jobs, finalized by the same finish_with — serial ≡ gathered by
+  // construction, and the tests byte-verify it anyway.
+  return finalize_grid(spec, gp.plan.run_jobs(all, threads));
+}
+
+}  // namespace dufp::harness

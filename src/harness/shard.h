@@ -1,0 +1,177 @@
+// Sharded execution of experiment grids across processes (and machines).
+//
+// The contract has three pieces (see DESIGN.md § Sharded execution):
+//
+//  1. A GridSpec — a small JSON document naming the grid (apps, modes,
+//     tolerances, repetitions, seed, machine size, faults, telemetry).
+//     Every process builds the *same* ExperimentPlan from the spec
+//     (build_plan is a pure function of it; no environment leaks in), so
+//     job indices are portable identities: job i means the same
+//     (config, derived seed) everywhere.  The canonical serialization is
+//     fingerprinted (FNV-1a) and stamped into every result file.
+//
+//  2. Shard workers — each executes a subset of the job indices (static
+//     round-robin, or dynamic chunk claiming for imbalanced grids) and
+//     streams one JSONL line per job: a versioned header line, then
+//     {"job":i,"result":{...}} records with every double as its IEEE-754
+//     bit pattern (shard_codec).  Files are self-describing and
+//     machine-portable; any file mover works.
+//
+//  3. A gatherer — validates headers/fingerprints, demands every job
+//     exactly once across the input files (a truncated or duplicated
+//     file is an error, never a silent partial merge), decodes results
+//     by index, and finishes the plan.  Because job seeds are derived
+//     (job_seed) and aggregation is index-ordered, the gathered
+//     aggregates are bit-identical to a serial in-process run — the
+//     tier-1 shard determinism suite byte-compares the Evaluation CSV
+//     and telemetry exports across serial / 1-shard / N-shard /
+//     dynamic-chunk executions.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "harness/experiment.h"
+#include "harness/plan.h"
+
+namespace dufp::harness {
+
+/// Shard file format identity; bump the version on any wire change.
+inline constexpr const char* kShardResultFormat = "dufp-shard-result";
+inline constexpr const char* kGridSpecFormat = "dufp-grid-spec";
+inline constexpr int kShardFormatVersion = 1;
+
+/// A self-contained description of one evaluation grid.  Everything that
+/// influences results lives here — never in the environment — so two
+/// processes parsing the same spec build identical plans.
+struct GridSpec {
+  std::string name = "grid";
+  std::vector<workloads::AppId> apps;
+  std::vector<PolicyMode> modes;
+  std::vector<double> tolerances;
+  int repetitions = 3;
+  std::uint64_t seed = 1;
+  int sockets = 4;
+  double fault_rate = 0.0;     ///< > 0 runs the whole grid under a storm
+  std::uint64_t fault_seed = 0;
+  bool telemetry = false;
+
+  /// Canonical JSON (fixed key order, %.17g tolerances); parse() of the
+  /// output reproduces the spec exactly.
+  json::Value to_json() const;
+  std::string canonical_text() const;
+  /// FNV-1a over canonical_text(); stamped into every shard file.
+  std::uint64_t fingerprint() const;
+
+  static GridSpec from_json(const json::Value& v);
+  static GridSpec parse(std::string_view text);
+  static GridSpec load(const std::string& path);
+
+  /// The reference grid the sharded bench and the quickstart use:
+  /// 2 apps x (baseline + {DUF, DUFP} x {5%, 10%}) x 3 repetitions.
+  static GridSpec reference();
+
+  /// Every problem found (empty = valid).
+  std::vector<std::string> validate() const;
+};
+
+/// The spec's plan plus the per-app cell index needed to reassemble
+/// Evaluations.  Deterministic pure function of the spec.
+struct GridPlan {
+  ExperimentPlan plan;
+  std::vector<AppGridCells> index;
+};
+GridPlan build_plan(const GridSpec& spec);
+
+/// Static round-robin assignment: the job indices owned by `shard` of
+/// `shards` (j % shards == shard).  Round-robin, not contiguous blocks,
+/// so repetitions of a long-running cell spread across shards.
+std::vector<std::size_t> shard_jobs_static(std::size_t job_count, int shards,
+                                           int shard);
+
+/// Claims chunks of the job list for dynamic load balancing.  try_claim
+/// must return true exactly once per chunk across every cooperating
+/// worker (workers may race).
+class ChunkClaimer {
+ public:
+  virtual ~ChunkClaimer() = default;
+  virtual bool try_claim(int chunk) = 0;
+};
+
+/// File-based claimer: chunk k is claimed by whoever wins the
+/// O_CREAT|O_EXCL creation of `<dir>/chunk<k>.claim` — atomic on POSIX
+/// filesystems, so concurrent local workers never double-run a chunk.
+/// (Cross-machine dynamic mode needs a shared filesystem; static
+/// sharding needs no coordination at all.)
+class FileChunkClaimer final : public ChunkClaimer {
+ public:
+  /// `dir` must exist and be shared by every cooperating worker.
+  explicit FileChunkClaimer(std::string dir);
+  bool try_claim(int chunk) override;
+
+ private:
+  std::string dir_;
+};
+
+struct ShardRunOptions {
+  int shard = 0;   ///< this worker's id in [0, shards)
+  int shards = 1;  ///< total workers
+  int threads = 1; ///< in-process thread pool width (DUFP_THREADS-style)
+
+  /// > 0 switches from static round-robin to dynamic chunk claiming:
+  /// the job list is cut into chunks of this size and workers claim
+  /// chunks through `claimer` until none remain.  `shard`/`shards` then
+  /// only label the output file.
+  int chunk_size = 0;
+  ChunkClaimer* claimer = nullptr;  ///< required when chunk_size > 0
+};
+
+/// Executes this worker's share of the spec's jobs and streams the
+/// versioned JSONL (header line + one line per job) to `out`.
+void run_shard(const GridSpec& spec, const ShardRunOptions& options,
+               std::ostream& out);
+
+/// Reads shard JSONL files back into per-job results (indexed by job).
+/// Throws std::runtime_error naming the file and line on: malformed
+/// JSON, a wrong format/version/fingerprint header, an out-of-range or
+/// duplicate job index, or jobs missing across the whole input set.
+std::vector<RunResult> gather_shards(const GridSpec& spec,
+                                     const std::vector<std::string>& files);
+
+/// Everything a gathered grid produces, in deterministic bytes.
+struct GridOutputs {
+  std::vector<Evaluation> evaluations;
+
+  /// Per-grid-point CSV (%.17g, health columns included) — the byte
+  /// surface the shard determinism suite compares.
+  std::string evaluation_csv;
+
+  /// Job-labelled merge of every job's Prometheus exposition (samples
+  /// stable-sorted by metric name, job order within a name); empty when
+  /// the spec has telemetry off.
+  std::string merged_prometheus;
+
+  /// Job 0's full snapshot for telemetry::export_run (flight events and
+  /// dumps are per-job artifacts; the merge covers metrics).
+  std::optional<telemetry::TelemetrySnapshot> job0_telemetry;
+};
+
+/// Aggregates gathered per-job results exactly as a serial run would
+/// (ExperimentPlan::finish_with) and renders the deterministic outputs.
+GridOutputs finalize_grid(const GridSpec& spec,
+                          std::vector<RunResult> results);
+
+/// Runs the whole spec in-process (threads as given) and finalizes —
+/// the serial reference the shard paths must match byte for byte.
+GridOutputs run_grid_serial(const GridSpec& spec, int threads = 1);
+
+/// The CSV in GridOutputs::evaluation_csv, exposed for reuse.
+std::string evaluation_csv(const std::vector<Evaluation>& evals,
+                           const std::vector<PolicyMode>& modes,
+                           const std::vector<double>& tolerances);
+
+}  // namespace dufp::harness

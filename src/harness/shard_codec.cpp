@@ -1,0 +1,321 @@
+#include "harness/shard_codec.h"
+
+#include <stdexcept>
+
+namespace dufp::harness {
+
+namespace {
+
+using json::Value;
+
+Value hex(double v) { return Value::make_string(json::double_to_hex(v)); }
+
+double unhex(const Value& v) { return json::hex_to_double(v.as_string()); }
+
+Value encode_health(const HealthTotals& h) {
+  Value o = Value::make_object();
+  o.add("actuation_retries", Value::make_u64(h.actuation_retries));
+  o.add("actuation_failures", Value::make_u64(h.actuation_failures));
+  o.add("sample_read_failures", Value::make_u64(h.sample_read_failures));
+  o.add("samples_rejected", Value::make_u64(h.samples_rejected));
+  o.add("degradations", Value::make_u64(h.degradations));
+  o.add("reengagements", Value::make_u64(h.reengagements));
+  o.add("intervals_degraded", Value::make_u64(h.intervals_degraded));
+  o.add("faults_injected", Value::make_u64(h.faults_injected));
+  return o;
+}
+
+HealthTotals decode_health(const Value& v) {
+  HealthTotals h;
+  h.actuation_retries = v.at("actuation_retries").as_u64();
+  h.actuation_failures = v.at("actuation_failures").as_u64();
+  h.sample_read_failures = v.at("sample_read_failures").as_u64();
+  h.samples_rejected = v.at("samples_rejected").as_u64();
+  h.degradations = v.at("degradations").as_u64();
+  h.reengagements = v.at("reengagements").as_u64();
+  h.intervals_degraded = v.at("intervals_degraded").as_u64();
+  h.faults_injected = v.at("faults_injected").as_u64();
+  return h;
+}
+
+Value encode_agent_health(const core::AgentHealth& h) {
+  Value o = Value::make_object();
+  o.add("actuation_retries", Value::make_u64(h.actuation_retries));
+  o.add("actuation_failures", Value::make_u64(h.actuation_failures));
+  o.add("sample_read_failures", Value::make_u64(h.sample_read_failures));
+  o.add("samples_rejected", Value::make_u64(h.samples_rejected));
+  o.add("degradations", Value::make_u64(h.degradations));
+  o.add("reengage_failures", Value::make_u64(h.reengage_failures));
+  o.add("reengagements", Value::make_u64(h.reengagements));
+  o.add("intervals_degraded", Value::make_u64(h.intervals_degraded));
+  return o;
+}
+
+core::AgentHealth decode_agent_health(const Value& v) {
+  core::AgentHealth h;
+  h.actuation_retries = v.at("actuation_retries").as_u64();
+  h.actuation_failures = v.at("actuation_failures").as_u64();
+  h.sample_read_failures = v.at("sample_read_failures").as_u64();
+  h.samples_rejected = v.at("samples_rejected").as_u64();
+  h.degradations = v.at("degradations").as_u64();
+  h.reengage_failures = v.at("reengage_failures").as_u64();
+  h.reengagements = v.at("reengagements").as_u64();
+  h.intervals_degraded = v.at("intervals_degraded").as_u64();
+  return h;
+}
+
+Value encode_agent_stats(const core::AgentStats& a) {
+  Value o = Value::make_object();
+  o.add("intervals", Value::make_u64(a.intervals));
+  o.add("uncore_decreases", Value::make_u64(a.uncore_decreases));
+  o.add("uncore_increases", Value::make_u64(a.uncore_increases));
+  o.add("uncore_resets", Value::make_u64(a.uncore_resets));
+  o.add("cap_decreases", Value::make_u64(a.cap_decreases));
+  o.add("cap_increases", Value::make_u64(a.cap_increases));
+  o.add("cap_resets", Value::make_u64(a.cap_resets));
+  o.add("cap_overshoot_resets", Value::make_u64(a.cap_overshoot_resets));
+  o.add("short_term_tightenings", Value::make_u64(a.short_term_tightenings));
+  o.add("uncore_reset_retries", Value::make_u64(a.uncore_reset_retries));
+  o.add("pstate_pins", Value::make_u64(a.pstate_pins));
+  o.add("pstate_releases", Value::make_u64(a.pstate_releases));
+  o.add("health", encode_agent_health(a.health));
+  return o;
+}
+
+core::AgentStats decode_agent_stats(const Value& v) {
+  core::AgentStats a;
+  a.intervals = v.at("intervals").as_u64();
+  a.uncore_decreases = v.at("uncore_decreases").as_u64();
+  a.uncore_increases = v.at("uncore_increases").as_u64();
+  a.uncore_resets = v.at("uncore_resets").as_u64();
+  a.cap_decreases = v.at("cap_decreases").as_u64();
+  a.cap_increases = v.at("cap_increases").as_u64();
+  a.cap_resets = v.at("cap_resets").as_u64();
+  a.cap_overshoot_resets = v.at("cap_overshoot_resets").as_u64();
+  a.short_term_tightenings = v.at("short_term_tightenings").as_u64();
+  a.uncore_reset_retries = v.at("uncore_reset_retries").as_u64();
+  a.pstate_pins = v.at("pstate_pins").as_u64();
+  a.pstate_releases = v.at("pstate_releases").as_u64();
+  a.health = decode_agent_health(v.at("health"));
+  return a;
+}
+
+Value encode_metric(const telemetry::MetricSample& m) {
+  Value o = Value::make_object();
+  o.add("type", Value::make_i64(static_cast<int>(m.type)));
+  o.add("name", Value::make_string(m.name));
+  o.add("help", Value::make_string(m.help));
+  Value labels = Value::make_array();
+  for (const auto& [k, val] : m.labels) {
+    Value pair = Value::make_array();
+    pair.push_back(Value::make_string(k));
+    pair.push_back(Value::make_string(val));
+    labels.push_back(std::move(pair));
+  }
+  o.add("labels", std::move(labels));
+  o.add("value", hex(m.value));
+  Value bounds = Value::make_array();
+  for (const double b : m.bucket_bounds) bounds.push_back(hex(b));
+  o.add("bucket_bounds", std::move(bounds));
+  Value counts = Value::make_array();
+  for (const std::uint64_t c : m.bucket_counts) {
+    counts.push_back(Value::make_u64(c));
+  }
+  o.add("bucket_counts", std::move(counts));
+  o.add("sum", hex(m.sum));
+  o.add("count", Value::make_u64(m.count));
+  return o;
+}
+
+telemetry::MetricSample decode_metric(const Value& v) {
+  telemetry::MetricSample m;
+  const auto type = v.at("type").as_i64();
+  if (type < 0 || type > static_cast<int>(telemetry::MetricType::histogram)) {
+    throw std::runtime_error("shard_codec: bad metric type");
+  }
+  m.type = static_cast<telemetry::MetricType>(type);
+  m.name = v.at("name").as_string();
+  m.help = v.at("help").as_string();
+  for (const Value& pair : v.at("labels").as_array()) {
+    const auto& kv = pair.as_array();
+    if (kv.size() != 2) throw std::runtime_error("shard_codec: bad label");
+    m.labels.emplace_back(kv[0].as_string(), kv[1].as_string());
+  }
+  m.value = unhex(v.at("value"));
+  for (const Value& b : v.at("bucket_bounds").as_array()) {
+    m.bucket_bounds.push_back(unhex(b));
+  }
+  for (const Value& c : v.at("bucket_counts").as_array()) {
+    m.bucket_counts.push_back(c.as_u64());
+  }
+  m.sum = unhex(v.at("sum"));
+  m.count = v.at("count").as_u64();
+  return m;
+}
+
+Value encode_event(const telemetry::Event& e) {
+  Value o = Value::make_object();
+  o.add("t_us", Value::make_i64(e.t_us));
+  o.add("kind", Value::make_i64(static_cast<int>(e.kind)));
+  o.add("socket", Value::make_u64(e.socket));
+  o.add("code", Value::make_u64(e.code));
+  o.add("a", hex(e.a));
+  o.add("b", hex(e.b));
+  return o;
+}
+
+telemetry::Event decode_event(const Value& v) {
+  telemetry::Event e;
+  e.t_us = v.at("t_us").as_i64();
+  const auto kind = v.at("kind").as_i64();
+  if (kind < 0 || kind >= telemetry::kEventKindCount) {
+    throw std::runtime_error("shard_codec: bad event kind");
+  }
+  e.kind = static_cast<telemetry::EventKind>(kind);
+  e.socket = static_cast<std::uint16_t>(v.at("socket").as_u64());
+  e.code = static_cast<std::uint16_t>(v.at("code").as_u64());
+  e.a = unhex(v.at("a"));
+  e.b = unhex(v.at("b"));
+  return e;
+}
+
+}  // namespace
+
+json::Value encode_snapshot(const telemetry::TelemetrySnapshot& snap) {
+  Value o = Value::make_object();
+  Value metrics = Value::make_array();
+  for (const auto& m : snap.metrics) metrics.push_back(encode_metric(m));
+  o.add("metrics", std::move(metrics));
+  Value events = Value::make_array();
+  for (const auto& per_socket : snap.events) {
+    Value arr = Value::make_array();
+    for (const auto& e : per_socket) arr.push_back(encode_event(e));
+    events.push_back(std::move(arr));
+  }
+  o.add("events", std::move(events));
+  Value dumps = Value::make_array();
+  for (const auto& d : snap.dumps) {
+    Value dump = Value::make_object();
+    dump.add("socket", Value::make_i64(d.socket));
+    dump.add("at_us", Value::make_i64(d.at_us));
+    Value arr = Value::make_array();
+    for (const auto& e : d.events) arr.push_back(encode_event(e));
+    dump.add("events", std::move(arr));
+    dumps.push_back(std::move(dump));
+  }
+  o.add("dumps", std::move(dumps));
+  return o;
+}
+
+telemetry::TelemetrySnapshot decode_snapshot(const json::Value& v) {
+  telemetry::TelemetrySnapshot snap;
+  for (const Value& m : v.at("metrics").as_array()) {
+    snap.metrics.push_back(decode_metric(m));
+  }
+  for (const Value& per_socket : v.at("events").as_array()) {
+    std::vector<telemetry::Event> events;
+    for (const Value& e : per_socket.as_array()) {
+      events.push_back(decode_event(e));
+    }
+    snap.events.push_back(std::move(events));
+  }
+  for (const Value& d : v.at("dumps").as_array()) {
+    telemetry::FlightDump dump;
+    dump.socket = static_cast<int>(d.at("socket").as_i64());
+    dump.at_us = d.at("at_us").as_i64();
+    for (const Value& e : d.at("events").as_array()) {
+      dump.events.push_back(decode_event(e));
+    }
+    snap.dumps.push_back(std::move(dump));
+  }
+  return snap;
+}
+
+json::Value encode_run_result(const RunResult& result) {
+  Value o = Value::make_object();
+
+  Value summary = Value::make_object();
+  const auto& s = result.summary;
+  summary.add("exec_seconds", hex(s.exec_seconds));
+  summary.add("pkg_energy_j", hex(s.pkg_energy_j));
+  summary.add("dram_energy_j", hex(s.dram_energy_j));
+  summary.add("avg_pkg_power_w", hex(s.avg_pkg_power_w));
+  summary.add("avg_dram_power_w", hex(s.avg_dram_power_w));
+  summary.add("total_gflop", hex(s.total_gflop));
+  summary.add("total_gbytes", hex(s.total_gbytes));
+  o.add("summary", std::move(summary));
+
+  Value agents = Value::make_array();
+  for (const auto& a : result.agent_stats) {
+    agents.push_back(encode_agent_stats(a));
+  }
+  o.add("agent_stats", std::move(agents));
+
+  Value faults = Value::make_array();
+  for (const auto& f : result.fault_stats) {
+    Value counts = Value::make_array();
+    for (const std::uint64_t c : f.injected) counts.push_back(Value::make_u64(c));
+    faults.push_back(std::move(counts));
+  }
+  o.add("fault_stats", std::move(faults));
+
+  o.add("health", encode_health(result.health));
+
+  // std::map iterates key-sorted, so phase order is deterministic.
+  Value phases = Value::make_array();
+  for (const auto& [name, t] : result.phase_totals) {
+    Value p = Value::make_object();
+    p.add("name", Value::make_string(name));
+    p.add("wall_seconds", hex(t.wall_seconds));
+    p.add("pkg_energy_j", hex(t.pkg_energy_j));
+    p.add("dram_energy_j", hex(t.dram_energy_j));
+    phases.push_back(std::move(p));
+  }
+  o.add("phase_totals", std::move(phases));
+
+  if (result.telemetry.has_value()) {
+    o.add("telemetry", encode_snapshot(*result.telemetry));
+  }
+  return o;
+}
+
+RunResult decode_run_result(const json::Value& v) {
+  RunResult r;
+  const Value& summary = v.at("summary");
+  r.summary.exec_seconds = unhex(summary.at("exec_seconds"));
+  r.summary.pkg_energy_j = unhex(summary.at("pkg_energy_j"));
+  r.summary.dram_energy_j = unhex(summary.at("dram_energy_j"));
+  r.summary.avg_pkg_power_w = unhex(summary.at("avg_pkg_power_w"));
+  r.summary.avg_dram_power_w = unhex(summary.at("avg_dram_power_w"));
+  r.summary.total_gflop = unhex(summary.at("total_gflop"));
+  r.summary.total_gbytes = unhex(summary.at("total_gbytes"));
+
+  for (const Value& a : v.at("agent_stats").as_array()) {
+    r.agent_stats.push_back(decode_agent_stats(a));
+  }
+  for (const Value& f : v.at("fault_stats").as_array()) {
+    const auto& counts = f.as_array();
+    faults::FaultStats fs;
+    if (counts.size() != fs.injected.size()) {
+      throw std::runtime_error("shard_codec: fault class count mismatch");
+    }
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      fs.injected[i] = counts[i].as_u64();
+    }
+    r.fault_stats.push_back(fs);
+  }
+  r.health = decode_health(v.at("health"));
+  for (const Value& p : v.at("phase_totals").as_array()) {
+    sim::PhaseTotals t;
+    t.wall_seconds = unhex(p.at("wall_seconds"));
+    t.pkg_energy_j = unhex(p.at("pkg_energy_j"));
+    t.dram_energy_j = unhex(p.at("dram_energy_j"));
+    r.phase_totals.emplace(p.at("name").as_string(), t);
+  }
+  if (const Value* telem = v.find("telemetry")) {
+    r.telemetry = decode_snapshot(*telem);
+  }
+  return r;
+}
+
+}  // namespace dufp::harness

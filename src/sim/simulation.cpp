@@ -280,22 +280,35 @@ std::int64_t Simulation::max_batch_ticks() const {
     bound = std::min(bound, (p.next_due_us - now_us) / tick_us);
   }
 
-  // No workload may finish inside a batch: the serial engine stops on the
-  // tick the last workload finishes, so a batch overrunning that tick
-  // would integrate idle time the serial run never saw.  Progress per
-  // tick is at most tick_s * (max speed), and speed is bounded by
-  // 1/(weight sum) — see kSpeedBoundMargin.
+  // No batch may overrun the tick the *last* workload could possibly
+  // finish on: the serial engine stops there, and running further would
+  // integrate idle time the serial run never saw.  An *individual*
+  // workload finishing inside a batch is harmless — its socket integrates
+  // idle demand for the remaining ticks, exactly what the serial engine
+  // does while the other sockets are still running — so the bound is the
+  // MAX over unfinished workloads of their optimistic finish ticks, not
+  // the min.  (Taking the min here used to degrade the whole
+  // staggered-finish tail — per-entry duration jitter spreads the four
+  // sockets' finishes over hundreds of ticks — into 1-3-tick batches and
+  // serial fallback; dense-sequence profiles such as replayed traces
+  // were hit hardest.)  Progress per tick is at most tick_s * (max
+  // speed), and speed is bounded by 1/(weight sum) — see
+  // kSpeedBoundMargin.  Phase boundaries never bound a batch: tick
+  // integration splits at them regardless of batching, and listeners are
+  // socket-confined by contract.
+  std::int64_t finish_bound = 0;
   bool any_unfinished = false;
   for (const auto& w : workloads_) {
     if (w->finished()) continue;
     any_unfinished = true;
     const double min_ticks_to_finish =
         w->remaining_nominal_seconds() / (tick_s * kSpeedBoundMargin);
-    bound = std::min(bound, static_cast<std::int64_t>(min_ticks_to_finish));
+    finish_bound = std::max(finish_bound,
+                            static_cast<std::int64_t>(min_ticks_to_finish));
   }
   // All finished: mirror the serial do-while, which still processes the
   // final tick serially.
-  return any_unfinished ? bound : 0;
+  return any_unfinished ? std::min(bound, finish_bound) : 0;
 }
 
 void Simulation::run_parallel() {
@@ -316,12 +329,16 @@ void Simulation::run_parallel() {
   for (;;) {
     const std::int64_t batch = max_batch_ticks();
     if (batch < kMinBatchTicks) {
-      // Endgame (a workload is about to finish) or a periodic is due in a
-      // few ticks: the barrier overhead isn't worth it.
+      // Endgame (the last workload is about to finish) or a periodic is
+      // due in a few ticks: the barrier overhead isn't worth it.
+      ++batch_stats_.serial_ticks;
       step();
       if (finished()) return;
       continue;
     }
+    ++batch_stats_.batches;
+    batch_stats_.batched_ticks += batch;
+    batch_stats_.max_batch = std::max(batch_stats_.max_batch, batch);
 
     // Physics for `batch` ticks of every socket, sockets in parallel.
     // Socket state is fully independent between barriers (per-socket

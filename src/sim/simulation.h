@@ -60,6 +60,20 @@ struct SimulationOptions {
   int socket_threads = 1;
 };
 
+/// How the socket-parallel engine spent its ticks (all zero after a
+/// serial run).  Cheap enough to keep always-on; the throughput benches
+/// and the batching regression tests read it so batch-window behaviour is
+/// observable, not inferred.  Batches are bounded by the next periodic
+/// deadline, the last-workload finish lower bound and kMaxBatchTicks —
+/// phase boundaries never bound a batch (tick integration splits at them
+/// regardless of batching).
+struct BatchStats {
+  std::int64_t batches = 0;        ///< parallel batches executed
+  std::int64_t batched_ticks = 0;  ///< ticks stepped inside those batches
+  std::int64_t serial_ticks = 0;   ///< ticks stepped via the serial fallback
+  std::int64_t max_batch = 0;      ///< largest single batch, in ticks
+};
+
 /// Wall time and energy attributed to one phase of the workload on one
 /// socket (exact: tick integration splits at phase boundaries).
 struct PhaseTotals {
@@ -160,6 +174,10 @@ class Simulation {
 
   bool finished() const;
 
+  /// Batch accounting of the socket-parallel engine (zeroes after a
+  /// serial run).
+  const BatchStats& batch_stats() const { return batch_stats_; }
+
  private:
   struct Periodic {
     SimDuration interval;
@@ -198,6 +216,7 @@ class Simulation {
   // Socket-major ([socket * batch + tick]) so concurrent workers never
   // write the same cache line; the replay loop gathers per-tick rows.
   std::vector<TickRecord> batch_records_;
+  BatchStats batch_stats_;
   bool started_ = false;
 };
 

@@ -1,0 +1,89 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace dufp::json {
+namespace {
+
+TEST(JsonTest, RoundTripsAnObjectByteExactly) {
+  const std::string text =
+      R"({"format":"dufp-shard-result","version":1,"jobs":[0,1,2],)"
+      R"("ok":true,"note":null,"x":-3.25e2})";
+  const Value v = parse(text);
+  EXPECT_EQ(v.dump(), text);  // insertion order + raw number tokens
+}
+
+TEST(JsonTest, TypedAccessors) {
+  const Value v = parse(R"({"u":18446744073709551615,"i":-42,"d":1.5,)"
+                        R"("s":"hi","b":false,"a":[1,2]})");
+  EXPECT_EQ(v.at("u").as_u64(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(v.at("i").as_i64(), -42);
+  EXPECT_DOUBLE_EQ(v.at("d").as_double(), 1.5);
+  EXPECT_EQ(v.at("s").as_string(), "hi");
+  EXPECT_FALSE(v.at("b").as_bool());
+  EXPECT_EQ(v.at("a").as_array().size(), 2u);
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW(v.at("missing"), std::runtime_error);
+  EXPECT_THROW(v.at("s").as_double(), std::runtime_error);
+  EXPECT_THROW(v.at("i").as_u64(), std::runtime_error);
+}
+
+TEST(JsonTest, StringEscapes) {
+  Value v = Value::make_object();
+  v.add("k", Value::make_string("a\"b\\c\nd\te\x01"));
+  const std::string text = v.dump();
+  EXPECT_EQ(text, "{\"k\":\"a\\\"b\\\\c\\nd\\te\\u0001\"}");
+  EXPECT_EQ(parse(text).at("k").as_string(), "a\"b\\c\nd\te\x01");
+}
+
+TEST(JsonTest, ParseErrorsCarryOffset) {
+  try {
+    parse(R"({"a":1,})");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+  EXPECT_THROW(parse(""), std::runtime_error);
+  EXPECT_THROW(parse("{\"a\":1} junk"), std::runtime_error);
+  EXPECT_THROW(parse("[1,2"), std::runtime_error);
+  EXPECT_THROW(parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(parse("tru"), std::runtime_error);
+}
+
+TEST(JsonTest, HexDoubleIsBitExact) {
+  const double values[] = {0.0,
+                           -0.0,
+                           1.0,
+                           -1.0 / 3.0,
+                           3.14159265358979312e100,
+                           std::numeric_limits<double>::denorm_min(),
+                           std::numeric_limits<double>::max(),
+                           std::numeric_limits<double>::infinity()};
+  for (const double v : values) {
+    const std::string hex = double_to_hex(v);
+    ASSERT_EQ(hex.size(), 16u);
+    const double back = hex_to_double(hex);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(v), std::bit_cast<std::uint64_t>(back));
+  }
+  // NaN payloads survive too (bit pattern, not value, is transported).
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(nan),
+            std::bit_cast<std::uint64_t>(hex_to_double(double_to_hex(nan))));
+  EXPECT_EQ(double_to_hex(-0.0), "8000000000000000");
+  EXPECT_THROW(hex_to_double("123"), std::runtime_error);
+  EXPECT_THROW(hex_to_double("zzzzzzzzzzzzzzzz"), std::runtime_error);
+}
+
+TEST(JsonTest, Fnv1aMatchesReferenceVectors) {
+  // Published FNV-1a 64-bit test vectors.
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a("foobar"), 0x85944171f73967e8ULL);
+}
+
+}  // namespace
+}  // namespace dufp::json

@@ -65,6 +65,68 @@ TEST(PlanTest, EnumeratesJobsUpFront) {
   EXPECT_THROW(plan.result(0), std::logic_error);
 }
 
+TEST(PlanTest, JobEnumerationOrderIsTheDocumentedContract) {
+  // Cell-major in add_cell order, repetition-minor (0..reps-1) — the
+  // shard layer assigns jobs to shards by index and the gather merges by
+  // index, so this ordering is a cross-process wire contract.
+  ExperimentPlan plan;
+  plan.add_cell(cg_config(), 3);
+  plan.add_cell(cg_config(PolicyMode::dufp, 0.10), 2);
+  ASSERT_EQ(plan.job_count(), 5u);
+  const ExperimentPlan::CellId want_cell[] = {0, 0, 0, 1, 1};
+  const int want_rep[] = {0, 1, 2, 0, 1};
+  for (std::size_t i = 0; i < plan.job_count(); ++i) {
+    EXPECT_EQ(plan.job(i).cell, want_cell[i]) << "job " << i;
+    EXPECT_EQ(plan.job(i).repetition, want_rep[i]) << "job " << i;
+  }
+}
+
+TEST(PlanTest, JobConfigAppliesTheDerivedSeed) {
+  ExperimentPlan plan;
+  plan.add_cell(cg_config(), 2);
+  // job_config is the single seed-derivation point: a job's seed is a
+  // pure function of (cell base seed, repetition), never of placement.
+  EXPECT_EQ(plan.job_config(0).seed, job_seed(23, 0));
+  EXPECT_EQ(plan.job_config(1).seed, job_seed(23, 1));
+  EXPECT_EQ(plan.job_config(0).mode, PolicyMode::none);
+  EXPECT_THROW(plan.job_config(2), std::out_of_range);
+}
+
+TEST(PlanTest, RunJobsPlusFinishWithEqualsRun) {
+  // The gather path in miniature: execute the jobs in two disjoint
+  // slices (out of order), reassemble by index, and finish the plan —
+  // bit-identical to plan.run().
+  auto build = [] {
+    ExperimentPlan plan;
+    plan.add_cell(cg_config(), 3);
+    plan.add_cell(cg_config(PolicyMode::dufp, 0.10), 2);
+    return plan;
+  };
+  ExperimentPlan whole = build();
+  whole.run(1);
+
+  ExperimentPlan sharded = build();
+  const auto odd = sharded.run_jobs({3, 1}, 1);
+  const auto even = sharded.run_jobs({0, 2, 4}, 1);
+  std::vector<RunResult> merged(5);
+  merged[3] = odd[0];
+  merged[1] = odd[1];
+  merged[0] = even[0];
+  merged[2] = even[1];
+  merged[4] = even[2];
+  sharded.finish_with(std::move(merged));
+
+  expect_identical(whole.result(0), sharded.result(0));
+  expect_identical(whole.result(1), sharded.result(1));
+}
+
+TEST(PlanTest, FinishWithRejectsSizeMismatch) {
+  ExperimentPlan plan;
+  plan.add_cell(cg_config(), 2);
+  std::vector<RunResult> too_few(1);
+  EXPECT_THROW(plan.finish_with(std::move(too_few)), std::invalid_argument);
+}
+
 TEST(PlanTest, SerialAndParallelBitIdentical) {
   // The tentpole guarantee, on a short CG run: baseline + DUFP cells,
   // 4 repetitions, 1 worker vs 4 workers.

@@ -1,0 +1,143 @@
+// Trace-replay goldens: the socket-parallel engine on a *replayed* trace
+// profile (dense 200 ms sampling, the DUF measurement cadence) must match
+// the serial engine byte for byte, and the batch window must stay wide.
+//
+// Replayed traces were the ROADMAP's batching worst-case suspect: a phase
+// change every 200 ms row.  Profiling showed phase boundaries never bound
+// a batch (tick integration splits at them regardless of batching) — the
+// real limiter was the MIN-over-sockets finish bound collapsing the
+// jittered endgame into 1-tick batches.  These tests pin both facts: the
+// bytes (against checked-in goldens) and the batch-size floor.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "golden_util.h"
+#include "sim/simulation.h"
+#include "sim/trace.h"
+#include "workloads/trace_replay.h"
+
+namespace dufp::perf_test {
+namespace {
+
+// A measured-style trace: 30 rows of 0.2 s, cycling through six distinct
+// behaviours (compute-bound, bandwidth-bound, and mixes).  Consecutive
+// rows always differ by more than the 10% merge tolerance, so every row
+// becomes its own phase segment — the densest phase stream the replay
+// module can produce.
+constexpr const char* kDenseTraceCsv =
+    "seconds,gflops,gbps,cpu_activity,mem_activity\n"
+    "0.2,55.0,10.0,0.95,0.30\n"
+    "0.2,9.0,80.0,0.55,0.90\n"
+    "0.2,30.0,45.0,0.80,0.70\n"
+    "0.2,48.0,15.0,0.90,0.40\n"
+    "0.2,12.0,70.0,0.60,0.85\n"
+    "0.2,22.0,30.0,0.75,0.60\n"
+    "0.2,55.0,10.0,0.95,0.30\n"
+    "0.2,9.0,80.0,0.55,0.90\n"
+    "0.2,30.0,45.0,0.80,0.70\n"
+    "0.2,48.0,15.0,0.90,0.40\n"
+    "0.2,12.0,70.0,0.60,0.85\n"
+    "0.2,22.0,30.0,0.75,0.60\n"
+    "0.2,55.0,10.0,0.95,0.30\n"
+    "0.2,9.0,80.0,0.55,0.90\n"
+    "0.2,30.0,45.0,0.80,0.70\n"
+    "0.2,48.0,15.0,0.90,0.40\n"
+    "0.2,12.0,70.0,0.60,0.85\n"
+    "0.2,22.0,30.0,0.75,0.60\n"
+    "0.2,55.0,10.0,0.95,0.30\n"
+    "0.2,9.0,80.0,0.55,0.90\n"
+    "0.2,30.0,45.0,0.80,0.70\n"
+    "0.2,48.0,15.0,0.90,0.40\n"
+    "0.2,12.0,70.0,0.60,0.85\n"
+    "0.2,22.0,30.0,0.75,0.60\n"
+    "0.2,55.0,10.0,0.95,0.30\n"
+    "0.2,9.0,80.0,0.55,0.90\n"
+    "0.2,30.0,45.0,0.80,0.70\n"
+    "0.2,48.0,15.0,0.90,0.40\n"
+    "0.2,12.0,70.0,0.60,0.85\n"
+    "0.2,22.0,30.0,0.75,0.60\n";
+
+workloads::WorkloadProfile replayed_profile() {
+  std::istringstream in(kDenseTraceCsv);
+  return workloads::profile_from_trace(workloads::parse_trace_csv(in), {},
+                                       "golden-replay");
+}
+
+/// The reference-run shape (4 sockets, DUFP at 10%, seed 7) on the
+/// replayed profile.  No phase cap: replay phase names are synthetic.
+harness::RunConfig replay_config(const workloads::WorkloadProfile& profile) {
+  harness::RunConfig cfg;
+  cfg.profile = &profile;
+  cfg.machine.sockets = 4;
+  cfg.mode = harness::PolicyMode::dufp;
+  cfg.tolerated_slowdown = 0.10;
+  cfg.seed = 7;
+  return cfg;
+}
+
+std::string replay_trace_csv(harness::RunConfig cfg, const std::string& tag) {
+  const std::string path = temp_path(tag + ".csv");
+  {
+    sim::CsvTraceSink sink(path, /*decimation=*/1);
+    cfg.trace = &sink;
+    harness::run_once(cfg);
+  }
+  return read_file(path);
+}
+
+TEST(GoldenReplayTest, SerialTraceMatchesGolden) {
+  const auto profile = replayed_profile();
+  expect_matches_golden(replay_trace_csv(replay_config(profile), "serial"),
+                        "trace_replay.csv");
+}
+
+TEST(GoldenReplayTest, SerialSummaryMatchesGolden) {
+  const auto profile = replayed_profile();
+  expect_matches_golden(
+      summary_text(harness::run_once(replay_config(profile))),
+      "summary_replay.txt");
+}
+
+TEST(GoldenReplayTest, ParallelTraceMatchesGolden) {
+  const auto profile = replayed_profile();
+  harness::RunConfig cfg = replay_config(profile);
+  cfg.sim.socket_threads = 4;
+  expect_matches_golden(replay_trace_csv(cfg, "par"), "trace_replay.csv");
+}
+
+TEST(GoldenReplayTest, ParallelSummaryMatchesGolden) {
+  const auto profile = replayed_profile();
+  harness::RunConfig cfg = replay_config(profile);
+  cfg.sim.socket_threads = 2;  // pool smaller than socket count
+  expect_matches_golden(summary_text(harness::run_once(cfg)),
+                        "summary_replay.txt");
+}
+
+// The batch-size floor on the replay path, at the engine level (run_once
+// hides the Simulation object): with the 200 ms controller cadence the
+// periodic deadline — not the per-200 ms phase stream — must bound the
+// batches, and the jittered endgame must not fall back to serial.
+TEST(GoldenReplayTest, ReplayedTraceKeepsFullBatchWindow) {
+  const auto profile = replayed_profile();
+  hw::MachineConfig machine;
+  machine.sockets = 4;
+  sim::SimulationOptions opts;
+  opts.seed = 7;
+  opts.socket_threads = 4;
+  sim::Simulation s(machine, profile, opts);
+  // Stand-in for the DUFP controller loop: a 200 ms periodic that does
+  // nothing but constrain the batch window the way a real agent does.
+  s.schedule_periodic(SimTime::from_millis(200), [](SimTime) {});
+  s.run();
+  const auto& bs = s.batch_stats();
+  ASSERT_GT(bs.batches, 0);
+  EXPECT_EQ(bs.max_batch, 200) << "periodic deadline should bound batches";
+  EXPECT_LT(bs.serial_ticks, 64) << "endgame tail fell back to serial";
+  // Average batch near the periodic interval: dense phase changes must
+  // not shrink the window (they never bound a batch).
+  EXPECT_GE(bs.batched_ticks / bs.batches, 150);
+}
+
+}  // namespace
+}  // namespace dufp::perf_test

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <map>
 
 #include "powercap/zone.h"
@@ -183,6 +184,44 @@ TEST(SimulationTest, MaxSecondsGuardThrows) {
   o.max_seconds = 0.5;  // run needs ~3 s
   Simulation s(one_socket(), prof, o);
   EXPECT_THROW(s.run(), std::runtime_error);
+}
+
+TEST(SimulationTest, BatchStatsAccountForEveryParallelTick) {
+  // Jittered multi-socket run: the sockets finish at staggered ticks,
+  // which is the historical worst case for the batch bound (a MIN over
+  // per-socket finish estimates degraded the endgame into 1-tick batches
+  // and serial fallback).  With the MAX bound — only the *last* finish
+  // can end the run, and an individually-finished socket integrates idle
+  // demand inside a batch exactly as the serial engine does — the tail
+  // stays batched: the serial fallback is a handful of ticks at most and
+  // at least one full-width batch runs (no periodics are registered, so
+  // nothing but the finish bound and kMaxBatchTicks limits a batch).
+  hw::MachineConfig m;
+  m.sockets = 4;
+  SimulationOptions o = fast_options();
+  o.workload_jitter_sigma = 0.02;  // stagger the per-socket finish ticks
+  o.socket_threads = 2;
+  const auto prof = small_profile();
+  Simulation s(m, prof, o);
+  const auto sum = s.run();
+  const auto& bs = s.batch_stats();
+  const auto total_ticks =
+      static_cast<std::int64_t>(std::llround(sum.exec_seconds * 1000.0));
+  EXPECT_EQ(bs.batched_ticks + bs.serial_ticks, total_ticks);
+  EXPECT_GT(bs.batches, 0);
+  EXPECT_LT(bs.serial_ticks, 64) << "endgame tail fell back to serial";
+  EXPECT_GE(bs.max_batch, 256) << "batch window collapsed";
+}
+
+TEST(SimulationTest, BatchStatsZeroAfterSerialRun) {
+  const auto prof = small_profile();
+  Simulation s(one_socket(), prof, fast_options());
+  s.run();
+  const auto& bs = s.batch_stats();
+  EXPECT_EQ(bs.batches, 0);
+  EXPECT_EQ(bs.batched_ticks, 0);
+  EXPECT_EQ(bs.serial_ticks, 0);
+  EXPECT_EQ(bs.max_batch, 0);
 }
 
 TEST(SimulationTest, ForkRngIndependentPerTag) {

@@ -44,6 +44,67 @@ assert doc["serial"]["ticks"] > 0
 print("sim_throughput smoke: JSON OK")
 EOF
 
+echo "== shard_scaling smoke =="
+# Forks real worker processes on a shrunk grid and byte-compares the
+# gathered outputs against a serial run — the bench itself exits
+# non-zero on any byte drift, so this doubles as a cheap cross-process
+# determinism gate.
+DUFP_SMOKE=1 DUFP_OUT_DIR="${smoke_dir}" "${build_dir}/bench/shard_scaling"
+python3 - "${smoke_dir}/BENCH_shard_scaling.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+for key in ("schema_version", "bench", "smoke", "config",
+            "single_process", "processes_2", "processes_4"):
+    assert key in doc, f"missing key: {key}"
+assert doc["config"]["host_cpus"] >= 1
+assert doc["processes_2"]["identical_bytes"] is True
+assert doc["processes_4"]["identical_bytes"] is True
+print("shard_scaling smoke: JSON OK, gathered bytes identical")
+EOF
+
+echo "== perf gate (sim_throughput, full run) =="
+# A real (non-smoke) run of the tracked throughput bench, gated on the
+# serial speedup over the pre-optimisation seed engine.  The tracked
+# number is ~2.22x (BENCH_sim_throughput.json); the default floor of
+# 1.7x leaves ~23% noise margin so shared CI hosts don't flake, while
+# still catching any real hot-path regression.  Override per-host with
+# DUFP_CI_MIN_SERIAL_SPEEDUP; the parallel gate only applies on
+# multi-core hosts (on 1 CPU socket-threads measure overhead, not
+# speedup).
+perf_dir="${build_dir}/perf-out"
+rm -rf "${perf_dir}"
+DUFP_OUT_DIR="${perf_dir}" "${build_dir}/bench/sim_throughput"
+min_serial="${DUFP_CI_MIN_SERIAL_SPEEDUP:-1.7}"
+min_parallel="${DUFP_CI_MIN_PARALLEL_SPEEDUP:-1.0}"
+python3 - "${perf_dir}/BENCH_sim_throughput.json" \
+    "${min_serial}" "${min_parallel}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+min_serial, min_parallel = float(sys.argv[2]), float(sys.argv[3])
+serial = doc["speedup"]["serial_vs_baseline"]
+host_cpus = doc["config"]["host_cpus"]
+assert serial >= min_serial, (
+    f"perf gate: serial_vs_baseline {serial:.2f}x < floor {min_serial}x")
+print(f"perf gate: serial_vs_baseline {serial:.2f}x >= {min_serial}x")
+if host_cpus > 1:
+    par = doc["speedup"]["parallel_vs_serial"]
+    assert par >= min_parallel, (
+        f"perf gate: parallel_vs_serial {par:.2f}x < floor {min_parallel}x")
+    print(f"perf gate: parallel_vs_serial {par:.2f}x >= {min_parallel}x")
+else:
+    print(f"perf gate: host_cpus={host_cpus}, parallel gate skipped")
+EOF
+
+# Archive the gated numbers per commit so regressions can be bisected
+# from history rather than re-measured.
+history_dir="${repo_root}/out/bench_history"
+mkdir -p "${history_dir}"
+sha="$(git -C "${repo_root}" rev-parse --short HEAD 2>/dev/null || echo nogit)"
+cp "${perf_dir}/BENCH_sim_throughput.json" "${history_dir}/${sha}.json"
+echo "perf gate: archived ${history_dir}/${sha}.json"
+
 echo "== tier-1 under UBSan =="
 "${repo_root}/tools/run_tier1_ubsan.sh" "$@"
 
