@@ -1,0 +1,183 @@
+// Policy tournament: every registered policy on the same footing.
+//
+// Runs a policy list (DUFP_POLICIES, default: everything in the
+// PolicyRegistry — the four paper controllers plus the zoo) over a
+// workloads x tolerances grid through the deterministic shard engine,
+// then ranks the field.  A policy is scored per (app, tolerance) cell by
+// whether it honoured the slowdown budget and by how much energy it
+// saved; the ranking sorts by violation count first (a policy that blows
+// its budget cannot win on energy) and mean energy change second.
+//
+// Outputs under DUFP_OUT_DIR:
+//   tournament.csv        one ranked row per policy (the leaderboard)
+//   tournament_cells.csv  every (app, policy, tolerance) grid point with
+//                         health counters — identical bytes to the shard
+//                         engine's evaluation CSV for the same spec
+//   tournament_telemetry* with DUFP_TELEMETRY=1: merged Prometheus
+//                         exposition plus job 0's full telemetry export
+//
+// Knobs: the usual DUFP_REPS / DUFP_SOCKETS / DUFP_THREADS / DUFP_QUIET /
+// DUFP_OUT_DIR, plus
+//   DUFP_POLICIES=A,B   restrict the field (registry names, any alias)
+//   DUFP_FAULT_RATE=R   run the whole tournament under a fault storm —
+//                       rankings then reward robustness, not just savings
+//   DUFP_SMOKE=1        1 app x 1 tolerance x 1 repetition: CI smoke
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/csv.h"
+#include "common/table.h"
+#include "core/policy_registry.h"
+#include "harness/shard.h"
+#include "telemetry/export.h"
+
+namespace dufp::bench {
+namespace {
+
+/// A cell violates its budget when the mean slowdown exceeds the
+/// tolerated percentage by more than one point of slack (the paper's
+/// controllers converge to the budget, so a hard `>` would flag noise).
+constexpr double kViolationSlackPct = 1.0;
+
+struct Standing {
+  std::string policy;
+  int cells = 0;
+  int violations = 0;
+  double mean_slowdown_pct = 0.0;
+  double mean_pkg_savings_pct = 0.0;
+  double mean_dram_savings_pct = 0.0;
+  double mean_energy_change_pct = 0.0;
+  double worst_slowdown_pct = 0.0;
+};
+
+/// Aggregates one policy's column of the grid into its leaderboard row.
+Standing score(const std::string& policy,
+               const std::vector<harness::Evaluation>& evals,
+               const std::vector<double>& tolerances) {
+  Standing s;
+  s.policy = policy;
+  for (const auto& e : evals) {
+    for (const double tol : tolerances) {
+      const double slow = e.slowdown_pct(policy, tol);
+      s.cells += 1;
+      if (slow > tol * 100.0 + kViolationSlackPct) s.violations += 1;
+      s.mean_slowdown_pct += slow;
+      s.mean_pkg_savings_pct += e.pkg_power_savings_pct(policy, tol);
+      s.mean_dram_savings_pct += e.dram_power_savings_pct(policy, tol);
+      s.mean_energy_change_pct += e.energy_change_pct(policy, tol);
+      s.worst_slowdown_pct = std::max(s.worst_slowdown_pct, slow);
+    }
+  }
+  if (s.cells > 0) {
+    s.mean_slowdown_pct /= s.cells;
+    s.mean_pkg_savings_pct /= s.cells;
+    s.mean_dram_savings_pct /= s.cells;
+    s.mean_energy_change_pct /= s.cells;
+  }
+  return s;
+}
+
+int run_main() {
+  const auto opts = harness::BenchOptions::from_env();
+  const bool smoke = std::getenv("DUFP_SMOKE") != nullptr;
+
+  print_banner("tournament: every registered policy, one leaderboard",
+               "policy-zoo extension (no paper figure)");
+
+  harness::GridSpec spec;
+  spec.name = smoke ? "tournament-smoke" : "tournament";
+  spec.apps = smoke ? std::vector<workloads::AppId>{workloads::AppId::ep}
+                    : workloads::all_apps();
+  spec.policies = opts.policies.empty()
+                      ? core::PolicyRegistry::instance().names()
+                      : opts.policies;
+  spec.tolerances = smoke ? std::vector<double>{0.10}
+                          : std::vector<double>{0.05, 0.10};
+  spec.repetitions = smoke ? 1 : opts.repetitions;
+  spec.sockets = opts.sockets;
+  spec.fault_rate = opts.fault_rate;
+  spec.fault_seed = opts.fault_seed;
+  spec.telemetry = opts.telemetry;
+
+  std::printf("field: %zu policies x %zu apps x %zu tolerances, "
+              "%d repetition(s)%s\n\n",
+              spec.policies.size(), spec.apps.size(), spec.tolerances.size(),
+              spec.repetitions,
+              spec.fault_rate > 0.0 ? " — under a fault storm" : "");
+
+  const auto outputs =
+      harness::run_grid_serial(spec, opts.resolved_threads());
+
+  std::vector<Standing> board;
+  for (const auto& policy : spec.policies) {
+    board.push_back(score(policy, outputs.evaluations, spec.tolerances));
+  }
+  // Budget first, energy second: a violating policy ranks below every
+  // compliant one no matter how much energy it saved.  Ties (rare,
+  // deterministic sim or not) keep registration order via stable_sort.
+  std::stable_sort(board.begin(), board.end(),
+                   [](const Standing& a, const Standing& b) {
+                     if (a.violations != b.violations)
+                       return a.violations < b.violations;
+                     return a.mean_energy_change_pct <
+                            b.mean_energy_change_pct;
+                   });
+
+  const std::string csv_path = out_path("tournament.csv");
+  CsvWriter csv(csv_path);
+  csv.write_row({"rank", "policy", "cells", "violations",
+                 "mean_slowdown_pct", "worst_slowdown_pct",
+                 "mean_pkg_power_savings_pct", "mean_dram_power_savings_pct",
+                 "mean_energy_change_pct"});
+  TextTable table({"rank", "policy", "viol", "slowdown %", "pkg save %",
+                   "energy %"});
+  for (std::size_t i = 0; i < board.size(); ++i) {
+    const Standing& s = board[i];
+    const std::string rank = std::to_string(i + 1);
+    csv.write_row({rank, s.policy, std::to_string(s.cells),
+                   std::to_string(s.violations),
+                   fmt_double(s.mean_slowdown_pct, 3),
+                   fmt_double(s.worst_slowdown_pct, 3),
+                   fmt_double(s.mean_pkg_savings_pct, 3),
+                   fmt_double(s.mean_dram_savings_pct, 3),
+                   fmt_double(s.mean_energy_change_pct, 3)});
+    table.add_row({rank, s.policy, std::to_string(s.violations),
+                   strf("%6.2f", s.mean_slowdown_pct),
+                   strf("%6.2f", s.mean_pkg_savings_pct),
+                   strf("%6.2f", s.mean_energy_change_pct)});
+  }
+  table.print(std::cout);
+  std::printf("\nLeaderboard written to %s\n", csv_path.c_str());
+
+  const std::string cells_path = out_path("tournament_cells.csv");
+  {
+    std::ofstream out(cells_path, std::ios::binary);
+    out << outputs.evaluation_csv;
+  }
+  std::printf("Per-cell grid written to %s\n", cells_path.c_str());
+
+  if (spec.telemetry) {
+    const std::string prom_path = out_path("tournament_telemetry.prom");
+    std::ofstream out(prom_path, std::ios::binary);
+    out << outputs.merged_prometheus;
+    std::printf("Merged Prometheus exposition written to %s\n",
+                prom_path.c_str());
+    if (outputs.job0_telemetry.has_value()) {
+      const auto files = telemetry::export_run(
+          *outputs.job0_telemetry, out_path("tournament_telemetry"));
+      for (const auto& f : files) std::printf("  %s\n", f.c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dufp::bench
+
+int main() { return dufp::bench::run_main(); }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/expect.h"
+#include "core/policy_registry.h"
 #include "msr/device.h"
 
 namespace dufp::core {
@@ -15,15 +16,26 @@ namespace {
 constexpr std::uint16_t op_code(ActuationOp op) {
   return static_cast<std::uint16_t>(op);
 }
+
+/// Legacy enum → registry name, with the historical contract that
+/// PolicyMode::none never reaches an Agent.
+std::string mode_policy_name(PolicyMode mode) {
+  DUFP_EXPECT(mode != PolicyMode::none);  // none = no agent at all
+  return to_string(mode);
+}
 }  // namespace
 
-Agent::Agent(PolicyMode mode, const PolicyConfig& policy,
+Agent::Agent(std::string_view policy_name, const PolicyConfig& policy,
              powercap::PackageZone& zone, powercap::UncoreControl& uncore,
              perfmon::IntervalSampler sampler,
              powercap::PstateControl* pstate,
              telemetry::SocketTelemetry* telem)
-    : mode_(mode),
-      policy_(policy),
+    // at() both validates the name and canonicalizes its spelling; the
+    // entry's config_defaults land before any expectation reads policy_.
+    : policy_name_(PolicyRegistry::instance().at(policy_name).name),
+      policy_(
+          PolicyRegistry::instance().apply_config_defaults(policy_name,
+                                                           policy)),
       zone_(zone),
       uncore_(uncore),
       pstate_(pstate),
@@ -36,9 +48,6 @@ Agent::Agent(PolicyMode mode, const PolicyConfig& policy,
       default_uncore_min_mhz_(uncore.window_min_mhz()),
       telem_(telem),
       pkg_power_hist_({20, 40, 60, 80, 100, 120, 140, 160, 200}) {
-  DUFP_EXPECT(mode_ != PolicyMode::none);  // none = no agent at all
-  if (mode_ == PolicyMode::dufpf) policy_.manage_core_frequency = true;
-
   DUFP_EXPECT(policy_.max_actuation_attempts >= 1);
   DUFP_EXPECT(policy_.watchdog_failure_threshold >= 1);
   DUFP_EXPECT(policy_.watchdog_backoff_intervals >= 1);
@@ -57,11 +66,19 @@ Agent::Agent(PolicyMode mode, const PolicyConfig& policy,
   if (telem_ != nullptr) register_instruments();
 }
 
+Agent::Agent(PolicyMode mode, const PolicyConfig& policy,
+             powercap::PackageZone& zone, powercap::UncoreControl& uncore,
+             perfmon::IntervalSampler sampler,
+             powercap::PstateControl* pstate,
+             telemetry::SocketTelemetry* telem)
+    : Agent(mode_policy_name(mode), policy, zone, uncore, std::move(sampler),
+            pstate, telem) {}
+
 void Agent::register_instruments() {
   auto& reg = telem_->registry();
   const telemetry::LabelSet labels = {
       {"socket", std::to_string(telem_->socket())},
-      {"mode", to_string(mode_)}};
+      {"mode", policy_name_}};
   reg.attach("dufp_agent_intervals_total",
              "Control intervals that produced a decision", labels,
              intervals_ct_);
@@ -140,25 +157,14 @@ AgentStats Agent::stats() const {
 void Agent::init_controllers() {
   // Built from the captured hardware defaults, not live reads: this also
   // runs on re-engagement, when the live window is the fail-safe one.
-  UncoreLimits ul;
-  ul.min_mhz = default_uncore_min_mhz_;
-  ul.max_mhz = uncore_max_mhz_;
-
-  if (mode_ == PolicyMode::dufp || mode_ == PolicyMode::dufpf) {
-    CapLimits cl;
-    cl.default_long_w = default_long_w_;
-    cl.default_short_w = default_short_w_;
-    cl.min_cap_w = policy_.min_cap_w;
-    dufp_.emplace(policy_, ul, cl);
-  } else if (mode_ == PolicyMode::dnpc) {
-    DnpcLimits dl;
-    dl.default_cap_w = default_long_w_;
-    dl.min_cap_w = policy_.min_cap_w;
-    dnpc_.emplace(policy_, dl);
-  } else {
-    duf_tracker_.emplace(policy_);
-    duf_.emplace(policy_, ul);
-  }
+  PolicySetup setup;
+  setup.config = policy_;
+  setup.uncore.min_mhz = default_uncore_min_mhz_;
+  setup.uncore.max_mhz = uncore_max_mhz_;
+  setup.caps.default_long_w = default_long_w_;
+  setup.caps.default_short_w = default_short_w_;
+  setup.caps.min_cap_w = policy_.min_cap_w;
+  policy_impl_ = PolicyRegistry::instance().create(policy_name_, setup);
 }
 
 template <typename F>
@@ -226,7 +232,7 @@ bool Agent::restore_default_cap() {
   return ok;
 }
 
-void Agent::apply_cap(const DufpController::Decision& d) {
+void Agent::apply_cap(const PolicyDecision& d) {
   if (d.tighten_short_term) {
     if (try_op(ActuationOp::cap_short, [&] {
           zone_.set_power_limit_w(ConstraintId::short_term,
@@ -283,7 +289,8 @@ void Agent::apply_cap(const DufpController::Decision& d) {
     });
   }
 
-  // DUFP-F frequency management.
+  // Core-frequency management (DUFP-F and any policy whose effective
+  // config sets manage_core_frequency).
   if (pstate_ != nullptr) {
     if (d.pstate_release) {
       if (try_op(ActuationOp::pstate,
@@ -341,33 +348,16 @@ void Agent::run_interval(SimTime now) {
   intervals_ct_.inc();
   pkg_power_hist_.observe(sample.pkg_power_w);
 
-  if (mode_ == PolicyMode::dufp || mode_ == PolicyMode::dufpf) {
-    const auto d = dufp_->decide(sample);
-    apply_uncore(d.uncore);
-    apply_cap(d);
-  } else if (mode_ == PolicyMode::dnpc) {
-    const double before = dnpc_->cap_w();
-    const auto d = dnpc_->decide(sample);
-    if (d.changed) {
-      const bool ok = try_op(ActuationOp::cap_long,
-                             [&] {
-                               zone_.set_power_limit_w(ConstraintId::long_term,
-                                                       d.cap_w);
-                             }) &
-                      try_op(ActuationOp::cap_short, [&] {
-                        zone_.set_power_limit_w(ConstraintId::short_term,
-                                                d.cap_w);
-                      });
-      if (ok) {
-        (d.cap_w < before ? cap_decreases_ : cap_increases_).inc();
-        rec(EventKind::actuation, op_code(ActuationOp::cap_long), d.cap_w,
-            d.cap_w);
-      }
-    }
-  } else {
-    const auto u = duf_tracker_->update(sample);
-    apply_uncore(duf_->decide(u));
-  }
+  // One path for every policy: observe, then actuate the intent in a
+  // fixed field order (uncore first, then the cap group — identical to
+  // the pre-redesign inline dispatch, which the goldens pin).
+  const PolicyDecision d = policy_impl_->observe(sample);
+  apply_uncore(d.uncore);
+  apply_cap(d);
+
+  // Lifecycle hooks fire after actuation, informational only.
+  if (d.phase_change) policy_impl_->on_phase_change(sample);
+  if (d.blame != ViolationBlame::none) policy_impl_->on_violation(d.blame);
 
   // Watchdog accounting: only intervals that actually touched hardware
   // move the consecutive-failure counter.  Pure holds leave it alone —
@@ -388,6 +378,9 @@ void Agent::enter_degraded() {
   failsafe_applied_ = false;
   consecutive_failures_ = 0;
   degradations_.inc();
+  // The policy instance will be rebuilt on re-engagement; tell it the
+  // socket is going fail-safe first (last call it receives).
+  if (policy_impl_ != nullptr) policy_impl_->on_watchdog_degraded();
   // Fail-open is the flight recorder's trigger: capture the socket's
   // recent history *before* the fail-safe restoration overwrites it.
   if (telem_ != nullptr) telem_->fail_open(now_);
@@ -443,9 +436,10 @@ void Agent::reengage() {
   current_backoff_ = policy_.watchdog_backoff_intervals;
   reengagements_.inc();
   rec(EventKind::reengaged);
-  // Stale controller state (phase baselines, cooldowns, equilibrium
-  // estimates) predates the outage; rebuild from the captured defaults
-  // and re-baseline the sampler before the next decision.
+  // Stale policy state (phase baselines, cooldowns, equilibrium
+  // estimates) predates the outage; rebuild the policy instance from the
+  // captured defaults and re-baseline the sampler before the next
+  // decision.
   init_controllers();
   sampler_.reset();
 }

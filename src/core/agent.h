@@ -1,9 +1,16 @@
 // The per-socket runtime agent: owns the measurement sampler and the
-// controller, and actuates through the powercap zone (package power
+// control policy, and actuates through the powercap zone (package power
 // limits) and the uncore MSR — exactly the actuation paths the paper's
 // tool uses (Sec. IV-C).  One Agent instance runs per user-specified
 // socket, each fully independent, mirroring "one instance of DUFP is
 // started on each user-specified socket" (Sec. III).
+//
+// The control logic lives behind the core::Policy seam (policy_api.h):
+// the agent resolves a policy by registry name, feeds it one sample per
+// interval, and executes the returned PolicyDecision through its retry /
+// watchdog / telemetry machinery.  The agent is the only thing that
+// touches hardware, so every policy — paper controller or zoo entry —
+// gets identical robustness behaviour for free.
 //
 // The Agent is substrate-agnostic: it sees only CounterSource, Zone and
 // MsrDevice interfaces, so the identical class would drive PAPI +
@@ -11,11 +18,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <string>
+#include <string_view>
 
-#include "core/dnpc.h"
-#include "core/dufp.h"
 #include "core/policy.h"
+#include "core/policy_api.h"
 #include "perfmon/sampler.h"
 #include "powercap/pstate_control.h"
 #include "powercap/uncore_control.h"
@@ -61,14 +70,25 @@ struct AgentStats {
 
 class Agent {
  public:
-  /// Captures the zone's current limits / windows as the hardware
-  /// defaults to restore on reset.  `mode` must name a controller —
-  /// PolicyMode::none is a harness-level value and is rejected.
-  /// PolicyMode::dufpf implies policy.manage_core_frequency; for it (or
-  /// whenever that flag is set) `pstate` is required, otherwise pass
+  /// Primary constructor.  `policy_name` is resolved (case-insensitively)
+  /// in PolicyRegistry::instance(); std::invalid_argument on unknown
+  /// names.  The registry entry's config_defaults are applied to `policy`
+  /// first (e.g. DUFP-F forces manage_core_frequency), then the zone's
+  /// current limits / windows are captured as the hardware defaults to
+  /// restore on reset.  Whenever the effective config has
+  /// manage_core_frequency set `pstate` is required, otherwise pass
   /// nullptr.  `telem` is the socket's telemetry view; nullptr (the
   /// default) is the null sink — instruments still count, but nothing is
   /// exported and no events are recorded.
+  Agent(std::string_view policy_name, const PolicyConfig& policy,
+        powercap::PackageZone& zone, powercap::UncoreControl& uncore,
+        perfmon::IntervalSampler sampler,
+        powercap::PstateControl* pstate = nullptr,
+        telemetry::SocketTelemetry* telem = nullptr);
+
+  /// Compatibility shim: maps the legacy enum onto its registry name via
+  /// core::to_string.  `mode` must name a controller — PolicyMode::none
+  /// is a harness-level value and is rejected.
   Agent(PolicyMode mode, const PolicyConfig& policy,
         powercap::PackageZone& zone, powercap::UncoreControl& uncore,
         perfmon::IntervalSampler sampler,
@@ -89,7 +109,8 @@ class Agent {
   /// True while the watchdog has the socket in the fail-safe state.
   bool degraded() const { return degraded_; }
 
-  PolicyMode mode() const { return mode_; }
+  /// Canonical registry name of the policy this agent runs.
+  const std::string& policy_name() const { return policy_name_; }
   /// Value snapshot assembled from the counter-backed instruments (and
   /// the sampler's own health — the agent no longer mirrors it).
   AgentStats stats() const;
@@ -107,7 +128,7 @@ class Agent {
   void init_controllers();
   void run_interval(SimTime now);
   void apply_uncore(const DufController::Decision& d);
-  void apply_cap(const DufpController::Decision& d);
+  void apply_cap(const PolicyDecision& d);
   bool restore_default_cap();
 
   /// Runs a hardware-facing operation with bounded immediate retries;
@@ -128,11 +149,11 @@ class Agent {
   void degraded_interval();
   void reengage();
 
-  PolicyMode mode_;
+  std::string policy_name_;
   PolicyConfig policy_;
   powercap::PackageZone& zone_;
   powercap::UncoreControl& uncore_;
-  powercap::PstateControl* pstate_;  ///< nullable (DUFP-F only)
+  powercap::PstateControl* pstate_;  ///< nullable (core-freq policies only)
   perfmon::IntervalSampler sampler_;
 
   double default_long_w_;
@@ -152,12 +173,10 @@ class Agent {
   bool interval_attempted_ = false; ///< any hardware op tried this interval
   bool interval_failed_ = false;    ///< ... and at least one died
 
-  // DUFP mode holds the full controller; DUF mode a tracker + DUF pair;
-  // DNPC mode the frequency-model baseline.
-  std::optional<DufpController> dufp_;
-  std::optional<PhaseTracker> duf_tracker_;
-  std::optional<DufController> duf_;
-  std::optional<DnpcController> dnpc_;
+  /// The control policy, built by init_controllers() from the captured
+  /// hardware defaults; destroyed and rebuilt on watchdog re-engagement so
+  /// stale phase baselines never survive an outage.
+  std::unique_ptr<Policy> policy_impl_;
 
   // -- instruments ----------------------------------------------------------
   // Counter-backed single source of truth for AgentStats/AgentHealth;

@@ -125,6 +125,7 @@ DufpController::Decision DufpController::decide(
   //    verify the uncore really reached its maximum.
   if (u.phase_change) {
     apply_reset_state(/*violation=*/false);
+    d.phase_change = true;
     d.cap_action = CapAction::reset;
     d.cap_reset = true;
     d.verify_uncore_reset = true;

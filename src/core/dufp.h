@@ -28,43 +28,21 @@
 
 #include "core/duf.h"
 #include "core/policy.h"
+#include "core/policy_api.h"
 #include "core/tracker.h"
 #include "perfmon/sampler.h"
 
 namespace dufp::core {
-
-enum class CapAction { none, hold, decrease, increase, reset };
-
-struct CapLimits {
-  double default_long_w = 125.0;
-  double default_short_w = 150.0;
-  double min_cap_w = 65.0;
-};
 
 class DufpController {
  public:
   DufpController(const PolicyConfig& policy, const UncoreLimits& uncore,
                  const CapLimits& caps);
 
-  struct Decision {
-    DufController::Decision uncore;
-
-    CapAction cap_action = CapAction::none;
-    /// Valid for decrease / increase: the constraint values to program.
-    double cap_long_w = 0.0;
-    double cap_short_w = 0.0;
-    /// reset: restore hardware defaults (both constraints and windows).
-    bool cap_reset = false;
-    /// Step 1 above: program short_term := long_term.
-    bool tighten_short_term = false;
-    /// Interaction rule 2: verify the uncore reached max and re-pin it.
-    bool verify_uncore_reset = false;
-
-    /// DUFP-F (policy.manage_core_frequency): explicit P-state request in
-    /// MHz (0 = leave as is), or a release back to the maximum.
-    double pstate_request_mhz = 0.0;
-    bool pstate_release = false;
-  };
+  /// The controller's decision IS the generic policy intent — PolicyDecision
+  /// was shaped after this controller's output (see policy_api.h), so the
+  /// DUFP policy adapter passes it through untouched.
+  using Decision = PolicyDecision;
 
   /// One control interval.
   Decision decide(const perfmon::Sample& sample);

@@ -1,0 +1,127 @@
+// The four paper controllers behind the Policy interface.  These are
+// thin adapters over the unchanged DUF / DUFP / DNPC controller classes:
+// each observe() reproduces the exact decision path the pre-redesign
+// Agent ran inline, so for a given sample stream the actuation sequence —
+// and therefore every golden byte — is identical (pinned by
+// tests/perf/golden_policies_test.cpp).
+#include <memory>
+
+#include "core/dnpc.h"
+#include "core/dufp.h"
+#include "core/policy_registry.h"
+#include "core/tracker.h"
+
+namespace dufp::core {
+namespace {
+
+/// DUF: uncore-only control; a shared tracker feeds the controller and
+/// the cap is never touched (every cap field stays at its no-op default).
+class DufPolicy final : public Policy {
+ public:
+  explicit DufPolicy(const PolicySetup& s)
+      : tracker_(s.config), duf_(s.config, s.uncore) {}
+
+  std::string_view name() const override { return "DUF"; }
+
+  PolicyDecision observe(const perfmon::Sample& sample) override {
+    const auto u = tracker_.update(sample);
+    PolicyDecision d;
+    d.uncore = duf_.decide(u);
+    d.phase_change = u.phase_change;
+    return d;
+  }
+
+ private:
+  PhaseTracker tracker_;
+  DufController duf_;
+};
+
+/// DUFP and DUFP-F: the full dual-knob controller.  Its Decision type is
+/// an alias of PolicyDecision, so observe() is a pass-through.
+class DufpPolicy final : public Policy {
+ public:
+  DufpPolicy(const PolicySetup& s, std::string_view name)
+      : name_(name), dufp_(s.config, s.uncore, s.caps) {}
+
+  std::string_view name() const override { return name_; }
+
+  PolicyDecision observe(const perfmon::Sample& sample) override {
+    return dufp_.decide(sample);
+  }
+
+ private:
+  std::string_view name_;
+  DufpController dufp_;
+};
+
+/// DNPC: the linear frequency-model baseline.  The controller reports a
+/// new cap value; the adapter turns it into the same
+/// long-then-short-constraint programming (direction derived from the
+/// previous cap) the pre-redesign Agent performed inline.
+class DnpcPolicy final : public Policy {
+ public:
+  explicit DnpcPolicy(const PolicySetup& s)
+      : dnpc_(s.config, DnpcLimits{s.caps.default_long_w,
+                                   s.config.min_cap_w,
+                                   /*max_core_mhz=*/0.0}) {}
+
+  std::string_view name() const override { return "DNPC"; }
+
+  PolicyDecision observe(const perfmon::Sample& sample) override {
+    const double before = dnpc_.cap_w();
+    const auto r = dnpc_.decide(sample);
+    PolicyDecision d;
+    if (r.changed) {
+      d.cap_action =
+          r.cap_w < before ? CapAction::decrease : CapAction::increase;
+      d.cap_long_w = r.cap_w;
+      d.cap_short_w = r.cap_w;
+    }
+    return d;
+  }
+
+ private:
+  DnpcController dnpc_;
+};
+
+}  // namespace
+
+void register_legacy_policies(PolicyRegistry& registry) {
+  registry.add({
+      "DUF",
+      "dynamic uncore frequency scaling only (the paper's prior tool)",
+      {"duf"},
+      [](const PolicySetup& s) { return std::make_unique<DufPolicy>(s); },
+      nullptr,
+  });
+  registry.add({
+      "DUFP",
+      "uncore scaling + dynamic power capping (the paper's contribution)",
+      {"dufp"},
+      [](const PolicySetup& s) {
+        return std::make_unique<DufpPolicy>(s, "DUFP");
+      },
+      nullptr,
+  });
+  registry.add({
+      "DUFP-F",
+      "DUFP + direct core-frequency management (Sec. VII extension)",
+      {"dufpf", "dufp-f"},
+      [](const PolicySetup& s) {
+        return std::make_unique<DufpPolicy>(s, "DUFP-F");
+      },
+      // The F variant is DUFP with the P-state path switched on; forcing
+      // the flag here replaces the enum special-cases the Agent and the
+      // runner used to carry.
+      [](PolicyConfig& c) { c.manage_core_frequency = true; },
+  });
+  registry.add({
+      "DNPC",
+      "frequency-model dynamic capping baseline (Sec. VI related work)",
+      {"dnpc"},
+      [](const PolicySetup& s) { return std::make_unique<DnpcPolicy>(s); },
+      nullptr,
+  });
+}
+
+}  // namespace dufp::core

@@ -1,0 +1,416 @@
+// The policy zoo: controllers beyond the paper, expressible only now
+// that the Agent dispatches through the Policy seam.
+//
+//  - performance / powersave / fixed-uncore — static governor baselines
+//    in the spirit of "How to Increase Energy Efficiency with a Single
+//    Linux Command" (PAPERS.md): no feedback, one configuration.
+//  - cuttlefish — a Cuttlefish-style profiling-free online tuner: both
+//    knobs (uncore frequency, package cap) tuned by alternating
+//    coordinate descent against the observed FLOPS drop, violations
+//    attributed to the knob that moved last, everything reset on a phase
+//    change.
+//  - profile-apply — profile-then-apply: the first visit of each phase
+//    class runs a calibration descent to the tolerance boundary; later
+//    visits re-apply the remembered settings immediately, paying the
+//    search cost once.
+//
+// All zoo policies are deterministic (no RNG), stay inside the hardware
+// envelope given by PolicySetup, and reuse the paper's PhaseTracker /
+// classify_drop machinery so their tolerance semantics match DUF/DUFP.
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "core/policy_registry.h"
+#include "core/tracker.h"
+
+namespace dufp::core {
+namespace {
+
+/// Static "performance" governor: leave the hardware at its boot
+/// configuration (maximum uncore window, default caps).  The baseline
+/// every savings number is implicitly measured against, now rankable in
+/// the same tournament column as everything else.
+class PerformancePolicy final : public Policy {
+ public:
+  explicit PerformancePolicy(const PolicySetup&) {}
+  std::string_view name() const override { return "performance"; }
+  PolicyDecision observe(const perfmon::Sample&) override { return {}; }
+};
+
+/// Static "powersave" governor: floor both knobs once — uncore window to
+/// its minimum, package cap to the policy floor — then hold.  After a
+/// watchdog re-engagement the policy is rebuilt, so the floor is
+/// re-applied automatically.
+class PowersavePolicy final : public Policy {
+ public:
+  explicit PowersavePolicy(const PolicySetup& s)
+      : uncore_(s.uncore), caps_(s.caps) {}
+
+  std::string_view name() const override { return "powersave"; }
+
+  PolicyDecision observe(const perfmon::Sample&) override {
+    PolicyDecision d;
+    if (applied_) return d;
+    applied_ = true;
+    d.uncore.action = UncoreAction::decrease;
+    d.uncore.target_mhz = uncore_.min_mhz;
+    d.cap_action = CapAction::decrease;
+    d.cap_long_w = caps_.min_cap_w;
+    d.cap_short_w = caps_.min_cap_w;
+    return d;
+  }
+
+ private:
+  UncoreLimits uncore_;
+  CapLimits caps_;
+  bool applied_ = false;
+};
+
+/// Static mid-range uncore pin: the window fixed halfway between min and
+/// max (rounded down to a whole uncore step), caps untouched.  The
+/// single-Linux-command experiment for the uncore knob alone.
+class FixedUncorePolicy final : public Policy {
+ public:
+  explicit FixedUncorePolicy(const PolicySetup& s) {
+    const double step =
+        s.config.uncore_step_mhz > 0.0 ? s.config.uncore_step_mhz : 100.0;
+    const double mid =
+        s.uncore.min_mhz + (s.uncore.max_mhz - s.uncore.min_mhz) * 0.5;
+    const double stepped =
+        s.uncore.max_mhz -
+        std::floor((s.uncore.max_mhz - mid) / step + 1e-9) * step;
+    target_mhz_ = std::clamp(stepped, s.uncore.min_mhz, s.uncore.max_mhz);
+  }
+
+  std::string_view name() const override { return "fixed-uncore"; }
+
+  PolicyDecision observe(const perfmon::Sample&) override {
+    PolicyDecision d;
+    if (applied_) return d;
+    applied_ = true;
+    d.uncore.action = UncoreAction::decrease;
+    d.uncore.target_mhz = target_mhz_;
+    return d;
+  }
+
+ private:
+  double target_mhz_ = 0.0;
+  bool applied_ = false;
+};
+
+/// Cuttlefish-style profiling-free dual-knob tuner.  Coordinate descent:
+/// while the measured FLOPS drop stays within the tolerated slowdown,
+/// alternate single steps of the uncore and the cap downward; a
+/// violation backs off the knob that moved last (the plausible culprit)
+/// and puts it on cooldown; a phase change resets both knobs and
+/// restarts the descent.  No calibration pass, no model — exactly the
+/// knob-agnostic online search Cuttlefish runs for GPU clocks, mapped
+/// onto the uncore/cap pair.
+class CuttlefishPolicy final : public Policy {
+ public:
+  explicit CuttlefishPolicy(const PolicySetup& s)
+      : cfg_(s.config),
+        limits_(s.uncore),
+        caps_(s.caps),
+        tracker_(s.config),
+        uncore_mhz_(s.uncore.max_mhz),
+        cap_w_(s.caps.default_long_w) {}
+
+  std::string_view name() const override { return "cuttlefish"; }
+
+  PolicyDecision observe(const perfmon::Sample& sample) override {
+    const auto u = tracker_.update(sample);
+    PolicyDecision d;
+
+    if (u.phase_change) {
+      reset_state(d);
+      return d;
+    }
+
+    const auto zone =
+        classify_drop(u.flops_drop, cfg_.tolerated_slowdown, cfg_.epsilon);
+    if (zone == ToleranceZone::beyond) {
+      back_off(d);
+      return d;
+    }
+    if (cooldown_ > 0) {
+      --cooldown_;
+      return d;
+    }
+    if (zone == ToleranceZone::within) descend(d);
+    return d;
+  }
+
+ private:
+  enum class Knob { uncore, cap };
+
+  void reset_state(PolicyDecision& d) {
+    d.phase_change = true;
+    uncore_mhz_ = limits_.max_mhz;
+    cap_w_ = caps_.default_long_w;
+    d.uncore.action = UncoreAction::reset;
+    d.uncore.target_mhz = limits_.max_mhz;
+    d.cap_action = CapAction::reset;
+    d.cap_reset = true;
+    next_ = Knob::uncore;
+    last_moved_ = Knob::uncore;
+    moved_any_ = false;
+    cooldown_ = 1;  // let the reset take effect before probing again
+  }
+
+  /// One downward step of the next knob in the rotation; skips to the
+  /// other knob when the preferred one is already at its floor.
+  void descend(PolicyDecision& d) {
+    const bool uncore_floored = uncore_mhz_ <= limits_.min_mhz + 1e-9;
+    const bool cap_floored = cap_w_ <= caps_.min_cap_w + 1e-9;
+    Knob knob = next_;
+    if (knob == Knob::uncore && uncore_floored) knob = Knob::cap;
+    if (knob == Knob::cap && cap_floored) {
+      if (uncore_floored) return;  // both bottomed out: hold
+      knob = Knob::uncore;
+    }
+    if (knob == Knob::uncore) {
+      uncore_mhz_ = std::max(uncore_mhz_ - cfg_.uncore_step_mhz,
+                             limits_.min_mhz);
+      d.uncore.action = UncoreAction::decrease;
+      d.uncore.target_mhz = uncore_mhz_;
+    } else {
+      cap_w_ = std::max(cap_w_ - cfg_.cap_step_w, caps_.min_cap_w);
+      d.cap_action = CapAction::decrease;
+      d.cap_long_w = cap_w_;
+      d.cap_short_w = cap_w_;
+    }
+    last_moved_ = knob;
+    moved_any_ = true;
+    next_ = knob == Knob::uncore ? Knob::cap : Knob::uncore;
+  }
+
+  /// Violation: undo one step of the knob that moved last and freeze the
+  /// descent for a cooldown.  A violation before any move (the workload
+  /// itself slowed down) is unattributable — hold and blame neither.
+  void back_off(PolicyDecision& d) {
+    if (!moved_any_) {
+      d.blame = ViolationBlame::unattributed;
+      cooldown_ = std::max(cooldown_, 1);
+      return;
+    }
+    if (last_moved_ == Knob::uncore && uncore_mhz_ < limits_.max_mhz) {
+      uncore_mhz_ = std::min(uncore_mhz_ + cfg_.uncore_step_mhz,
+                             limits_.max_mhz);
+      d.uncore.action = UncoreAction::increase;
+      d.uncore.target_mhz = uncore_mhz_;
+      d.blame = ViolationBlame::uncore;
+      cooldown_ = cfg_.uncore_cooldown_intervals;
+    } else if (cap_w_ < caps_.default_long_w) {
+      cap_w_ = std::min(cap_w_ + cfg_.cap_step_w, caps_.default_long_w);
+      d.cap_action = CapAction::increase;
+      d.cap_long_w = cap_w_;
+      d.cap_short_w = cap_w_;
+      d.blame = ViolationBlame::cap;
+      cooldown_ = cfg_.cap_cooldown_intervals;
+    } else {
+      d.blame = ViolationBlame::unattributed;
+      cooldown_ = std::max(cooldown_, 1);
+    }
+    // Resume the rotation on the knob that was NOT blamed.
+    next_ = d.blame == ViolationBlame::uncore ? Knob::cap : Knob::uncore;
+  }
+
+  PolicyConfig cfg_;
+  UncoreLimits limits_;
+  CapLimits caps_;
+  PhaseTracker tracker_;
+
+  double uncore_mhz_;
+  double cap_w_;
+  Knob next_ = Knob::uncore;
+  Knob last_moved_ = Knob::uncore;
+  bool moved_any_ = false;
+  int cooldown_ = 0;
+};
+
+/// Profile-then-apply: per phase class (memory- vs cpu-intensive), the
+/// first visit runs a calibration descent — uncore first, then the cap,
+/// one step per interval while the drop stays within tolerance; the
+/// boundary or a violation freezes the class's settings.  Every later
+/// visit of the class re-applies the frozen pair in a single interval.
+/// The online analogue of a profiling pass + static configuration, with
+/// the calibration cost paid once per class instead of per run.
+class ProfileApplyPolicy final : public Policy {
+ public:
+  explicit ProfileApplyPolicy(const PolicySetup& s)
+      : cfg_(s.config),
+        limits_(s.uncore),
+        caps_(s.caps),
+        tracker_(s.config),
+        uncore_mhz_(s.uncore.max_mhz),
+        cap_w_(s.caps.default_long_w) {}
+
+  std::string_view name() const override { return "profile-apply"; }
+
+  PolicyDecision observe(const perfmon::Sample& sample) override {
+    const auto u = tracker_.update(sample);
+    PolicyDecision d;
+    ClassState& st = state_[u.phase_class == PhaseClass::cpu ? 1 : 0];
+
+    if (u.phase_change) {
+      d.phase_change = true;
+      if (st.calibrated) {
+        // Known class: jump straight to the frozen settings.
+        apply_settings(d, st.uncore_mhz, st.cap_w);
+      } else {
+        // Unknown class: restart from the top and calibrate.
+        apply_settings(d, limits_.max_mhz, caps_.default_long_w);
+        settle_ = 1;
+      }
+      return d;
+    }
+
+    if (st.calibrated) return d;  // frozen: hold whatever is applied
+
+    if (settle_ > 0) {
+      --settle_;
+      return d;
+    }
+
+    const auto zone =
+        classify_drop(u.flops_drop, cfg_.tolerated_slowdown, cfg_.epsilon);
+    if (zone == ToleranceZone::beyond) {
+      // Overshot: undo the last calibration step and freeze there.
+      if (calibrating_cap_ && cap_w_ < caps_.default_long_w) {
+        cap_w_ = std::min(cap_w_ + cfg_.cap_step_w, caps_.default_long_w);
+        d.cap_action = CapAction::increase;
+        d.cap_long_w = cap_w_;
+        d.cap_short_w = cap_w_;
+        d.blame = ViolationBlame::cap;
+      } else if (uncore_mhz_ < limits_.max_mhz) {
+        uncore_mhz_ = std::min(uncore_mhz_ + cfg_.uncore_step_mhz,
+                               limits_.max_mhz);
+        d.uncore.action = UncoreAction::increase;
+        d.uncore.target_mhz = uncore_mhz_;
+        d.blame = ViolationBlame::uncore;
+      }
+      freeze(st);
+      return d;
+    }
+    if (zone == ToleranceZone::boundary) {
+      freeze(st);  // the boundary IS the calibration target
+      return d;
+    }
+
+    // Within tolerance: keep descending — uncore to its floor first,
+    // then the cap; both floored means the envelope is the limit.
+    if (uncore_mhz_ > limits_.min_mhz + 1e-9 && !calibrating_cap_) {
+      uncore_mhz_ = std::max(uncore_mhz_ - cfg_.uncore_step_mhz,
+                             limits_.min_mhz);
+      d.uncore.action = UncoreAction::decrease;
+      d.uncore.target_mhz = uncore_mhz_;
+    } else if (cap_w_ > caps_.min_cap_w + 1e-9) {
+      calibrating_cap_ = true;
+      cap_w_ = std::max(cap_w_ - cfg_.cap_step_w, caps_.min_cap_w);
+      d.cap_action = CapAction::decrease;
+      d.cap_long_w = cap_w_;
+      d.cap_short_w = cap_w_;
+    } else {
+      freeze(st);
+    }
+    return d;
+  }
+
+ private:
+  struct ClassState {
+    bool calibrated = false;
+    double uncore_mhz = 0.0;
+    double cap_w = 0.0;
+  };
+
+  void apply_settings(PolicyDecision& d, double uncore_mhz, double cap_w) {
+    uncore_mhz_ = uncore_mhz;
+    cap_w_ = cap_w;
+    calibrating_cap_ = false;
+    if (uncore_mhz >= limits_.max_mhz - 1e-9) {
+      d.uncore.action = UncoreAction::reset;
+      d.uncore.target_mhz = limits_.max_mhz;
+    } else {
+      d.uncore.action = UncoreAction::decrease;
+      d.uncore.target_mhz = uncore_mhz;
+    }
+    if (cap_w >= caps_.default_long_w - 1e-9) {
+      d.cap_action = CapAction::reset;
+      d.cap_reset = true;
+    } else {
+      d.cap_action = CapAction::decrease;
+      d.cap_long_w = cap_w;
+      d.cap_short_w = cap_w;
+    }
+  }
+
+  void freeze(ClassState& st) {
+    st.calibrated = true;
+    st.uncore_mhz = uncore_mhz_;
+    st.cap_w = cap_w_;
+    calibrating_cap_ = false;
+  }
+
+  PolicyConfig cfg_;
+  UncoreLimits limits_;
+  CapLimits caps_;
+  PhaseTracker tracker_;
+
+  double uncore_mhz_;
+  double cap_w_;
+  bool calibrating_cap_ = false;
+  int settle_ = 0;
+  ClassState state_[2];  ///< [0] memory-intensive, [1] cpu-intensive
+};
+
+}  // namespace
+
+void register_zoo_policies(PolicyRegistry& registry) {
+  registry.add({
+      "performance",
+      "static governor baseline: boot configuration, no control",
+      {},
+      [](const PolicySetup& s) {
+        return std::make_unique<PerformancePolicy>(s);
+      },
+      nullptr,
+  });
+  registry.add({
+      "powersave",
+      "static governor baseline: uncore window and cap floored once",
+      {},
+      [](const PolicySetup& s) { return std::make_unique<PowersavePolicy>(s); },
+      nullptr,
+  });
+  registry.add({
+      "fixed-uncore",
+      "static mid-range uncore pin, caps untouched",
+      {"fixed_uncore"},
+      [](const PolicySetup& s) {
+        return std::make_unique<FixedUncorePolicy>(s);
+      },
+      nullptr,
+  });
+  registry.add({
+      "cuttlefish",
+      "profiling-free dual-knob online tuner (coordinate descent)",
+      {},
+      [](const PolicySetup& s) {
+        return std::make_unique<CuttlefishPolicy>(s);
+      },
+      nullptr,
+  });
+  registry.add({
+      "profile-apply",
+      "per-phase-class calibration descent, then fixed settings",
+      {"profile_apply"},
+      [](const PolicySetup& s) {
+        return std::make_unique<ProfileApplyPolicy>(s);
+      },
+      nullptr,
+  });
+}
+
+}  // namespace dufp::core

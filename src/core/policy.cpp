@@ -24,7 +24,8 @@ PolicyMode policy_mode_from_string(std::string_view name) {
   if (s == "dufp") return PolicyMode::dufp;
   if (s == "dufp-f" || s == "dufpf") return PolicyMode::dufpf;
   if (s == "dnpc") return PolicyMode::dnpc;
-  throw std::invalid_argument("unknown policy mode: " + std::string(name));
+  throw std::invalid_argument("unknown policy mode \"" + std::string(name) +
+                              "\" (known: default, DUF, DUFP, DUFP-F, DNPC)");
 }
 
 }  // namespace dufp::core

@@ -1,0 +1,105 @@
+#include "core/policy_registry.h"
+
+#include <stdexcept>
+
+#include "common/string_util.h"
+
+namespace dufp::core {
+
+namespace {
+
+std::string key_of(std::string_view name) {
+  return to_lower(trim(name));
+}
+
+}  // namespace
+
+PolicyRegistry& PolicyRegistry::instance() {
+  static PolicyRegistry* reg = [] {
+    auto* r = new PolicyRegistry();
+    register_legacy_policies(*r);
+    register_zoo_policies(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+void PolicyRegistry::add(Entry entry) {
+  if (entry.name.empty()) {
+    throw std::invalid_argument("PolicyRegistry: entry has no name");
+  }
+  if (!entry.factory) {
+    throw std::invalid_argument("PolicyRegistry: policy \"" + entry.name +
+                                "\" has no factory");
+  }
+  auto collide = [this](const std::string& candidate) {
+    const std::string key = key_of(candidate);
+    for (const Entry& e : entries_) {
+      if (key_of(e.name) == key) return true;
+      for (const std::string& a : e.aliases) {
+        if (key_of(a) == key) return true;
+      }
+    }
+    return false;
+  };
+  if (collide(entry.name)) {
+    throw std::invalid_argument("PolicyRegistry: duplicate policy name \"" +
+                                entry.name + "\"");
+  }
+  for (const std::string& a : entry.aliases) {
+    if (collide(a)) {
+      throw std::invalid_argument("PolicyRegistry: alias \"" + a +
+                                  "\" of policy \"" + entry.name +
+                                  "\" collides with an existing entry");
+    }
+  }
+  entries_.push_back(std::move(entry));
+}
+
+const PolicyRegistry::Entry* PolicyRegistry::find(
+    std::string_view name) const {
+  const std::string key = key_of(name);
+  for (const Entry& e : entries_) {
+    if (key_of(e.name) == key) return &e;
+    for (const std::string& a : e.aliases) {
+      if (key_of(a) == key) return &e;
+    }
+  }
+  return nullptr;
+}
+
+const PolicyRegistry::Entry& PolicyRegistry::at(std::string_view name) const {
+  if (const Entry* e = find(name)) return *e;
+  throw std::invalid_argument("unknown policy \"" + std::string(name) +
+                              "\" (known: " + known_names() + ")");
+}
+
+std::vector<std::string> PolicyRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.name);
+  return out;
+}
+
+std::string PolicyRegistry::known_names() const {
+  std::string out;
+  for (const Entry& e : entries_) {
+    if (!out.empty()) out += ", ";
+    out += e.name;
+  }
+  return out;
+}
+
+PolicyConfig PolicyRegistry::apply_config_defaults(std::string_view name,
+                                                   PolicyConfig config) const {
+  const Entry& e = at(name);
+  if (e.config_defaults) e.config_defaults(config);
+  return config;
+}
+
+std::unique_ptr<Policy> PolicyRegistry::create(std::string_view name,
+                                               const PolicySetup& setup) const {
+  return at(name).factory(setup);
+}
+
+}  // namespace dufp::core

@@ -1,0 +1,86 @@
+// String-keyed policy registry: the single authority on which control
+// policies exist, what they are called, and how to build one.  Every
+// layer resolves names through here — Agent construction, RunConfig
+// validation, GridSpec parsing, DUFP_POLICIES env lists and the
+// tournament bench — so adding a policy is one registration and zero
+// switch statements (see DESIGN.md, "Adding a policy in under 50 lines").
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/policy_api.h"
+
+namespace dufp::core {
+
+class PolicyRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Policy>(const PolicySetup&)>;
+  using ConfigHook = std::function<void(PolicyConfig&)>;
+
+  struct Entry {
+    /// Canonical name: display form, telemetry label, CSV cell and wire
+    /// format all in one.  Lookups are case-insensitive.
+    std::string name;
+    std::string description;
+    /// Alternate spellings ("dufp-f" vs "dufpf"); matched like the name.
+    std::vector<std::string> aliases;
+    Factory factory;
+    /// Optional per-policy PolicyConfig overrides, applied before the
+    /// factory runs (e.g. DUFP-F forces manage_core_frequency).  Callers
+    /// that pre-build hardware for the agent (the runner's PstateControl)
+    /// apply the same hook via apply_config_defaults.
+    ConfigHook config_defaults;
+  };
+
+  /// The process-wide registry, preloaded with every built-in policy in a
+  /// fixed order: the four paper controllers (DUF, DUFP, DUFP-F, DNPC)
+  /// first, then the zoo.  Immutable after first use by convention —
+  /// tests exercising add() build their own local instances.
+  static PolicyRegistry& instance();
+
+  PolicyRegistry() = default;
+
+  /// Registers a policy.  Throws std::invalid_argument when the name or
+  /// an alias (case-insensitively) collides with an existing entry, or
+  /// when the entry has no name or no factory.
+  void add(Entry entry);
+
+  /// Case-insensitive lookup by name or alias; nullptr when unknown.
+  const Entry* find(std::string_view name) const;
+  bool contains(std::string_view name) const { return find(name) != nullptr; }
+
+  /// Like find(), but throws std::invalid_argument listing every
+  /// registered name when the lookup fails.
+  const Entry& at(std::string_view name) const;
+
+  /// Canonical names in registration order.
+  std::vector<std::string> names() const;
+
+  /// "DUF, DUFP, ..." — the list embedded in lookup error messages.
+  std::string known_names() const;
+
+  /// `config` with the named policy's config_defaults hook applied (a
+  /// no-op for policies without one).  Throws like at() on unknown names.
+  PolicyConfig apply_config_defaults(std::string_view name,
+                                     PolicyConfig config) const;
+
+  /// Builds a policy instance.  Throws like at() on unknown names.  Does
+  /// NOT apply config_defaults — the Agent does that once, before
+  /// capturing hardware state, so the factory sees the effective config.
+  std::unique_ptr<Policy> create(std::string_view name,
+                                 const PolicySetup& setup) const;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// Built-in registrations, split by provenance; instance() calls both.
+/// Exposed so tests can populate a fresh local registry the same way.
+void register_legacy_policies(PolicyRegistry& registry);
+void register_zoo_policies(PolicyRegistry& registry);
+
+}  // namespace dufp::core

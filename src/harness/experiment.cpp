@@ -30,66 +30,82 @@ RunConfig default_run_config(const workloads::WorkloadProfile& profile) {
   return cfg;
 }
 
+std::vector<std::string> policy_names(const std::vector<PolicyMode>& modes) {
+  std::vector<std::string> names;
+  names.reserve(modes.size());
+  for (PolicyMode m : modes) names.push_back(core::to_string(m));
+  return names;
+}
+
 Evaluation::Evaluation(workloads::AppId app, RepeatedResult baseline,
                        std::vector<EvaluationCell> cells)
     : app_(app), baseline_(std::move(baseline)), cells_(std::move(cells)) {}
 
-const RepeatedResult& Evaluation::at(PolicyMode mode,
+const RepeatedResult& Evaluation::at(std::string_view policy,
                                      double tolerance) const {
   for (const auto& c : cells_) {
-    if (c.mode == mode && std::abs(c.tolerance - tolerance) < 1e-9) {
+    if (c.policy == policy && std::abs(c.tolerance - tolerance) < 1e-9) {
       return c.result;
     }
   }
-  throw std::invalid_argument("Evaluation: no cell for mode/tolerance");
+  throw std::invalid_argument("Evaluation: no cell for policy \"" +
+                              std::string(policy) + "\" / tolerance");
 }
 
-double Evaluation::slowdown_pct(PolicyMode mode, double tolerance) const {
-  return percent_over(at(mode, tolerance).exec_seconds.mean,
+double Evaluation::slowdown_pct(std::string_view policy,
+                                double tolerance) const {
+  return percent_over(at(policy, tolerance).exec_seconds.mean,
                       baseline_.exec_seconds.mean);
 }
 
-double Evaluation::slowdown_pct_min(PolicyMode mode,
+double Evaluation::slowdown_pct_min(std::string_view policy,
                                     double tolerance) const {
-  return percent_over(at(mode, tolerance).exec_seconds.min,
+  return percent_over(at(policy, tolerance).exec_seconds.min,
                       baseline_.exec_seconds.mean);
 }
 
-double Evaluation::slowdown_pct_max(PolicyMode mode,
+double Evaluation::slowdown_pct_max(std::string_view policy,
                                     double tolerance) const {
-  return percent_over(at(mode, tolerance).exec_seconds.max,
+  return percent_over(at(policy, tolerance).exec_seconds.max,
                       baseline_.exec_seconds.mean);
 }
 
-double Evaluation::pkg_power_savings_pct(PolicyMode mode,
+double Evaluation::pkg_power_savings_pct(std::string_view policy,
                                          double tolerance) const {
-  return -percent_over(at(mode, tolerance).avg_pkg_power_w.mean,
+  return -percent_over(at(policy, tolerance).avg_pkg_power_w.mean,
                        baseline_.avg_pkg_power_w.mean);
 }
 
-double Evaluation::dram_power_savings_pct(PolicyMode mode,
+double Evaluation::dram_power_savings_pct(std::string_view policy,
                                           double tolerance) const {
-  return -percent_over(at(mode, tolerance).avg_dram_power_w.mean,
+  return -percent_over(at(policy, tolerance).avg_dram_power_w.mean,
                        baseline_.avg_dram_power_w.mean);
 }
 
-double Evaluation::energy_change_pct(PolicyMode mode,
+double Evaluation::energy_change_pct(std::string_view policy,
                                      double tolerance) const {
-  return percent_over(at(mode, tolerance).total_energy_j.mean,
+  return percent_over(at(policy, tolerance).total_energy_j.mean,
                       baseline_.total_energy_j.mean);
+}
+
+Evaluation evaluate_app(workloads::AppId app,
+                        const std::vector<std::string>& policies,
+                        const std::vector<double>& tolerances,
+                        int repetitions, std::uint64_t seed) {
+  auto evals = evaluate_apps({app}, policies, tolerances, repetitions, seed);
+  return std::move(evals.front());
 }
 
 Evaluation evaluate_app(workloads::AppId app,
                         const std::vector<PolicyMode>& modes,
                         const std::vector<double>& tolerances,
                         int repetitions, std::uint64_t seed) {
-  auto evals = evaluate_apps({app}, modes, tolerances, repetitions, seed);
-  return std::move(evals.front());
+  return evaluate_app(app, policy_names(modes), tolerances, repetitions, seed);
 }
 
 std::vector<AppGridCells> add_grid_cells(ExperimentPlan& plan,
                                          const std::vector<workloads::AppId>& apps,
-                                         const std::vector<PolicyMode>& modes,
+                                         const std::vector<std::string>& policies,
                                          const std::vector<double>& tolerances,
                                          int repetitions, std::uint64_t seed,
                                          const BaseConfigFn& base_config) {
@@ -105,18 +121,18 @@ std::vector<AppGridCells> add_grid_cells(ExperimentPlan& plan,
     ac.app = app;
     RunConfig def = base;
     def.mode = PolicyMode::none;
+    def.policy_name.clear();
     ac.baseline = plan.add_cell(def, repetitions,
                                 workloads::app_name(app) + ": baseline");
-    for (PolicyMode mode : modes) {
+    for (const std::string& policy : policies) {
       for (double tol : tolerances) {
         RunConfig cfg = base;
-        cfg.mode = mode;
+        cfg.policy_name = policy;
         cfg.tolerated_slowdown = tol;
         ac.cells.push_back(plan.add_cell(
             cfg, repetitions,
-            workloads::app_name(app) + ": " + policy_mode_name(mode) +
-                " @ " + std::to_string(static_cast<int>(tol * 100 + 0.5)) +
-                "%"));
+            workloads::app_name(app) + ": " + policy + " @ " +
+                std::to_string(static_cast<int>(tol * 100 + 0.5)) + "%"));
       }
     }
     index.push_back(std::move(ac));
@@ -124,19 +140,29 @@ std::vector<AppGridCells> add_grid_cells(ExperimentPlan& plan,
   return index;
 }
 
+std::vector<AppGridCells> add_grid_cells(ExperimentPlan& plan,
+                                         const std::vector<workloads::AppId>& apps,
+                                         const std::vector<PolicyMode>& modes,
+                                         const std::vector<double>& tolerances,
+                                         int repetitions, std::uint64_t seed,
+                                         const BaseConfigFn& base_config) {
+  return add_grid_cells(plan, apps, policy_names(modes), tolerances,
+                        repetitions, seed, base_config);
+}
+
 std::vector<Evaluation> assemble_evaluations(
     const ExperimentPlan& plan, const std::vector<AppGridCells>& index,
-    const std::vector<PolicyMode>& modes,
+    const std::vector<std::string>& policies,
     const std::vector<double>& tolerances) {
   std::vector<Evaluation> evals;
   evals.reserve(index.size());
   for (const auto& ac : index) {
     std::vector<EvaluationCell> cells;
     std::size_t c = 0;
-    for (PolicyMode mode : modes) {
+    for (const std::string& policy : policies) {
       for (double tol : tolerances) {
         EvaluationCell cell;
-        cell.mode = mode;
+        cell.policy = policy;
         cell.tolerance = tol;
         cell.result = plan.result(ac.cells[c++]);
         cells.push_back(std::move(cell));
@@ -147,17 +173,24 @@ std::vector<Evaluation> assemble_evaluations(
   return evals;
 }
 
+std::vector<Evaluation> assemble_evaluations(
+    const ExperimentPlan& plan, const std::vector<AppGridCells>& index,
+    const std::vector<PolicyMode>& modes,
+    const std::vector<double>& tolerances) {
+  return assemble_evaluations(plan, index, policy_names(modes), tolerances);
+}
+
 std::vector<Evaluation> evaluate_apps(
     const std::vector<workloads::AppId>& apps,
-    const std::vector<PolicyMode>& modes,
+    const std::vector<std::string>& policies,
     const std::vector<double>& tolerances, int repetitions,
     std::uint64_t seed) {
-  // Enumerate the whole apps x (baseline + modes x tolerances) grid as
+  // Enumerate the whole apps x (baseline + policies x tolerances) grid as
   // one job set; cell ids are recorded per app so the evaluations can be
   // reassembled after the single parallel run.
   ExperimentPlan plan;
   const auto index =
-      add_grid_cells(plan, apps, modes, tolerances, repetitions, seed,
+      add_grid_cells(plan, apps, policies, tolerances, repetitions, seed,
                      [](const workloads::WorkloadProfile& prof) {
                        return default_run_config(prof);
                      });
@@ -167,7 +200,16 @@ std::vector<Evaluation> evaluate_apps(
                      plan.job_count(), plan.cell_count(), threads));
   plan.run(threads);
 
-  return assemble_evaluations(plan, index, modes, tolerances);
+  return assemble_evaluations(plan, index, policies, tolerances);
+}
+
+std::vector<Evaluation> evaluate_apps(
+    const std::vector<workloads::AppId>& apps,
+    const std::vector<PolicyMode>& modes,
+    const std::vector<double>& tolerances, int repetitions,
+    std::uint64_t seed) {
+  return evaluate_apps(apps, policy_names(modes), tolerances, repetitions,
+                       seed);
 }
 
 void note_progress(const std::string& what) {

@@ -5,6 +5,8 @@
 
 #include <functional>
 #include <iosfwd>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "harness/plan.h"
@@ -19,8 +21,13 @@ const std::vector<double>& paper_tolerances();  // {0, 0.05, 0.10, 0.20}
 /// paper-default policy, and 1 ms tick.
 RunConfig default_run_config(const workloads::WorkloadProfile& profile);
 
+/// Legacy enum list → canonical registry names (the figure benches still
+/// enumerate the paper's four controllers as PolicyMode values).
+std::vector<std::string> policy_names(const std::vector<PolicyMode>& modes);
+
 struct EvaluationCell {
-  PolicyMode mode = PolicyMode::duf;
+  /// Canonical registry policy name ("DUF", "cuttlefish", ...).
+  std::string policy;
   double tolerance = 0.0;
   RepeatedResult result;
 };
@@ -32,22 +39,50 @@ class Evaluation {
 
   workloads::AppId app() const { return app_; }
   const RepeatedResult& baseline() const { return baseline_; }
-  const RepeatedResult& at(PolicyMode mode, double tolerance) const;
+
+  /// Cells are keyed by policy name; the PolicyMode overloads forward
+  /// through core::to_string for legacy call sites.
+  const RepeatedResult& at(std::string_view policy, double tolerance) const;
+  const RepeatedResult& at(PolicyMode mode, double tolerance) const {
+    return at(core::to_string(mode), tolerance);
+  }
 
   // -- derived percentages (all relative to the default run) -------------------
 
   /// Execution-time overhead in percent (positive = slower).
-  double slowdown_pct(PolicyMode mode, double tolerance) const;
+  double slowdown_pct(std::string_view policy, double tolerance) const;
   /// Min/max over the kept runs (error bars).
-  double slowdown_pct_min(PolicyMode mode, double tolerance) const;
-  double slowdown_pct_max(PolicyMode mode, double tolerance) const;
+  double slowdown_pct_min(std::string_view policy, double tolerance) const;
+  double slowdown_pct_max(std::string_view policy, double tolerance) const;
 
   /// Processor power savings in percent (positive = saved).
-  double pkg_power_savings_pct(PolicyMode mode, double tolerance) const;
+  double pkg_power_savings_pct(std::string_view policy,
+                               double tolerance) const;
   /// DRAM power savings in percent.
-  double dram_power_savings_pct(PolicyMode mode, double tolerance) const;
+  double dram_power_savings_pct(std::string_view policy,
+                                double tolerance) const;
   /// CPU+DRAM energy change in percent (negative = saved).
-  double energy_change_pct(PolicyMode mode, double tolerance) const;
+  double energy_change_pct(std::string_view policy, double tolerance) const;
+
+  // Legacy enum forwarders.
+  double slowdown_pct(PolicyMode m, double tol) const {
+    return slowdown_pct(core::to_string(m), tol);
+  }
+  double slowdown_pct_min(PolicyMode m, double tol) const {
+    return slowdown_pct_min(core::to_string(m), tol);
+  }
+  double slowdown_pct_max(PolicyMode m, double tol) const {
+    return slowdown_pct_max(core::to_string(m), tol);
+  }
+  double pkg_power_savings_pct(PolicyMode m, double tol) const {
+    return pkg_power_savings_pct(core::to_string(m), tol);
+  }
+  double dram_power_savings_pct(PolicyMode m, double tol) const {
+    return dram_power_savings_pct(core::to_string(m), tol);
+  }
+  double energy_change_pct(PolicyMode m, double tol) const {
+    return energy_change_pct(core::to_string(m), tol);
+  }
 
  private:
   workloads::AppId app_;
@@ -55,20 +90,29 @@ class Evaluation {
   std::vector<EvaluationCell> cells_;
 };
 
-/// Runs the full grid for one application: baseline + {modes} x
+/// Runs the full grid for one application: baseline + {policies} x
 /// {tolerances}, `repetitions` runs each.  Thin wrapper over
 /// ExperimentPlan — every (config, seed) job of the grid is enumerated up
 /// front and executed across DUFP_THREADS workers, with results
 /// bit-identical to a serial run.
+Evaluation evaluate_app(workloads::AppId app,
+                        const std::vector<std::string>& policies,
+                        const std::vector<double>& tolerances,
+                        int repetitions, std::uint64_t seed = 1);
 Evaluation evaluate_app(workloads::AppId app,
                         const std::vector<PolicyMode>& modes,
                         const std::vector<double>& tolerances,
                         int repetitions, std::uint64_t seed = 1);
 
 /// Same grid for several applications scheduled as ONE job set — the
-/// whole apps x (baseline + modes x tolerances) x repetitions matrix
+/// whole apps x (baseline + policies x tolerances) x repetitions matrix
 /// runs through a single ExperimentPlan, so parallelism spans apps, not
 /// just cells.  This is what the figure benches call.
+std::vector<Evaluation> evaluate_apps(
+    const std::vector<workloads::AppId>& apps,
+    const std::vector<std::string>& policies,
+    const std::vector<double>& tolerances, int repetitions,
+    std::uint64_t seed = 1);
 std::vector<Evaluation> evaluate_apps(
     const std::vector<workloads::AppId>& apps,
     const std::vector<PolicyMode>& modes,
@@ -82,7 +126,7 @@ std::vector<Evaluation> evaluate_apps(
 struct AppGridCells {
   workloads::AppId app = workloads::AppId::cg;
   ExperimentPlan::CellId baseline = 0;
-  std::vector<ExperimentPlan::CellId> cells;  ///< modes-major, tolerances inner
+  std::vector<ExperimentPlan::CellId> cells;  ///< policy-major, tolerances inner
 };
 
 /// Produces each app's base RunConfig (machine size, faults, telemetry —
@@ -90,14 +134,20 @@ struct AppGridCells {
 using BaseConfigFn =
     std::function<RunConfig(const workloads::WorkloadProfile&)>;
 
-/// Enumerates the apps x (baseline + modes x tolerances) grid into
+/// Enumerates the apps x (baseline + policies x tolerances) grid into
 /// `plan`, one cell per grid point with `repetitions` jobs each.  Cell
 /// order — and hence the job enumeration (see ExperimentPlan::JobRef) —
-/// is: per app in list order, baseline first, then modes-major with
+/// is: per app in list order, baseline first, then policy-major with
 /// tolerances inner.  Deterministic: two processes calling this with
 /// equal arguments build byte-equal plans, which is what lets shard
 /// workers and the gatherer agree on job identities without talking to
 /// each other.
+std::vector<AppGridCells> add_grid_cells(ExperimentPlan& plan,
+                                         const std::vector<workloads::AppId>& apps,
+                                         const std::vector<std::string>& policies,
+                                         const std::vector<double>& tolerances,
+                                         int repetitions, std::uint64_t seed,
+                                         const BaseConfigFn& base_config);
 std::vector<AppGridCells> add_grid_cells(ExperimentPlan& plan,
                                          const std::vector<workloads::AppId>& apps,
                                          const std::vector<PolicyMode>& modes,
@@ -107,6 +157,10 @@ std::vector<AppGridCells> add_grid_cells(ExperimentPlan& plan,
 
 /// Reads a finished plan back into per-app Evaluations (inverse of
 /// add_grid_cells' layout).
+std::vector<Evaluation> assemble_evaluations(
+    const ExperimentPlan& plan, const std::vector<AppGridCells>& index,
+    const std::vector<std::string>& policies,
+    const std::vector<double>& tolerances);
 std::vector<Evaluation> assemble_evaluations(
     const ExperimentPlan& plan, const std::vector<AppGridCells>& index,
     const std::vector<PolicyMode>& modes,

@@ -1,5 +1,6 @@
 #include "harness/options.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <filesystem>
@@ -8,6 +9,9 @@
 #include <system_error>
 #include <thread>
 #include <vector>
+
+#include "common/string_util.h"
+#include "core/policy_registry.h"
 
 namespace dufp::harness {
 
@@ -77,6 +81,51 @@ void parse_unit_double(const char* name, double& out,
   }
 }
 
+/// DUFP_POLICIES: comma-separated registry names, stored canonically in
+/// list order.  Mirrors GridSpec::validate(): every unknown / duplicate /
+/// empty entry is its own problem, aggregated with the other knobs.
+void parse_policies(const char* name, std::vector<std::string>& out,
+                    std::vector<std::string>& problems) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return;
+  const auto& registry = core::PolicyRegistry::instance();
+  std::vector<std::string> canonical;
+  bool ok = true;
+  std::string_view rest = v;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view raw = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view()
+                                           : rest.substr(comma + 1);
+    const std::string token(trim(raw));
+    if (token.empty()) {
+      note(problems, name, v, "empty policy name in the list");
+      ok = false;
+      continue;
+    }
+    const auto* entry = registry.find(token);
+    if (entry == nullptr) {
+      note(problems, name, v,
+           "unknown policy \"" + token + "\" (known: " +
+               registry.known_names() + ")");
+      ok = false;
+      continue;
+    }
+    if (std::find(canonical.begin(), canonical.end(), entry->name) !=
+        canonical.end()) {
+      note(problems, name, v, "duplicate policy \"" + token + "\"");
+      ok = false;
+      continue;
+    }
+    canonical.push_back(entry->name);
+  }
+  if (canonical.empty() && ok) {
+    note(problems, name, v, "must name at least one policy");
+    ok = false;
+  }
+  if (ok) out = std::move(canonical);
+}
+
 }  // namespace
 
 BenchOptions BenchOptions::from_env() {
@@ -89,6 +138,7 @@ BenchOptions BenchOptions::from_env() {
   parse_u64("DUFP_FAULT_SEED", o.fault_seed, problems);
   o.quiet = std::getenv("DUFP_QUIET") != nullptr;
   o.telemetry = std::getenv("DUFP_TELEMETRY") != nullptr;
+  parse_policies("DUFP_POLICIES", o.policies, problems);
   if (const char* v = std::getenv("DUFP_OUT_DIR")) {
     if (v[0] == '\0') {
       note(problems, "DUFP_OUT_DIR", v, "must be non-empty");

@@ -15,6 +15,10 @@
 //                      (default "out"; created on first use)
 //   DUFP_TELEMETRY=1   run with the telemetry plane enabled and export
 //                      Prometheus / Chrome-trace / JSONL alongside the CSVs
+//   DUFP_POLICIES=A,B  comma-separated registry policy names for benches
+//                      that take a policy list (the tournament); empty /
+//                      unset = every registered policy.  Unknown or
+//                      duplicate names are configuration errors.
 //
 // Malformed values (non-numeric, trailing junk, out of range) are
 // configuration errors: from_env() throws std::invalid_argument naming
@@ -24,6 +28,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace dufp::harness {
 
@@ -36,6 +41,9 @@ struct BenchOptions {
   std::uint64_t fault_seed = 0;  ///< DUFP_FAULT_SEED
   std::string out_dir = "out";   ///< DUFP_OUT_DIR, non-empty
   bool telemetry = false;        ///< DUFP_TELEMETRY
+  /// DUFP_POLICIES, canonical registry names in list order; empty =
+  /// caller's default (the tournament runs every registered policy).
+  std::vector<std::string> policies;
 
   /// Reads every knob from the environment.  Unset variables keep the
   /// defaults above; set-but-malformed variables throw

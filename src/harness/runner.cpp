@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/expect.h"
+#include "core/policy_registry.h"
 #include "faults/faulty_counter_source.h"
 #include "faults/faulty_msr.h"
 #include "perfmon/sim_counter_source.h"
@@ -16,10 +17,29 @@ double percent_over(double value, double base) {
   return (value / base - 1.0) * 100.0;
 }
 
+std::string RunConfig::resolved_policy() const {
+  if (!policy_name.empty()) {
+    const auto* entry = core::PolicyRegistry::instance().find(policy_name);
+    return entry != nullptr ? entry->name : policy_name;
+  }
+  return mode == PolicyMode::none ? std::string() : core::to_string(mode);
+}
+
 std::vector<std::string> RunConfig::validate() const {
   std::vector<std::string> problems;
   if (profile == nullptr) {
     problems.push_back("profile is required");
+  }
+  if (!policy_name.empty()) {
+    if (!core::PolicyRegistry::instance().contains(policy_name)) {
+      problems.push_back(
+          "policy_name is unknown: \"" + policy_name + "\" (known: " +
+          core::PolicyRegistry::instance().known_names() + ")");
+    }
+    if (mode != PolicyMode::none) {
+      problems.push_back(
+          "policy_name and mode are both set; pick one selector");
+    }
   }
   if (tolerated_slowdown < 0.0 || tolerated_slowdown > 1.0) {
     problems.push_back("tolerated_slowdown must be in [0, 1]");
@@ -236,13 +256,16 @@ RunResult run_once(const RunConfig& config) {
     });
   }
 
-  // Controllers.
-  if (config.mode != PolicyMode::none) {
+  // Controllers: one agent per socket, policy resolved by registry name.
+  const std::string policy_name = config.resolved_policy();
+  if (!policy_name.empty()) {
     core::PolicyConfig policy = config.policy;
     policy.tolerated_slowdown = config.tolerated_slowdown;
-    if (config.mode == PolicyMode::dufpf) {
-      policy.manage_core_frequency = true;  // the Agent would set it too
-    }
+    // Per-policy overrides (e.g. DUFP-F forcing manage_core_frequency)
+    // must land before the pstate wiring below reads the flag; the Agent
+    // re-applies them, which is idempotent.
+    policy = core::PolicyRegistry::instance().apply_config_defaults(
+        policy_name, policy);
     for (int i = 0; i < n; ++i) {
       const auto idx = static_cast<std::size_t>(i);
       const perfmon::CounterSource& source =
@@ -261,7 +284,7 @@ RunResult run_once(const RunConfig& config) {
         pstate = ctx.pstates.back().get();
       }
       ctx.agents.push_back(std::make_unique<core::Agent>(
-          config.mode, policy, *ctx.zones[static_cast<std::size_t>(i)],
+          policy_name, policy, *ctx.zones[static_cast<std::size_t>(i)],
           *ctx.uncores[static_cast<std::size_t>(i)], std::move(sampler),
           pstate, socket_telem(i)));
       core::Agent* agent = ctx.agents.back().get();

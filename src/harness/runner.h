@@ -21,11 +21,15 @@
 
 namespace dufp::harness {
 
-/// One mode enum for every layer (core::PolicyMode); `none` is the
-/// harness-level baseline value — no agent is instantiated for it.
+/// Legacy mode enum (core::PolicyMode); `none` is the harness-level
+/// baseline value — no agent is instantiated for it.  New code selects a
+/// policy by registry name (RunConfig::policy_name); the enum survives as
+/// a compatibility shim over the four paper controllers.
 using core::PolicyMode;
 
-/// Display name used in figures ("default", "DUF", "DUFP", ...).
+/// Deprecated: policy names come from the registry (core::Policy::name()
+/// / PolicyRegistry::names()); for the legacy enum use core::to_string.
+/// Kept as a forwarder for older call sites.
 inline std::string policy_mode_name(PolicyMode m) {
   return core::to_string(m);
 }
@@ -39,7 +43,14 @@ struct PhaseCapSpec {
 
 struct RunConfig {
   const workloads::WorkloadProfile* profile = nullptr;  ///< required
+  /// Legacy policy selector; prefer `policy_name`.  Ignored when
+  /// `policy_name` is set (setting both is a validation error).
   PolicyMode mode = PolicyMode::none;
+  /// Registry-keyed policy selector ("DUF", "cuttlefish", ...); resolved
+  /// case-insensitively in core::PolicyRegistry::instance().  Empty means
+  /// fall back to `mode` ("" + PolicyMode::none = the uncontrolled
+  /// baseline run).
+  std::string policy_name;
   double tolerated_slowdown = 0.0;
   std::uint64_t seed = 1;
 
@@ -78,6 +89,11 @@ struct RunConfig {
   /// the profile lacks, ...  `run_once` and `ExperimentPlan::add_cell`
   /// call this and throw std::invalid_argument with the full list.
   std::vector<std::string> validate() const;
+
+  /// The effective policy for this run: `policy_name` when set (spelled
+  /// canonically when it resolves), otherwise the legacy enum's display
+  /// name; "" for the uncontrolled baseline (no agent).
+  std::string resolved_policy() const;
 };
 
 /// Machine-wide robustness roll-up (agents' AgentHealth summed over

@@ -11,6 +11,7 @@
 #include <stdexcept>
 
 #include "common/string_util.h"
+#include "core/policy_registry.h"
 #include "harness/shard_codec.h"
 #include "telemetry/export.h"
 #include "workloads/profiles.h"
@@ -43,9 +44,11 @@ json::Value GridSpec::to_json() const {
     app_arr.push_back(Value::make_string(workloads::app_name(app)));
   }
   o.add("apps", std::move(app_arr));
+  // Key "modes" (not "policies"): the wire name predates the registry and
+  // is pinned by the fingerprint of every existing spec.
   Value mode_arr = Value::make_array();
-  for (const auto mode : modes) {
-    mode_arr.push_back(Value::make_string(core::to_string(mode)));
+  for (const auto& policy : policies) {
+    mode_arr.push_back(Value::make_string(policy));
   }
   o.add("modes", std::move(mode_arr));
   Value tol_arr = Value::make_array();
@@ -84,7 +87,7 @@ GridSpec GridSpec::from_json(const json::Value& v) {
     spec.apps.push_back(workloads::app_by_name(app.as_string()));
   }
   for (const Value& mode : v.at("modes").as_array()) {
-    spec.modes.push_back(core::policy_mode_from_string(mode.as_string()));
+    spec.policies.push_back(mode.as_string());
   }
   for (const Value& tol : v.at("tolerances").as_array()) {
     spec.tolerances.push_back(tol.as_double());
@@ -103,6 +106,11 @@ GridSpec GridSpec::from_json(const json::Value& v) {
       msg += (i == 0 ? " " : "; ") + problems[i];
     }
     throw std::runtime_error(msg);
+  }
+  // Canonicalize alias/case spellings so CSV labels, telemetry labels and
+  // re-serialized specs all use the registry name.
+  for (auto& policy : spec.policies) {
+    policy = core::PolicyRegistry::instance().at(policy).name;
   }
   return spec;
 }
@@ -125,7 +133,7 @@ GridSpec GridSpec::reference() {
   GridSpec spec;
   spec.name = "reference";
   spec.apps = {workloads::AppId::cg, workloads::AppId::ep};
-  spec.modes = {PolicyMode::duf, PolicyMode::dufp};
+  spec.policies = {"DUF", "DUFP"};
   spec.tolerances = {0.05, 0.10};
   spec.repetitions = 3;
   spec.seed = 1;
@@ -137,13 +145,31 @@ std::vector<std::string> GridSpec::validate() const {
   std::vector<std::string> problems;
   if (name.empty()) problems.push_back("name is empty");
   if (apps.empty()) problems.push_back("apps is empty");
-  if (modes.empty()) problems.push_back("modes is empty");
-  for (const auto mode : modes) {
-    if (mode == PolicyMode::none) {
+  if (policies.empty()) problems.push_back("modes is empty");
+  // Every entry must resolve in the registry, exactly once: unknown and
+  // duplicate names are each reported individually so one pass over the
+  // error message fixes the whole list.
+  const auto& registry = core::PolicyRegistry::instance();
+  std::vector<std::string> seen;
+  for (const auto& policy : policies) {
+    const std::string key = to_lower(trim(policy));
+    if (key == "default" || key == "none") {
       problems.push_back(
           "modes must not contain 'default' (the baseline is implicit)");
-      break;
+      continue;
     }
+    const auto* entry = registry.find(policy);
+    if (entry == nullptr) {
+      problems.push_back("modes contains unknown policy \"" + policy +
+                         "\" (known: " + registry.known_names() + ")");
+      continue;
+    }
+    if (std::find(seen.begin(), seen.end(), entry->name) != seen.end()) {
+      problems.push_back("modes contains duplicate policy \"" + policy +
+                         "\"");
+      continue;
+    }
+    seen.push_back(entry->name);
   }
   if (tolerances.empty()) problems.push_back("tolerances is empty");
   if (repetitions < 1) problems.push_back("repetitions must be >= 1");
@@ -163,7 +189,7 @@ GridPlan build_plan(const GridSpec& spec) {
   // be identical in every process regardless of its environment.
   const GridSpec& s = spec;
   gp.index = add_grid_cells(
-      gp.plan, spec.apps, spec.modes, spec.tolerances, spec.repetitions,
+      gp.plan, spec.apps, spec.policies, spec.tolerances, spec.repetitions,
       spec.seed, [&s](const workloads::WorkloadProfile& prof) {
         RunConfig cfg;
         cfg.profile = &prof;
@@ -375,7 +401,7 @@ std::vector<RunResult> gather_shards(const GridSpec& spec,
 // -- finalize ----------------------------------------------------------------
 
 std::string evaluation_csv(const std::vector<Evaluation>& evals,
-                           const std::vector<PolicyMode>& modes,
+                           const std::vector<std::string>& policies,
                            const std::vector<double>& tolerances) {
   std::string csv =
       "app,mode,tolerance_pct,runs,exec_s_mean,exec_s_min,exec_s_max,"
@@ -404,18 +430,26 @@ std::string evaluation_csv(const std::vector<Evaluation>& evals,
 
   for (const Evaluation& ev : evals) {
     const std::string app = workloads::app_name(ev.app());
-    row(app, policy_mode_name(PolicyMode::none), 0.0, ev.baseline(), 0.0, 0.0,
+    // The baseline row keeps the legacy display name "default".
+    row(app, core::to_string(PolicyMode::none), 0.0, ev.baseline(), 0.0, 0.0,
         0.0, 0.0);
-    for (const PolicyMode mode : modes) {
+    for (const std::string& policy : policies) {
       for (const double tol : tolerances) {
-        row(app, policy_mode_name(mode), tol * 100.0, ev.at(mode, tol),
-            ev.slowdown_pct(mode, tol), ev.pkg_power_savings_pct(mode, tol),
-            ev.dram_power_savings_pct(mode, tol),
-            ev.energy_change_pct(mode, tol));
+        row(app, policy, tol * 100.0, ev.at(policy, tol),
+            ev.slowdown_pct(policy, tol),
+            ev.pkg_power_savings_pct(policy, tol),
+            ev.dram_power_savings_pct(policy, tol),
+            ev.energy_change_pct(policy, tol));
       }
     }
   }
   return csv;
+}
+
+std::string evaluation_csv(const std::vector<Evaluation>& evals,
+                           const std::vector<PolicyMode>& modes,
+                           const std::vector<double>& tolerances) {
+  return evaluation_csv(evals, policy_names(modes), tolerances);
 }
 
 GridOutputs finalize_grid(const GridSpec& spec,
@@ -451,9 +485,9 @@ GridOutputs finalize_grid(const GridSpec& spec,
   GridPlan gp = build_plan(spec);
   gp.plan.finish_with(std::move(results));
   out.evaluations =
-      assemble_evaluations(gp.plan, gp.index, spec.modes, spec.tolerances);
+      assemble_evaluations(gp.plan, gp.index, spec.policies, spec.tolerances);
   out.evaluation_csv =
-      evaluation_csv(out.evaluations, spec.modes, spec.tolerances);
+      evaluation_csv(out.evaluations, spec.policies, spec.tolerances);
   return out;
 }
 

@@ -51,7 +51,12 @@ inline constexpr int kShardFormatVersion = 1;
 struct GridSpec {
   std::string name = "grid";
   std::vector<workloads::AppId> apps;
-  std::vector<PolicyMode> modes;
+  /// Registry policy names, canonical spelling.  Serialized under the
+  /// JSON key "modes" (the wire name predates the policy registry and is
+  /// pinned by the fingerprint); parsing canonicalizes case/alias
+  /// spellings and rejects unknown or duplicate entries with one
+  /// aggregated error.
+  std::vector<std::string> policies;
   std::vector<double> tolerances;
   int repetitions = 3;
   std::uint64_t seed = 1;
@@ -170,6 +175,9 @@ GridOutputs finalize_grid(const GridSpec& spec,
 GridOutputs run_grid_serial(const GridSpec& spec, int threads = 1);
 
 /// The CSV in GridOutputs::evaluation_csv, exposed for reuse.
+std::string evaluation_csv(const std::vector<Evaluation>& evals,
+                           const std::vector<std::string>& policies,
+                           const std::vector<double>& tolerances);
 std::string evaluation_csv(const std::vector<Evaluation>& evals,
                            const std::vector<PolicyMode>& modes,
                            const std::vector<double>& tolerances);

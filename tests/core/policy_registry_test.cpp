@@ -1,0 +1,113 @@
+#include "core/policy_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dufp::core {
+namespace {
+
+PolicySetup setup() {
+  PolicySetup s;
+  s.config.tolerated_slowdown = 0.10;
+  return s;
+}
+
+std::unique_ptr<Policy> null_factory(const PolicySetup&) { return nullptr; }
+
+TEST(PolicyRegistryTest, GlobalRegistryListsLegacyThenZoo) {
+  const auto names = PolicyRegistry::instance().names();
+  const std::vector<std::string> expected{
+      "DUF",         "DUFP",      "DUFP-F",     "DNPC",       "performance",
+      "powersave",   "fixed-uncore", "cuttlefish", "profile-apply"};
+  EXPECT_EQ(names, expected);
+}
+
+TEST(PolicyRegistryTest, CreateRoundTripsEveryRegisteredName) {
+  const auto& registry = PolicyRegistry::instance();
+  for (const auto& name : registry.names()) {
+    const auto policy = registry.create(name, setup());
+    ASSERT_NE(policy, nullptr) << name;
+    EXPECT_EQ(policy->name(), name);
+  }
+}
+
+TEST(PolicyRegistryTest, LookupIsCaseInsensitiveAndAliasAware) {
+  const auto& registry = PolicyRegistry::instance();
+  EXPECT_EQ(registry.at("duf").name, "DUF");
+  EXPECT_EQ(registry.at("Dufp").name, "DUFP");
+  EXPECT_EQ(registry.at("dufpf").name, "DUFP-F");
+  EXPECT_EQ(registry.at("DUFP-F").name, "DUFP-F");
+  EXPECT_EQ(registry.at("fixed_uncore").name, "fixed-uncore");
+  EXPECT_EQ(registry.at("  dnpc  ").name, "DNPC");  // names are trimmed
+  EXPECT_TRUE(registry.contains("CUTTLEFISH"));
+  EXPECT_FALSE(registry.contains("sasquatch"));
+  EXPECT_EQ(registry.find("sasquatch"), nullptr);
+}
+
+TEST(PolicyRegistryTest, UnknownNameErrorListsEveryRegisteredPolicy) {
+  try {
+    PolicyRegistry::instance().at("sasquatch");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown policy \"sasquatch\""), std::string::npos)
+        << msg;
+    for (const auto& name : PolicyRegistry::instance().names()) {
+      EXPECT_NE(msg.find(name), std::string::npos) << msg;
+    }
+  }
+}
+
+TEST(PolicyRegistryTest, AddRejectsCollisionsAndIncompleteEntries) {
+  PolicyRegistry local;
+  local.add({"alpha", "", {"a"}, null_factory, nullptr});
+
+  // Same name, different case.
+  EXPECT_THROW(local.add({"ALPHA", "", {}, null_factory, nullptr}),
+               std::invalid_argument);
+  // Alias colliding with an existing name, and name with an alias.
+  EXPECT_THROW(local.add({"beta", "", {"Alpha"}, null_factory, nullptr}),
+               std::invalid_argument);
+  EXPECT_THROW(local.add({"A", "", {}, null_factory, nullptr}),
+               std::invalid_argument);
+  // No name / no factory.
+  EXPECT_THROW(local.add({"", "", {}, null_factory, nullptr}),
+               std::invalid_argument);
+  EXPECT_THROW(local.add({"gamma", "", {}, nullptr, nullptr}),
+               std::invalid_argument);
+
+  // The failed adds must not have left partial entries behind.
+  EXPECT_EQ(local.names(), std::vector<std::string>{"alpha"});
+}
+
+TEST(PolicyRegistryTest, ConfigDefaultsHookAppliesPerPolicyOverrides) {
+  const auto& registry = PolicyRegistry::instance();
+  PolicyConfig cfg;
+  cfg.manage_core_frequency = false;
+
+  // DUFP-F is the frequency-managing variant; the hook is what replaced
+  // the enum special case in the Agent and the runner.
+  EXPECT_TRUE(
+      registry.apply_config_defaults("DUFP-F", cfg).manage_core_frequency);
+  EXPECT_FALSE(
+      registry.apply_config_defaults("DUFP", cfg).manage_core_frequency);
+  EXPECT_THROW(registry.apply_config_defaults("sasquatch", cfg),
+               std::invalid_argument);
+}
+
+TEST(PolicyRegistryTest, LocalRegistryReproducesBuiltinPopulation) {
+  // Tests that need a mutable registry build their own; the two
+  // registration functions must reproduce the global population exactly.
+  PolicyRegistry local;
+  register_legacy_policies(local);
+  register_zoo_policies(local);
+  EXPECT_EQ(local.names(), PolicyRegistry::instance().names());
+  EXPECT_EQ(local.known_names(), PolicyRegistry::instance().known_names());
+}
+
+}  // namespace
+}  // namespace dufp::core

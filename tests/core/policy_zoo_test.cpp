@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/policy_registry.h"
+
+namespace dufp::core {
+namespace {
+
+/// Builds a measurement sample; oi is set through flops/bytes — the
+/// tests use (50, 100) for a memory-class phase (oi 0.5) and (400, 1)
+/// for a cpu-class one (oi 400).
+perfmon::Sample sample(double gflops, double gbps, double power = 100.0) {
+  perfmon::Sample s;
+  s.flops_rate = gflops * 1e9;
+  s.bytes_rate = gbps * 1e9;
+  s.pkg_power_w = power;
+  s.interval_s = 0.2;
+  return s;
+}
+
+class PolicyZooTest : public ::testing::Test {
+ protected:
+  PolicyZooTest() {
+    setup_.config.tolerated_slowdown = 0.10;
+    setup_.config.uncore_cooldown_intervals = 1;
+    setup_.config.cap_cooldown_intervals = 1;
+  }
+
+  std::unique_ptr<Policy> make(std::string_view name) {
+    return PolicyRegistry::instance().create(name, setup_);
+  }
+
+  PolicySetup setup_;  // uncore 1200-2400, caps 125/150, floor 65
+};
+
+TEST_F(PolicyZooTest, PerformanceNeverActs) {
+  auto p = make("performance");
+  for (int i = 0; i < 5; ++i) {
+    const auto d = p->observe(sample(50, 100));
+    EXPECT_EQ(d.uncore.action, UncoreAction::none);
+    EXPECT_EQ(d.cap_action, CapAction::none);
+    EXPECT_FALSE(d.phase_change);
+  }
+}
+
+TEST_F(PolicyZooTest, PowersaveFloorsBothKnobsOnceThenHolds) {
+  auto p = make("powersave");
+  const auto first = p->observe(sample(50, 100));
+  EXPECT_EQ(first.uncore.action, UncoreAction::decrease);
+  EXPECT_DOUBLE_EQ(first.uncore.target_mhz, 1200.0);
+  EXPECT_EQ(first.cap_action, CapAction::decrease);
+  EXPECT_DOUBLE_EQ(first.cap_long_w, 65.0);
+  EXPECT_DOUBLE_EQ(first.cap_short_w, 65.0);
+
+  const auto second = p->observe(sample(50, 100));
+  EXPECT_EQ(second.uncore.action, UncoreAction::none);
+  EXPECT_EQ(second.cap_action, CapAction::none);
+}
+
+TEST_F(PolicyZooTest, FixedUncorePinsMidWindowOnStepGrid) {
+  auto p = make("fixed-uncore");
+  const auto first = p->observe(sample(50, 100));
+  // Mid of [1200, 2400] is 1800, already on the 100 MHz step grid.
+  EXPECT_EQ(first.uncore.action, UncoreAction::decrease);
+  EXPECT_DOUBLE_EQ(first.uncore.target_mhz, 1800.0);
+  EXPECT_EQ(first.cap_action, CapAction::none);
+  EXPECT_EQ(p->observe(sample(50, 100)).uncore.action, UncoreAction::none);
+}
+
+TEST_F(PolicyZooTest, CuttlefishAlternatesKnobsWhileWithinTolerance) {
+  auto p = make("cuttlefish");
+  // Constant rates: zero drop, free to descend.  The rotation starts on
+  // the uncore and alternates.
+  auto d = p->observe(sample(50, 100));
+  EXPECT_EQ(d.uncore.action, UncoreAction::decrease);
+  EXPECT_DOUBLE_EQ(d.uncore.target_mhz, 2300.0);
+  EXPECT_EQ(d.cap_action, CapAction::none);
+
+  d = p->observe(sample(50, 100));
+  EXPECT_EQ(d.uncore.action, UncoreAction::none);
+  EXPECT_EQ(d.cap_action, CapAction::decrease);
+  EXPECT_DOUBLE_EQ(d.cap_long_w, 120.0);
+
+  d = p->observe(sample(50, 100));
+  EXPECT_EQ(d.uncore.action, UncoreAction::decrease);
+  EXPECT_DOUBLE_EQ(d.uncore.target_mhz, 2200.0);
+}
+
+TEST_F(PolicyZooTest, CuttlefishBacksOffTheKnobThatMovedLast) {
+  auto p = make("cuttlefish");
+  p->observe(sample(50, 100));  // uncore -> 2300
+  p->observe(sample(50, 100));  // cap -> 120
+  // 20 % FLOPS drop: beyond the 10 % budget; the cap moved last, so it
+  // is the blamed knob and steps back up.
+  const auto d = p->observe(sample(40, 80));
+  EXPECT_EQ(d.cap_action, CapAction::increase);
+  EXPECT_DOUBLE_EQ(d.cap_long_w, 125.0);
+  EXPECT_EQ(d.blame, ViolationBlame::cap);
+  EXPECT_EQ(d.uncore.action, UncoreAction::none);
+}
+
+TEST_F(PolicyZooTest, CuttlefishViolationBeforeAnyMoveIsUnattributed) {
+  auto p = make("cuttlefish");
+  // First interval establishes the phase maxima without moving yet only
+  // when the drop is immediately beyond — which cannot happen on the very
+  // first sample (drop is measured against it).  Second sample violates
+  // before the first move has cleared the cooldown path: force it by
+  // dropping 20 % right after the first descent is undone by a phase
+  // change (cooldown holds the knobs still).
+  p->observe(sample(50, 100));        // descend uncore
+  p->observe(sample(400, 1));      // OI class flip: phase change, reset
+  const auto d = p->observe(sample(300, 0.75));  // 25 % drop, nothing moved
+  EXPECT_EQ(d.blame, ViolationBlame::unattributed);
+  EXPECT_EQ(d.uncore.action, UncoreAction::none);
+  EXPECT_EQ(d.cap_action, CapAction::none);
+}
+
+TEST_F(PolicyZooTest, CuttlefishPhaseChangeResetsBothKnobs) {
+  auto p = make("cuttlefish");
+  p->observe(sample(50, 100));
+  p->observe(sample(50, 100));
+  // OI flips from memory (oi = 0.5) to cpu (oi = 400): phase change.
+  const auto d = p->observe(sample(400, 1));
+  EXPECT_TRUE(d.phase_change);
+  EXPECT_EQ(d.uncore.action, UncoreAction::reset);
+  EXPECT_DOUBLE_EQ(d.uncore.target_mhz, 2400.0);
+  EXPECT_EQ(d.cap_action, CapAction::reset);
+  EXPECT_TRUE(d.cap_reset);
+}
+
+TEST_F(PolicyZooTest, ProfileApplyCalibratesUncoreFirstThenCap) {
+  auto p = make("profile-apply");
+  // Within tolerance throughout: 12 steps walk the uncore 2400 -> 1200,
+  // the 13th starts on the cap.
+  for (int i = 1; i <= 12; ++i) {
+    const auto d = p->observe(sample(50, 100));
+    EXPECT_EQ(d.uncore.action, UncoreAction::decrease) << i;
+    EXPECT_DOUBLE_EQ(d.uncore.target_mhz, 2400.0 - 100.0 * i) << i;
+    EXPECT_EQ(d.cap_action, CapAction::none) << i;
+  }
+  const auto d = p->observe(sample(50, 100));
+  EXPECT_EQ(d.uncore.action, UncoreAction::none);
+  EXPECT_EQ(d.cap_action, CapAction::decrease);
+  EXPECT_DOUBLE_EQ(d.cap_long_w, 120.0);
+}
+
+TEST_F(PolicyZooTest, ProfileApplyFreezesOnViolationAndReappliesPerClass) {
+  auto p = make("profile-apply");
+  for (int i = 0; i < 12; ++i) p->observe(sample(50, 100));  // uncore floor
+  p->observe(sample(50, 100));  // cap -> 120
+  p->observe(sample(50, 100));  // cap -> 115
+
+  // Violation mid-cap-descent: undo one cap step, blame it, freeze the
+  // class at (1200 MHz, 120 W).
+  auto d = p->observe(sample(40, 80));
+  EXPECT_EQ(d.cap_action, CapAction::increase);
+  EXPECT_DOUBLE_EQ(d.cap_long_w, 120.0);
+  EXPECT_EQ(d.blame, ViolationBlame::cap);
+
+  // Frozen: later within-tolerance intervals of the class hold still.
+  d = p->observe(sample(50, 100));
+  EXPECT_EQ(d.uncore.action, UncoreAction::none);
+  EXPECT_EQ(d.cap_action, CapAction::none);
+
+  // New (cpu) class: uncalibrated, so the policy restarts from the top.
+  d = p->observe(sample(400, 1));
+  EXPECT_TRUE(d.phase_change);
+  EXPECT_EQ(d.uncore.action, UncoreAction::reset);
+  EXPECT_TRUE(d.cap_reset);
+
+  // Back to the memory class: the frozen settings re-apply in ONE
+  // interval — no second calibration descent.
+  d = p->observe(sample(50, 100));
+  EXPECT_TRUE(d.phase_change);
+  EXPECT_EQ(d.uncore.action, UncoreAction::decrease);
+  EXPECT_DOUBLE_EQ(d.uncore.target_mhz, 1200.0);
+  EXPECT_EQ(d.cap_action, CapAction::decrease);
+  EXPECT_DOUBLE_EQ(d.cap_long_w, 120.0);
+}
+
+TEST_F(PolicyZooTest, ProfileApplyFreezesAtTheToleranceBoundary) {
+  auto p = make("profile-apply");
+  p->observe(sample(50, 100));  // uncore -> 2300
+  // Drop in (tol - eps, tol]: the boundary IS the calibration target.
+  p->observe(sample(45.25, 100));  // 9.5 % drop
+  const auto d = p->observe(sample(50, 100));
+  EXPECT_EQ(d.uncore.action, UncoreAction::none);
+  EXPECT_EQ(d.cap_action, CapAction::none);
+}
+
+TEST_F(PolicyZooTest, ZooPoliciesRespectTheHardwareEnvelope) {
+  // Every knob a zoo policy requests stays inside the PolicySetup
+  // envelope, across a descent long enough to bottom out.
+  for (const auto name :
+       {"powersave", "fixed-uncore", "cuttlefish", "profile-apply"}) {
+    auto p = make(name);
+    for (int i = 0; i < 60; ++i) {
+      const auto d = p->observe(sample(50, 100));
+      if (d.uncore.action == UncoreAction::decrease ||
+          d.uncore.action == UncoreAction::increase) {
+        EXPECT_GE(d.uncore.target_mhz, 1200.0) << name;
+        EXPECT_LE(d.uncore.target_mhz, 2400.0) << name;
+      }
+      if (d.cap_action == CapAction::decrease ||
+          d.cap_action == CapAction::increase) {
+        EXPECT_GE(d.cap_long_w, 65.0) << name;
+        EXPECT_LE(d.cap_long_w, 125.0) << name;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dufp::core

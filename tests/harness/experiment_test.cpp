@@ -34,7 +34,7 @@ TEST(ExperimentTest, EvaluationDerivedMetrics) {
   dufp.total_energy_j.mean = 45'600.0;
 
   EvaluationCell cell;
-  cell.mode = PolicyMode::dufp;
+  cell.policy = "DUFP";
   cell.tolerance = 0.10;
   cell.result = dufp;
   Evaluation eval(workloads::AppId::cg, base, {cell});

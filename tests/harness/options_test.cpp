@@ -25,6 +25,7 @@ class OptionsEnvTest : public ::testing::Test {
     unsetenv("DUFP_FAULT_SEED");
     unsetenv("DUFP_OUT_DIR");
     unsetenv("DUFP_TELEMETRY");
+    unsetenv("DUFP_POLICIES");
   }
 
   static std::string error_of_from_env() {
@@ -142,6 +143,35 @@ TEST_F(OptionsEnvTest, AllProblemsAggregatedIntoOneError) {
   EXPECT_NE(msg.find("DUFP_SOCKETS"), std::string::npos) << msg;
   EXPECT_NE(msg.find("DUFP_THREADS"), std::string::npos) << msg;
   EXPECT_NE(msg.find("DUFP_FAULT_RATE"), std::string::npos) << msg;
+}
+
+TEST_F(OptionsEnvTest, PoliciesUnsetMeansEmptyList) {
+  EXPECT_TRUE(BenchOptions::from_env().policies.empty());
+}
+
+TEST_F(OptionsEnvTest, PoliciesParseCanonicalizesAliasSpellings) {
+  setenv("DUFP_POLICIES", " duf , DUFP-F ,cuttlefish", 1);
+  const auto o = BenchOptions::from_env();
+  EXPECT_EQ(o.policies,
+            (std::vector<std::string>{"DUF", "DUFP-F", "cuttlefish"}));
+}
+
+TEST_F(OptionsEnvTest, PoliciesUnknownAndDuplicateAggregated) {
+  setenv("DUFP_POLICIES", "DUF,duf,sasquatch", 1);
+  const auto msg = error_of_from_env();
+  EXPECT_NE(msg.find("DUFP_POLICIES"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("duplicate policy \"duf\""), std::string::npos) << msg;
+  EXPECT_NE(msg.find("unknown policy \"sasquatch\""), std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("known:"), std::string::npos) << msg;
+}
+
+TEST_F(OptionsEnvTest, PoliciesEmptyTokenAndEmptyListRejected) {
+  setenv("DUFP_POLICIES", "DUF,,DUFP", 1);
+  EXPECT_NE(error_of_from_env().find("empty policy name"), std::string::npos);
+  setenv("DUFP_POLICIES", "", 1);
+  EXPECT_NE(error_of_from_env().find("at least one policy"),
+            std::string::npos);
 }
 
 TEST_F(OptionsEnvTest, IntegerOverflowRejected) {

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/string_util.h"
 #include "harness/shard_codec.h"
 
 namespace dufp::harness {
@@ -22,7 +23,7 @@ GridSpec small_spec() {
   GridSpec spec;
   spec.name = "shard-test";
   spec.apps = {workloads::AppId::cg};
-  spec.modes = {PolicyMode::duf, PolicyMode::dufp};
+  spec.policies = {"DUF", "DUFP"};
   spec.tolerances = {0.10};
   spec.repetitions = 3;  // 3 cells (baseline + 2 modes x 1 tol) x 3 = 9 jobs
   spec.seed = 5;
@@ -139,9 +140,50 @@ TEST(ShardSpecTest, CanonicalTextRoundTripsAndFingerprintIsStable) {
 
 TEST(ShardSpecTest, RejectsInvalidSpecs) {
   GridSpec spec = small_spec();
-  spec.modes = {PolicyMode::none};
+  spec.policies = {"default"};
   EXPECT_THROW(GridSpec::parse(spec.canonical_text()), std::runtime_error);
   EXPECT_THROW(GridSpec::parse("{\"format\":\"other\"}"), std::runtime_error);
+}
+
+TEST(ShardSpecTest, AggregatesUnknownAndDuplicatePolicyProblems) {
+  GridSpec spec = small_spec();
+  spec.policies = {"DUF", "duf", "sasquatch"};
+  try {
+    GridSpec::parse(spec.canonical_text());
+    FAIL() << "expected an aggregated policy-list error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("duplicate policy \"duf\""), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("unknown policy \"sasquatch\""), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("known:"), std::string::npos) << what;
+  }
+}
+
+TEST(ShardSpecTest, ParseCanonicalizesAliasSpellings) {
+  GridSpec spec = small_spec();
+  spec.policies = {"dufpf", "Cuttlefish"};
+  const GridSpec back = GridSpec::parse(spec.canonical_text());
+  EXPECT_EQ(back.policies, (std::vector<std::string>{"DUFP-F", "cuttlefish"}));
+}
+
+TEST(ShardSpecTest, ReferenceFingerprintIsFrozen) {
+  // The reference spec's canonical bytes are a wire contract: shard files
+  // stamp this fingerprint, and a gatherer from another build must agree.
+  // The policy-registry redesign kept the JSON key "modes" and the
+  // canonical names precisely so these bytes never moved.
+  const GridSpec spec = GridSpec::reference();
+  EXPECT_EQ(spec.canonical_text(),
+            "{\"format\":\"dufp-grid-spec\",\"version\":1,"
+            "\"name\":\"reference\",\"apps\":[\"CG\",\"EP\"],"
+            "\"modes\":[\"DUF\",\"DUFP\"],"
+            "\"tolerances\":[0.050000000000000003,0.10000000000000001],"
+            "\"repetitions\":3,\"seed\":1,\"sockets\":4,\"fault_rate\":0,"
+            "\"fault_seed\":0,\"telemetry\":false}");
+  EXPECT_EQ(strf("%016llx",
+                 static_cast<unsigned long long>(spec.fingerprint())),
+            "21edcce3c4c0b5a6");
 }
 
 TEST(ShardAssignTest, StaticRoundRobinPartitionsEveryJobExactlyOnce) {

@@ -156,12 +156,17 @@ inline std::string summary_text(const harness::RunResult& res) {
   return out;
 }
 
-/// A writable temp-file path unique to the current test.
+/// A writable temp-file path unique to the current test.  Parameterized
+/// test names contain '/', which must not become directory separators.
 inline std::string temp_path(const std::string& tag) {
   const ::testing::TestInfo* info =
       ::testing::UnitTest::GetInstance()->current_test_info();
-  return ::testing::TempDir() + info->test_suite_name() + "_" +
-         info->name() + "_" + tag;
+  std::string name = std::string(info->test_suite_name()) + "_" +
+                     info->name() + "_" + tag;
+  for (auto& c : name) {
+    if (c == '/') c = '_';
+  }
+  return ::testing::TempDir() + name;
 }
 
 }  // namespace dufp::perf_test

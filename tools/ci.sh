@@ -63,6 +63,33 @@ assert doc["processes_4"]["identical_bytes"] is True
 print("shard_scaling smoke: JSON OK, gathered bytes identical")
 EOF
 
+echo "== tournament smoke =="
+# Every registered policy on a tiny grid (1 app x 1 tolerance x 1 rep)
+# through the shard engine, schema-checking the ranked leaderboard CSV:
+# all policies present, ranks sequential from 1, violation/energy
+# columns parse.  Catches a policy whose registration or factory broke
+# without running the full tournament.
+DUFP_SMOKE=1 DUFP_QUIET=1 DUFP_OUT_DIR="${smoke_dir}" \
+    "${build_dir}/bench/tournament"
+python3 - "${smoke_dir}/tournament.csv" <<'EOF'
+import csv, sys
+with open(sys.argv[1]) as f:
+    rows = list(csv.DictReader(f))
+expected_cols = {"rank", "policy", "cells", "violations",
+                 "mean_slowdown_pct", "worst_slowdown_pct",
+                 "mean_pkg_power_savings_pct", "mean_dram_power_savings_pct",
+                 "mean_energy_change_pct"}
+assert rows, "empty leaderboard"
+assert expected_cols <= set(rows[0]), f"missing columns: {expected_cols - set(rows[0])}"
+assert len(rows) >= 7, f"expected >= 7 ranked policies, got {len(rows)}"
+assert [int(r["rank"]) for r in rows] == list(range(1, len(rows) + 1))
+for legacy in ("DUF", "DUFP", "DUFP-F", "DNPC"):
+    assert any(r["policy"] == legacy for r in rows), f"missing {legacy}"
+for r in rows:
+    int(r["violations"]); float(r["mean_energy_change_pct"])
+print(f"tournament smoke: {len(rows)} policies ranked, CSV OK")
+EOF
+
 echo "== perf gate (sim_throughput, full run) =="
 # A real (non-smoke) run of the tracked throughput bench, gated on the
 # serial speedup over the pre-optimisation seed engine.  The tracked
