@@ -1,7 +1,7 @@
 // dufp_shard_worker — one process of a sharded experiment-grid run.
 //
 // Subcommands (see tools/shard_run.sh for the orchestrated flow and
-// DESIGN.md § Sharded execution for the contract):
+// DESIGN.md § Sharded execution / § Failure model for the contract):
 //
 //   spec   [--reference | --spec FILE]
 //          Print the canonical spec JSON (+ fingerprint to stderr).
@@ -13,53 +13,124 @@
 //          spec enumerates — identical in every process, which is what
 //          makes job indices portable shard identities.
 //
-//   run    --spec FILE --out FILE [--shard K --shards N] [--threads T]
-//          [--chunk-size C --claim-dir DIR]
+//   run    (--spec FILE | --resume MANIFEST) --out FILE
+//          [--shard K --shards N] [--threads T]
+//          [--chunk-size C --claim-dir DIR] [--owner ID] [--lease-ttl S]
+//          [--attempt A]
 //          Execute this worker's share of the jobs and stream the
-//          versioned JSONL to --out.  Default is static round-robin;
-//          --chunk-size switches to dynamic chunk claiming through
-//          O_CREAT|O_EXCL claim files in --claim-dir.
+//          versioned JSONL to --out.  The stream goes to `FILE.partial`
+//          and is fsync'd + atomically renamed to FILE on success, so a
+//          crash never leaves a half-written file that passes the
+//          header check — torn output stays honestly `.partial` and is
+//          exactly what `gather --partial` salvages.  Default is static
+//          round-robin; --chunk-size switches to dynamic lease-based
+//          chunk claiming in --claim-dir (owner id + heartbeat + TTL
+//          steal; a crashed worker's chunks become reclaimable after
+//          --lease-ttl seconds).  --resume runs exactly the manifest's
+//          missing jobs (the spec is embedded in the manifest).
+//          DUFP_CHAOS / DUFP_CHAOS_SEED inject seeded self-SIGKILLs for
+//          recovery drills.
 //
-//   gather --spec FILE --out PREFIX FILES...
+//   gather --spec FILE --out PREFIX [--partial] FILES...
 //          Merge shard JSONL files: validates headers/fingerprints,
 //          demands every job exactly once, aggregates bit-identically
 //          to a serial run, and writes PREFIX.csv (+ PREFIX.prom /
-//          telemetry exports when the spec has telemetry on).
+//          telemetry exports when the spec has telemetry on).  With
+//          --partial it salvages every complete record from damaged
+//          files, tolerates idempotent duplicates, and — when jobs are
+//          still missing — writes a versioned retry manifest to
+//          PREFIX.retry.json and exits 6 instead of failing.
 //
 //   serial --spec FILE --out PREFIX [--threads T]
 //          Run the whole grid in this process and write the same
 //          outputs — the byte-identical reference for `gather`.
+//
+//   supervise --spec FILE --out-dir DIR [--workers N] [--chunk-size C]
+//          [--threads T] [--lease-ttl S] [--max-restarts R]
+//          [--deadline S] [--gather PREFIX]
+//          Run the grid under the fault-tolerant ShardSupervisor:
+//          dynamic-mode workers are forked, monitored, restarted with
+//          exponential backoff when they crash, and a chunk that kills
+//          its worker twice is quarantined.  With --gather, finishes
+//          with a partial gather of everything the workers produced.
+//
+// Exit codes (stable contract, used by tools/ and the supervisor):
+//   0  success
+//   1  internal error (unexpected exception)
+//   2  usage error (bad flags)
+//   3  spec/format mismatch (wrong format, version, fingerprint, or an
+//      invalid spec/manifest)
+//   4  job execution failure (the simulation itself threw)
+//   5  I/O failure (cannot open/write/fsync/rename an output)
+//   6  incomplete gather (--partial salvaged what it could and wrote a
+//      retry manifest) or incomplete supervision
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/string_util.h"
+#include "harness/options.h"
 #include "harness/shard.h"
+#include "harness/supervisor.h"
 #include "telemetry/export.h"
 
 namespace {
 
 using dufp::strf;
+using dufp::harness::GatherOptions;
 using dufp::harness::GridOutputs;
 using dufp::harness::GridSpec;
+using dufp::harness::RetryManifest;
+using dufp::harness::ShardFormatError;
+
+constexpr int kExitOk = 0;
+constexpr int kExitInternal = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitSpec = 3;
+constexpr int kExitJob = 4;
+constexpr int kExitIo = 5;
+constexpr int kExitIncomplete = 6;
+
+/// An error that already knows its documented exit code.
+struct CliError : std::runtime_error {
+  CliError(int code_in, const std::string& what)
+      : std::runtime_error(what), code(code_in) {}
+  int code;
+};
 
 [[noreturn]] void usage_error(const std::string& what) {
   std::fprintf(stderr, "dufp_shard_worker: %s\n", what.c_str());
-  std::fprintf(stderr,
-               "usage: dufp_shard_worker spec [--reference|--spec FILE]\n"
-               "       dufp_shard_worker plan --spec FILE\n"
-               "       dufp_shard_worker run --spec FILE --out FILE"
-               " [--shard K --shards N] [--threads T]"
-               " [--chunk-size C --claim-dir DIR]\n"
-               "       dufp_shard_worker gather --spec FILE --out PREFIX"
-               " FILES...\n"
-               "       dufp_shard_worker serial --spec FILE --out PREFIX"
-               " [--threads T]\n");
-  std::exit(2);
+  std::fprintf(
+      stderr,
+      "usage: dufp_shard_worker spec [--reference|--spec FILE]\n"
+      "       dufp_shard_worker plan --spec FILE\n"
+      "       dufp_shard_worker run (--spec FILE | --resume MANIFEST)"
+      " --out FILE\n"
+      "           [--shard K --shards N] [--threads T]"
+      " [--chunk-size C --claim-dir DIR]\n"
+      "           [--owner ID] [--lease-ttl S] [--attempt A]\n"
+      "       dufp_shard_worker gather --spec FILE --out PREFIX"
+      " [--partial] FILES...\n"
+      "       dufp_shard_worker serial --spec FILE --out PREFIX"
+      " [--threads T]\n"
+      "       dufp_shard_worker supervise --spec FILE --out-dir DIR"
+      " [--workers N]\n"
+      "           [--chunk-size C] [--threads T] [--lease-ttl S]"
+      " [--max-restarts R]\n"
+      "           [--deadline S] [--gather PREFIX]\n"
+      "exit codes: 0 ok, 1 internal, 2 usage, 3 spec mismatch, 4 job"
+      " failure,\n"
+      "            5 I/O failure, 6 incomplete (retry manifest written)\n");
+  std::exit(kExitUsage);
 }
 
 struct Args {
@@ -73,8 +144,8 @@ Args parse_args(int argc, char** argv, int first) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) == 0) {
       const std::string key = arg.substr(2);
-      if (key == "reference") {
-        args.options[key] = "1";
+      if (key == "reference" || key == "partial") {
+        args.options.emplace(key, "1");
         continue;
       }
       if (i + 1 >= argc) usage_error("missing value for --" + key);
@@ -96,6 +167,16 @@ int get_int(const Args& args, const std::string& key, int fallback) {
   }
 }
 
+double get_double(const Args& args, const std::string& key, double fallback) {
+  const auto it = args.options.find(key);
+  if (it == args.options.end()) return fallback;
+  double out = 0.0;
+  if (!dufp::parse_double(it->second, out)) {
+    usage_error("--" + key + " wants a number, got '" + it->second + "'");
+  }
+  return out;
+}
+
 GridSpec load_spec(const Args& args) {
   const auto it = args.options.find("spec");
   if (it == args.options.end()) usage_error("--spec FILE is required");
@@ -108,13 +189,23 @@ std::string require_out(const Args& args) {
   return it->second;
 }
 
+/// DUFP_CHAOS / DUFP_CHAOS_SEED through the strict aggregated-validation
+/// env parser (a typo must fail loudly, like every other DUFP_ knob).
+dufp::harness::ChaosOptions chaos_from_env() {
+  const auto env = dufp::harness::BenchOptions::from_env();
+  dufp::harness::ChaosOptions chaos;
+  chaos.kill_rate = env.chaos_kill_rate;
+  chaos.seed = env.chaos_seed;
+  return chaos;
+}
+
 void write_outputs(const GridSpec& spec, const GridOutputs& out,
                    const std::string& prefix) {
   const std::string csv_path = prefix + ".csv";
   {
     std::ofstream csv(csv_path, std::ios::binary);
     if (!csv.good()) {
-      throw std::runtime_error("cannot write " + csv_path);
+      throw CliError(kExitIo, "cannot write " + csv_path);
     }
     csv << out.evaluation_csv;
   }
@@ -123,7 +214,7 @@ void write_outputs(const GridSpec& spec, const GridOutputs& out,
     const std::string prom_path = prefix + ".prom";
     std::ofstream prom(prom_path, std::ios::binary);
     if (!prom.good()) {
-      throw std::runtime_error("cannot write " + prom_path);
+      throw CliError(kExitIo, "cannot write " + prom_path);
     }
     prom << out.merged_prometheus;
     std::fprintf(stderr, "[shard_worker] wrote %s\n", prom_path.c_str());
@@ -144,7 +235,7 @@ int cmd_spec(const Args& args) {
   std::printf("%s\n", spec.canonical_text().c_str());
   std::fprintf(stderr, "[shard_worker] fingerprint %016llx\n",
                static_cast<unsigned long long>(spec.fingerprint()));
-  return 0;
+  return kExitOk;
 }
 
 int cmd_plan(const Args& args) {
@@ -158,18 +249,42 @@ int cmd_plan(const Args& args) {
   }
   std::fprintf(stderr, "[shard_worker] %zu jobs across %zu cells\n",
                gp.plan.job_count(), gp.plan.cell_count());
-  return 0;
+  return kExitOk;
 }
 
 int cmd_run(const Args& args) {
-  const GridSpec spec = load_spec(args);
+  const bool resume = args.options.count("resume") != 0;
+  if (resume && args.options.count("spec") != 0) {
+    // Both would be ambiguous unless they agree; demand agreement.
+    const GridSpec flag_spec = load_spec(args);
+    const RetryManifest m = RetryManifest::load(args.options.at("resume"));
+    if (flag_spec.fingerprint() != m.spec.fingerprint()) {
+      throw ShardFormatError(
+          "run: --spec and --resume disagree (different fingerprints)");
+    }
+  }
+  RetryManifest manifest;
+  GridSpec spec;
+  if (resume) {
+    manifest = RetryManifest::load(args.options.at("resume"));
+    spec = manifest.spec;
+    std::fprintf(stderr, "[shard_worker] resume: %zu missing jobs\n",
+                 manifest.missing.size());
+  } else {
+    spec = load_spec(args);
+  }
   const std::string out_path = require_out(args);
+  const std::string partial_path = out_path + ".partial";
 
   dufp::harness::ShardRunOptions options;
   options.shard = get_int(args, "shard", 0);
   options.shards = get_int(args, "shards", 1);
   options.threads = get_int(args, "threads", 1);
   options.chunk_size = get_int(args, "chunk-size", 0);
+  options.chaos = chaos_from_env();
+  options.chaos.worker = options.shard;
+  options.chaos.attempt = get_int(args, "attempt", 0);
+  if (resume) options.job_filter = &manifest.missing;
 
   std::unique_ptr<dufp::harness::FileChunkClaimer> claimer;
   if (options.chunk_size > 0) {
@@ -177,18 +292,54 @@ int cmd_run(const Args& args) {
     if (it == args.options.end()) {
       usage_error("--chunk-size needs --claim-dir");
     }
-    claimer = std::make_unique<dufp::harness::FileChunkClaimer>(it->second);
+    dufp::harness::LeaseOptions lease;
+    if (const auto o = args.options.find("owner"); o != args.options.end()) {
+      lease.owner = o->second;
+    }
+    lease.ttl_seconds = get_double(args, "lease-ttl", 30.0);
+    claimer = std::make_unique<dufp::harness::FileChunkClaimer>(it->second,
+                                                                lease);
     options.claimer = claimer.get();
   }
 
-  std::ofstream out(out_path, std::ios::binary);
-  if (!out.good()) {
-    throw std::runtime_error("cannot write " + out_path);
+  {
+    std::ofstream out(partial_path, std::ios::binary);
+    if (!out.good()) {
+      throw CliError(kExitIo, "cannot write " + partial_path);
+    }
+    try {
+      dufp::harness::run_shard(spec, options, out);
+    } catch (const ShardFormatError&) {
+      throw;  // -> kExitSpec
+    } catch (const std::invalid_argument&) {
+      throw;  // caller error -> internal/usage surface
+    } catch (const std::exception& e) {
+      throw CliError(kExitJob, strf("job execution failed: %s", e.what()));
+    }
+    if (!out.good()) {
+      throw CliError(kExitIo, "short write to " + partial_path);
+    }
   }
-  dufp::harness::run_shard(spec, options, out);
+  // fsync + atomic rename: the visible --out file either has every
+  // record this worker produced or does not exist at all.
+  const int fd = ::open(partial_path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw CliError(kExitIo, "cannot reopen " + partial_path + ": " +
+                                std::strerror(errno));
+  }
+  const bool synced = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!synced) {
+    throw CliError(kExitIo, "fsync " + partial_path + ": " +
+                                std::strerror(errno));
+  }
+  if (::rename(partial_path.c_str(), out_path.c_str()) != 0) {
+    throw CliError(kExitIo, "rename " + partial_path + " -> " + out_path +
+                                ": " + std::strerror(errno));
+  }
   std::fprintf(stderr, "[shard_worker] shard %d/%d done -> %s\n",
                options.shard, options.shards, out_path.c_str());
-  return 0;
+  return kExitOk;
 }
 
 int cmd_gather(const Args& args) {
@@ -197,10 +348,40 @@ int cmd_gather(const Args& args) {
   if (args.positional.empty()) {
     usage_error("gather needs at least one shard file");
   }
-  auto results = dufp::harness::gather_shards(spec, args.positional);
-  write_outputs(spec, dufp::harness::finalize_grid(spec, std::move(results)),
+  GatherOptions gopts;
+  gopts.partial = args.options.count("partial") != 0;
+  auto report =
+      dufp::harness::gather_shards_report(spec, args.positional, gopts);
+  for (const auto& note : report.notes) {
+    std::fprintf(stderr, "[shard_worker] salvage: %s:%d: %s\n",
+                 note.file.c_str(), note.line, note.what.c_str());
+  }
+  if (report.duplicates != 0) {
+    std::fprintf(stderr,
+                 "[shard_worker] salvage: %zu idempotent duplicate record(s) "
+                 "dropped\n",
+                 report.duplicates);
+  }
+  if (!report.complete()) {
+    const auto manifest = dufp::harness::make_retry_manifest(spec, report);
+    const std::string manifest_path = prefix + ".retry.json";
+    std::ofstream out(manifest_path, std::ios::binary);
+    if (!out.good()) {
+      throw CliError(kExitIo, "cannot write " + manifest_path);
+    }
+    out << manifest.canonical_text() << '\n';
+    std::fprintf(stderr,
+                 "[shard_worker] incomplete: %zu of %zu jobs missing; retry "
+                 "manifest -> %s (run `dufp_shard_worker run --resume %s "
+                 "--out FILE`, then gather again with that FILE added)\n",
+                 report.missing.size(), report.job_count,
+                 manifest_path.c_str(), manifest_path.c_str());
+    return kExitIncomplete;
+  }
+  write_outputs(spec,
+                dufp::harness::finalize_grid(spec, std::move(report.results)),
                 prefix);
-  return 0;
+  return kExitOk;
 }
 
 int cmd_serial(const Args& args) {
@@ -208,7 +389,66 @@ int cmd_serial(const Args& args) {
   const std::string prefix = require_out(args);
   const int threads = get_int(args, "threads", 1);
   write_outputs(spec, dufp::harness::run_grid_serial(spec, threads), prefix);
-  return 0;
+  return kExitOk;
+}
+
+int cmd_supervise(const Args& args) {
+  const GridSpec spec = load_spec(args);
+  const auto it = args.options.find("out-dir");
+  if (it == args.options.end()) usage_error("--out-dir DIR is required");
+
+  dufp::harness::SupervisorOptions options;
+  options.out_dir = it->second;
+  options.workers = get_int(args, "workers", 2);
+  options.threads = get_int(args, "threads", 1);
+  options.chunk_size = get_int(args, "chunk-size", 1);
+  options.lease_ttl_seconds = get_double(args, "lease-ttl", 30.0);
+  options.max_restarts = get_int(args, "max-restarts", 2);
+  options.worker_deadline_seconds = get_double(args, "deadline", 0.0);
+  options.chaos = chaos_from_env();
+  options.quiet = std::getenv("DUFP_QUIET") != nullptr;
+
+  const auto report = dufp::harness::supervise_shard_run(spec, options);
+  std::fprintf(stderr,
+               "[shard_worker] supervise: %zu attempt(s), %d restart(s), %d "
+               "deadline kill(s), %d lease(s) reap-released, %zu poisoned "
+               "chunk(s), chunks %s\n",
+               report.attempts.size(), report.restarts, report.deadline_kills,
+               report.leases_released, report.poisoned_chunks.size(),
+               report.all_chunks_done ? "all done" : "INCOMPLETE");
+  for (const auto& f : report.output_files) {
+    std::printf("%s\n", f.c_str());  // machine-consumable: gather input set
+  }
+  if (report.fatal) {
+    throw ShardFormatError(
+        "supervise: a worker hit a non-retryable configuration error");
+  }
+  if (const auto g = args.options.find("gather"); g != args.options.end()) {
+    GatherOptions gopts;
+    gopts.partial = true;
+    auto gathered =
+        dufp::harness::gather_shards_report(spec, report.output_files, gopts);
+    if (!gathered.complete()) {
+      const auto manifest =
+          dufp::harness::make_retry_manifest(spec, gathered);
+      const std::string manifest_path = g->second + ".retry.json";
+      std::ofstream out(manifest_path, std::ios::binary);
+      if (!out.good()) {
+        throw CliError(kExitIo, "cannot write " + manifest_path);
+      }
+      out << manifest.canonical_text() << '\n';
+      std::fprintf(stderr,
+                   "[shard_worker] supervise: %zu job(s) unrecovered; retry "
+                   "manifest -> %s\n",
+                   gathered.missing.size(), manifest_path.c_str());
+      return kExitIncomplete;
+    }
+    write_outputs(
+        spec, dufp::harness::finalize_grid(spec, std::move(gathered.results)),
+        g->second);
+    return kExitOk;
+  }
+  return report.all_chunks_done ? kExitOk : kExitIncomplete;
 }
 
 }  // namespace
@@ -223,9 +463,16 @@ int main(int argc, char** argv) {
     if (cmd == "run") return cmd_run(args);
     if (cmd == "gather") return cmd_gather(args);
     if (cmd == "serial") return cmd_serial(args);
+    if (cmd == "supervise") return cmd_supervise(args);
+  } catch (const CliError& e) {
+    std::fprintf(stderr, "dufp_shard_worker: %s\n", e.what());
+    return e.code;
+  } catch (const ShardFormatError& e) {
+    std::fprintf(stderr, "dufp_shard_worker: %s\n", e.what());
+    return kExitSpec;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "dufp_shard_worker: %s\n", e.what());
-    return 1;
+    return kExitInternal;
   }
   usage_error("unknown subcommand '" + cmd + "'");
 }

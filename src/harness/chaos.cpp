@@ -1,0 +1,60 @@
+#include "harness/chaos.h"
+
+#include <csignal>
+#include <ostream>
+#include <unistd.h>
+
+namespace dufp::harness {
+
+namespace {
+
+/// SplitMix64 finalizer — the same mixer job_seed uses, so chaos
+/// decisions are independent streams from the same proven family.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+ChaosPlan::ChaosPlan(ChaosOptions options) : options_(options) {
+  // Fold the per-process identity into one salt up front; per-position
+  // decisions then need a single finalizer pass.
+  std::uint64_t z = options_.seed;
+  z = mix64(z + 0x9e3779b97f4a7c15ULL *
+                    (static_cast<std::uint64_t>(options_.worker) + 1));
+  z = mix64(z + 0x9e3779b97f4a7c15ULL *
+                    (static_cast<std::uint64_t>(options_.attempt) + 1));
+  stream_ = z;
+}
+
+bool ChaosPlan::should_kill(std::uint64_t position) const {
+  if (!options_.enabled()) return false;
+  const std::uint64_t h =
+      mix64(stream_ + 0x9e3779b97f4a7c15ULL * (position + 1));
+  // Top 53 bits -> uniform double in [0, 1), the standard conversion.
+  const double u =
+      static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+  return u < options_.kill_rate;
+}
+
+void ChaosPlan::kill_now(std::ostream& out, std::string_view record) {
+  // Tear the record: half the line, no terminating newline.  Flushing
+  // pushes the bytes into the kernel so they survive the SIGKILL — the
+  // file now ends exactly like a worker that lost power mid-write.
+  out.write(record.data(),
+            static_cast<std::streamsize>(record.size() / 2));
+  out.flush();
+  ::kill(::getpid(), SIGKILL);
+  // SIGKILL cannot be caught; this point is unreachable, but keep the
+  // compiler's [[noreturn]] contract honest if it ever raced delivery.
+  for (;;) ::pause();
+}
+
+void ChaosPlan::maybe_kill(std::uint64_t position, std::ostream& out,
+                           std::string_view record) const {
+  if (should_kill(position)) kill_now(out, record);
+}
+
+}  // namespace dufp::harness

@@ -1,0 +1,74 @@
+// Deterministic process-level chaos injection for shard workers.
+//
+// PR 2's fault plan injects failures *below* the agent (flaky MSRs,
+// broken counters); this layer injects failures *around* the worker
+// process itself: a seeded plan decides, per emitted result record,
+// whether the worker self-SIGKILLs — tearing the record mid-line first,
+// so the crash leaves exactly the kind of truncated shard file the
+// salvage path (gather --partial) must recover from.
+//
+// Determinism contract: whether the process dies at emission position p
+// is a pure function of (seed, worker, attempt, p) — never of pid,
+// wall-clock, or global RNG state — so a chaos run is replayable and a
+// test can pin "worker 0, attempt 0 dies at record 3" forever.  Which
+// *jobs* occupy those positions can vary in dynamic mode (claim races),
+// but the recovery machinery (leases + salvage + resume) guarantees the
+// final gathered bytes do not.
+//
+// Env protocol (BenchOptions::from_env, aggregated validation like
+// DUFP_FAULT_RATE):
+//
+//   DUFP_CHAOS=R         per-record self-SIGKILL probability in [0, 1]
+//   DUFP_CHAOS_SEED=S    seed of the kill-decision stream (default 0)
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+
+namespace dufp::harness {
+
+struct ChaosOptions {
+  /// Per-record probability of self-SIGKILL; 0 disables chaos entirely.
+  double kill_rate = 0.0;
+  /// Seed of the decision stream (DUFP_CHAOS_SEED).
+  std::uint64_t seed = 0;
+  /// Stable per-process salts.  Deliberately NOT the pid: a restarted
+  /// worker must derive a *different* but *reproducible* kill schedule,
+  /// so the supervisor salts with (worker slot, attempt number).
+  int worker = 0;
+  int attempt = 0;
+
+  bool enabled() const { return kill_rate > 0.0; }
+};
+
+/// The seeded kill plan of one worker process.
+class ChaosPlan {
+ public:
+  explicit ChaosPlan(ChaosOptions options);
+
+  bool enabled() const { return options_.enabled(); }
+
+  /// True iff this process dies at emission position `position` (the
+  /// count of result records it has emitted so far).  Pure function of
+  /// (options, position).
+  bool should_kill(std::uint64_t position) const;
+
+  /// The chaos death: writes the first half of `record` (no newline) to
+  /// `out`, flushes so the torn bytes actually reach the file, then
+  /// raises SIGKILL — no destructors, no atexit, exactly what a node
+  /// power-loss does to a worker.  Never returns.
+  [[noreturn]] static void kill_now(std::ostream& out,
+                                    std::string_view record);
+
+  /// should_kill(position) ? kill_now(out, record) : no-op.  The single
+  /// hook run_shard calls per record.
+  void maybe_kill(std::uint64_t position, std::ostream& out,
+                  std::string_view record) const;
+
+ private:
+  ChaosOptions options_;
+  std::uint64_t stream_;  ///< pre-mixed (seed, worker, attempt) salt
+};
+
+}  // namespace dufp::harness

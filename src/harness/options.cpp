@@ -136,6 +136,8 @@ BenchOptions BenchOptions::from_env() {
   parse_int("DUFP_THREADS", o.threads, 0, problems);
   parse_unit_double("DUFP_FAULT_RATE", o.fault_rate, problems);
   parse_u64("DUFP_FAULT_SEED", o.fault_seed, problems);
+  parse_unit_double("DUFP_CHAOS", o.chaos_kill_rate, problems);
+  parse_u64("DUFP_CHAOS_SEED", o.chaos_seed, problems);
   o.quiet = std::getenv("DUFP_QUIET") != nullptr;
   o.telemetry = std::getenv("DUFP_TELEMETRY") != nullptr;
   parse_policies("DUFP_POLICIES", o.policies, problems);

@@ -19,6 +19,11 @@
 //                      that take a policy list (the tournament); empty /
 //                      unset = every registered policy.  Unknown or
 //                      duplicate names are configuration errors.
+//   DUFP_CHAOS=R       per-record probability in [0, 1] that a shard
+//                      worker self-SIGKILLs (torn record + no cleanup) —
+//                      the process-level analogue of DUFP_FAULT_RATE,
+//                      exercising lease reclaim / salvage / resume
+//   DUFP_CHAOS_SEED=S  seed of the chaos kill-decision stream (default 0)
 //
 // Malformed values (non-numeric, trailing junk, out of range) are
 // configuration errors: from_env() throws std::invalid_argument naming
@@ -44,6 +49,8 @@ struct BenchOptions {
   /// DUFP_POLICIES, canonical registry names in list order; empty =
   /// caller's default (the tournament runs every registered policy).
   std::vector<std::string> policies;
+  double chaos_kill_rate = 0.0;     ///< DUFP_CHAOS, in [0, 1]
+  std::uint64_t chaos_seed = 0;     ///< DUFP_CHAOS_SEED
 
   /// Reads every knob from the environment.  Unset variables keep the
   /// defaults above; set-but-malformed variables throw

@@ -26,6 +26,8 @@ class OptionsEnvTest : public ::testing::Test {
     unsetenv("DUFP_OUT_DIR");
     unsetenv("DUFP_TELEMETRY");
     unsetenv("DUFP_POLICIES");
+    unsetenv("DUFP_CHAOS");
+    unsetenv("DUFP_CHAOS_SEED");
   }
 
   static std::string error_of_from_env() {
@@ -124,6 +126,20 @@ TEST_F(OptionsEnvTest, FaultRateOutOfRangeRejected) {
   EXPECT_NE(error_of_from_env().find("[0, 1]"), std::string::npos);
   setenv("DUFP_FAULT_RATE", "half", 1);
   EXPECT_NE(error_of_from_env().find("not a number"), std::string::npos);
+}
+
+TEST_F(OptionsEnvTest, ChaosKnobsParseAndValidateLikeFaultKnobs) {
+  setenv("DUFP_CHAOS", "0.25", 1);
+  setenv("DUFP_CHAOS_SEED", "7", 1);
+  const auto o = BenchOptions::from_env();
+  EXPECT_DOUBLE_EQ(o.chaos_kill_rate, 0.25);
+  EXPECT_EQ(o.chaos_seed, 7u);
+
+  setenv("DUFP_CHAOS", "1.5", 1);
+  EXPECT_NE(error_of_from_env().find("DUFP_CHAOS"), std::string::npos);
+  setenv("DUFP_CHAOS", "0.25", 1);
+  setenv("DUFP_CHAOS_SEED", "-1", 1);
+  EXPECT_NE(error_of_from_env().find("DUFP_CHAOS_SEED"), std::string::npos);
 }
 
 TEST_F(OptionsEnvTest, NegativeFaultSeedRejected) {

@@ -63,6 +63,101 @@ assert doc["processes_4"]["identical_bytes"] is True
 print("shard_scaling smoke: JSON OK, gathered bytes identical")
 EOF
 
+echo "== chaos recovery smoke =="
+# The failure-model gate (DESIGN.md § Failure model & recovery): a
+# seeded DUFP_CHAOS worker self-SIGKILLs mid-record, a second worker
+# completes every chunk the victim never claimed, `gather --partial`
+# salvages the torn stream and writes a retry manifest, `run --resume`
+# executes exactly the missing jobs — and the final gather must be
+# byte-identical to an unfailed serial run.  One worker per phase keeps
+# the whole drill deterministic (no claim races), so the exit codes are
+# asserted exactly: 137 (SIGKILL), 6 (incomplete), 0, 0.
+chaos_dir="${build_dir}/chaos-out"
+rm -rf "${chaos_dir}"
+mkdir -p "${chaos_dir}/claims"
+shard_worker="${build_dir}/cli/dufp_shard_worker"
+"${shard_worker}" spec > "${chaos_dir}/spec.json" 2> /dev/null
+DUFP_QUIET=1 "${shard_worker}" serial --spec "${chaos_dir}/spec.json" \
+    --out "${chaos_dir}/serial" 2> /dev/null
+status=0
+DUFP_QUIET=1 DUFP_CHAOS=0.3 DUFP_CHAOS_SEED=1 "${shard_worker}" run \
+    --spec "${chaos_dir}/spec.json" --out "${chaos_dir}/w0.jsonl" \
+    --chunk-size 4 --claim-dir "${chaos_dir}/claims" --owner w0 \
+    2> /dev/null || status=$?
+[[ "${status}" -eq 137 ]] || {
+  echo "chaos smoke: expected the chaos worker to die by SIGKILL (137)," \
+       "got ${status}" >&2
+  exit 1
+}
+[[ -f "${chaos_dir}/w0.jsonl.partial" && ! -f "${chaos_dir}/w0.jsonl" ]] || {
+  echo "chaos smoke: a killed worker must leave only a .partial stream" >&2
+  exit 1
+}
+# The victim's lease is fresh, so a huge TTL keeps its chunk orphaned —
+# the gap --resume exists to fill.
+DUFP_QUIET=1 "${shard_worker}" run --spec "${chaos_dir}/spec.json" \
+    --out "${chaos_dir}/w1.jsonl" --chunk-size 4 \
+    --claim-dir "${chaos_dir}/claims" --owner w1 --lease-ttl 100000 \
+    2> /dev/null
+status=0
+"${shard_worker}" gather --spec "${chaos_dir}/spec.json" \
+    --out "${chaos_dir}/gathered" --partial \
+    "${chaos_dir}/w0.jsonl.partial" "${chaos_dir}/w1.jsonl" \
+    2> /dev/null || status=$?
+[[ "${status}" -eq 6 && -f "${chaos_dir}/gathered.retry.json" ]] || {
+  echo "chaos smoke: partial gather should exit 6 + write a retry" \
+       "manifest (exit ${status})" >&2
+  exit 1
+}
+DUFP_QUIET=1 "${shard_worker}" run --resume "${chaos_dir}/gathered.retry.json" \
+    --out "${chaos_dir}/rescue.jsonl" 2> /dev/null
+"${shard_worker}" gather --spec "${chaos_dir}/spec.json" \
+    --out "${chaos_dir}/gathered" --partial \
+    "${chaos_dir}/w0.jsonl.partial" "${chaos_dir}/w1.jsonl" \
+    "${chaos_dir}/rescue.jsonl" 2> /dev/null
+cmp "${chaos_dir}/gathered.csv" "${chaos_dir}/serial.csv" || {
+  echo "chaos smoke: DETERMINISM VIOLATION: recovered gather differs" \
+       "from serial" >&2
+  exit 1
+}
+echo "chaos smoke: kill -> salvage -> resume -> bytes identical to serial"
+
+echo "== supervise smoke =="
+# The same storm under the supervisor: chaos workers die, get restarted
+# with backoff, repeat offenders poison their chunks — and whatever is
+# left unrecovered must be honestly reported via a retry manifest that a
+# clean rescue run completes.  Worker/chunk interleaving is timing-
+# dependent, so only the end-to-end property is asserted: supervised +
+# (optional) rescue gathers byte-identical to serial.
+sup_dir="${build_dir}/chaos-out/sup"
+mkdir -p "${sup_dir}"
+status=0
+DUFP_QUIET=1 DUFP_CHAOS=0.3 DUFP_CHAOS_SEED=1 "${shard_worker}" supervise \
+    --spec "${chaos_dir}/spec.json" --out-dir "${sup_dir}" --workers 2 \
+    --chunk-size 4 --lease-ttl 100000 --max-restarts 3 \
+    --gather "${sup_dir}/gathered" > "${sup_dir}/outputs.txt" \
+    2> /dev/null || status=$?
+sup_files=()
+while IFS= read -r line; do sup_files+=("${line}"); done \
+    < "${sup_dir}/outputs.txt"
+if [[ "${status}" -eq 6 ]]; then
+  DUFP_QUIET=1 "${shard_worker}" run \
+      --resume "${sup_dir}/gathered.retry.json" \
+      --out "${sup_dir}/rescue.jsonl" 2> /dev/null
+  "${shard_worker}" gather --spec "${chaos_dir}/spec.json" \
+      --out "${sup_dir}/gathered" --partial \
+      "${sup_files[@]}" "${sup_dir}/rescue.jsonl" 2> /dev/null
+elif [[ "${status}" -ne 0 ]]; then
+  echo "supervise smoke: unexpected exit ${status}" >&2
+  exit 1
+fi
+cmp "${sup_dir}/gathered.csv" "${chaos_dir}/serial.csv" || {
+  echo "supervise smoke: DETERMINISM VIOLATION: supervised gather" \
+       "differs from serial" >&2
+  exit 1
+}
+echo "supervise smoke: supervised chaos run recovered, bytes identical"
+
 echo "== tournament smoke =="
 # Every registered policy on a tiny grid (1 app x 1 tolerance x 1 rep)
 # through the shard engine, schema-checking the ranked leaderboard CSV:

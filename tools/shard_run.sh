@@ -52,6 +52,28 @@ fi
 
 mkdir -p "${out_dir}"
 
+# Interrupting an orchestrated run must not leave droppings that poison
+# the next one: kill any workers still running, then sweep stale lease
+# claims and torn `.jsonl.partial` streams.  Completed outputs (renamed
+# `.jsonl`, `.done` markers, gathered CSVs) are left alone — and on a
+# real salvage you would run `gather --partial` *before* rerunning.
+pids=()
+cleanup() {
+  local status=$?
+  for pid in "${pids[@]:-}"; do
+    kill -9 "${pid}" 2> /dev/null || true
+  done
+  for pid in "${pids[@]:-}"; do
+    wait "${pid}" 2> /dev/null || true
+  done
+  rm -f "${out_dir}"/*.jsonl.partial
+  if [[ -d "${out_dir}/claims" ]]; then
+    rm -f "${out_dir}/claims"/*.claim
+  fi
+  exit "${status}"
+}
+trap cleanup EXIT INT TERM
+
 if [[ -z "${spec}" ]]; then
   spec="${out_dir}/spec.json"
   "${worker}" spec > "${spec}"
@@ -69,7 +91,6 @@ fi
 
 # Launch every worker as its own process; each streams its JSONL
 # independently, exactly as it would on separate machines.
-pids=()
 files=()
 for ((k = 0; k < shards; ++k)); do
   file="${out_dir}/shard${k}.jsonl"
