@@ -54,6 +54,16 @@
 //          its worker twice is quarantined.  With --gather, finishes
 //          with a partial gather of everything the workers produced.
 //
+//   fleet-spec / fleet-run / fleet-gather / fleet-serial / fleet-supervise
+//          The same five verbs over a *fleet* spec (src/fleet): a job is
+//          one node simulation under the hierarchical allocation plan,
+//          and the wire/lease/salvage/resume/exit-code contract is
+//          identical.  Outputs are PREFIX.alloc.csv (per-epoch
+//          allocation trace), PREFIX.summary.csv (fleet scorecard) and
+//          PREFIX.prom (fleet telemetry); an incomplete fleet-gather
+//          writes PREFIX.retry.json (a dufp-fleet-retry manifest that
+//          fleet-run --resume executes) and exits 6.
+//
 // Exit codes (stable contract, used by tools/ and the supervisor):
 //   0  success
 //   1  internal error (unexpected exception)
@@ -78,6 +88,8 @@
 #include <vector>
 
 #include "common/string_util.h"
+#include "fleet/shard.h"
+#include "fleet/spec.h"
 #include "harness/options.h"
 #include "harness/shard.h"
 #include "harness/supervisor.h"
@@ -127,6 +139,20 @@ struct CliError : std::runtime_error {
       "           [--chunk-size C] [--threads T] [--lease-ttl S]"
       " [--max-restarts R]\n"
       "           [--deadline S] [--gather PREFIX]\n"
+      "       dufp_shard_worker fleet-spec [--reference|--spec FILE]\n"
+      "       dufp_shard_worker fleet-run (--spec FILE | --resume MANIFEST)"
+      " --out FILE\n"
+      "           [--shard K --shards N] [--chunk-size C --claim-dir DIR]"
+      " [--owner ID]\n"
+      "           [--lease-ttl S] [--attempt A]\n"
+      "       dufp_shard_worker fleet-gather --spec FILE --out PREFIX"
+      " [--partial] FILES...\n"
+      "       dufp_shard_worker fleet-serial --spec FILE --out PREFIX\n"
+      "       dufp_shard_worker fleet-supervise --spec FILE --out-dir DIR"
+      " [--workers N]\n"
+      "           [--chunk-size C] [--lease-ttl S] [--max-restarts R]"
+      " [--deadline S]\n"
+      "           [--gather PREFIX]\n"
       "exit codes: 0 ok, 1 internal, 2 usage, 3 spec mismatch, 4 job"
       " failure,\n"
       "            5 I/O failure, 6 incomplete (retry manifest written)\n");
@@ -227,6 +253,27 @@ void write_outputs(const GridSpec& spec, const GridOutputs& out,
   }
 }
 
+/// fsync + atomic rename: the visible output file either has every
+/// record its worker produced or does not exist at all.
+void publish_output(const std::string& partial_path,
+                    const std::string& out_path) {
+  const int fd = ::open(partial_path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw CliError(kExitIo, "cannot reopen " + partial_path + ": " +
+                                std::strerror(errno));
+  }
+  const bool synced = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!synced) {
+    throw CliError(kExitIo, "fsync " + partial_path + ": " +
+                                std::strerror(errno));
+  }
+  if (::rename(partial_path.c_str(), out_path.c_str()) != 0) {
+    throw CliError(kExitIo, "rename " + partial_path + " -> " + out_path +
+                                ": " + std::strerror(errno));
+  }
+}
+
 int cmd_spec(const Args& args) {
   GridSpec spec = GridSpec::reference();
   if (const auto it = args.options.find("spec"); it != args.options.end()) {
@@ -320,23 +367,7 @@ int cmd_run(const Args& args) {
       throw CliError(kExitIo, "short write to " + partial_path);
     }
   }
-  // fsync + atomic rename: the visible --out file either has every
-  // record this worker produced or does not exist at all.
-  const int fd = ::open(partial_path.c_str(), O_RDONLY);
-  if (fd < 0) {
-    throw CliError(kExitIo, "cannot reopen " + partial_path + ": " +
-                                std::strerror(errno));
-  }
-  const bool synced = ::fsync(fd) == 0;
-  ::close(fd);
-  if (!synced) {
-    throw CliError(kExitIo, "fsync " + partial_path + ": " +
-                                std::strerror(errno));
-  }
-  if (::rename(partial_path.c_str(), out_path.c_str()) != 0) {
-    throw CliError(kExitIo, "rename " + partial_path + " -> " + out_path +
-                                ": " + std::strerror(errno));
-  }
+  publish_output(partial_path, out_path);
   std::fprintf(stderr, "[shard_worker] shard %d/%d done -> %s\n",
                options.shard, options.shards, out_path.c_str());
   return kExitOk;
@@ -451,6 +482,225 @@ int cmd_supervise(const Args& args) {
   return report.all_chunks_done ? kExitOk : kExitIncomplete;
 }
 
+// -- fleet subcommands -------------------------------------------------------
+
+using dufp::fleet::FleetOutputs;
+using dufp::fleet::FleetRetryManifest;
+using dufp::fleet::FleetSpec;
+
+FleetSpec load_fleet_spec(const Args& args) {
+  const auto it = args.options.find("spec");
+  if (it == args.options.end()) usage_error("--spec FILE is required");
+  return FleetSpec::load(it->second);
+}
+
+void write_fleet_outputs(const FleetOutputs& out, const std::string& prefix) {
+  const std::vector<std::pair<std::string, const std::string*>> files = {
+      {prefix + ".alloc.csv", &out.allocation_csv},
+      {prefix + ".summary.csv", &out.summary_csv},
+      {prefix + ".prom", &out.prometheus},
+  };
+  for (const auto& [path, text] : files) {
+    std::ofstream f(path, std::ios::binary);
+    if (!f.good()) {
+      throw CliError(kExitIo, "cannot write " + path);
+    }
+    f << *text;
+    std::fprintf(stderr, "[shard_worker] wrote %s\n", path.c_str());
+  }
+}
+
+int cmd_fleet_spec(const Args& args) {
+  FleetSpec spec = FleetSpec::reference();
+  if (const auto it = args.options.find("spec"); it != args.options.end()) {
+    spec = FleetSpec::load(it->second);
+  }
+  std::printf("%s\n", spec.canonical_text().c_str());
+  std::fprintf(stderr, "[shard_worker] fingerprint %016llx\n",
+               static_cast<unsigned long long>(spec.fingerprint()));
+  return kExitOk;
+}
+
+int cmd_fleet_run(const Args& args) {
+  const bool resume = args.options.count("resume") != 0;
+  if (resume && args.options.count("spec") != 0) {
+    const FleetSpec flag_spec = load_fleet_spec(args);
+    const FleetRetryManifest m =
+        FleetRetryManifest::load(args.options.at("resume"));
+    if (flag_spec.fingerprint() != m.spec.fingerprint()) {
+      throw ShardFormatError(
+          "fleet-run: --spec and --resume disagree (different fingerprints)");
+    }
+  }
+  FleetRetryManifest manifest;
+  FleetSpec spec;
+  if (resume) {
+    manifest = FleetRetryManifest::load(args.options.at("resume"));
+    spec = manifest.spec;
+    std::fprintf(stderr, "[shard_worker] resume: %zu missing node(s)\n",
+                 manifest.missing.size());
+  } else {
+    spec = load_fleet_spec(args);
+  }
+  const std::string out_path = require_out(args);
+  const std::string partial_path = out_path + ".partial";
+
+  dufp::harness::ShardRunOptions options;
+  options.shard = get_int(args, "shard", 0);
+  options.shards = get_int(args, "shards", 1);
+  options.chunk_size = get_int(args, "chunk-size", 0);
+  options.chaos = chaos_from_env();
+  options.chaos.worker = options.shard;
+  options.chaos.attempt = get_int(args, "attempt", 0);
+  if (resume) options.job_filter = &manifest.missing;
+
+  std::unique_ptr<dufp::harness::FileChunkClaimer> claimer;
+  if (options.chunk_size > 0) {
+    const auto it = args.options.find("claim-dir");
+    if (it == args.options.end()) {
+      usage_error("--chunk-size needs --claim-dir");
+    }
+    dufp::harness::LeaseOptions lease;
+    if (const auto o = args.options.find("owner"); o != args.options.end()) {
+      lease.owner = o->second;
+    }
+    lease.ttl_seconds = get_double(args, "lease-ttl", 30.0);
+    claimer = std::make_unique<dufp::harness::FileChunkClaimer>(it->second,
+                                                                lease);
+    options.claimer = claimer.get();
+  }
+
+  {
+    std::ofstream out(partial_path, std::ios::binary);
+    if (!out.good()) {
+      throw CliError(kExitIo, "cannot write " + partial_path);
+    }
+    try {
+      dufp::fleet::run_fleet_shard(spec, options, out);
+    } catch (const ShardFormatError&) {
+      throw;  // -> kExitSpec
+    } catch (const std::invalid_argument&) {
+      throw;  // caller error -> internal/usage surface
+    } catch (const std::exception& e) {
+      throw CliError(kExitJob, strf("node execution failed: %s", e.what()));
+    }
+    if (!out.good()) {
+      throw CliError(kExitIo, "short write to " + partial_path);
+    }
+  }
+  publish_output(partial_path, out_path);
+  std::fprintf(stderr, "[shard_worker] fleet shard %d/%d done -> %s\n",
+               options.shard, options.shards, out_path.c_str());
+  return kExitOk;
+}
+
+int cmd_fleet_gather(const Args& args) {
+  const FleetSpec spec = load_fleet_spec(args);
+  const std::string prefix = require_out(args);
+  if (args.positional.empty()) {
+    usage_error("fleet-gather needs at least one shard file");
+  }
+  GatherOptions gopts;
+  gopts.partial = args.options.count("partial") != 0;
+  auto report =
+      dufp::fleet::gather_fleet_report(spec, args.positional, gopts);
+  for (const auto& note : report.notes) {
+    std::fprintf(stderr, "[shard_worker] salvage: %s:%d: %s\n",
+                 note.file.c_str(), note.line, note.what.c_str());
+  }
+  if (report.duplicates != 0) {
+    std::fprintf(stderr,
+                 "[shard_worker] salvage: %zu idempotent duplicate record(s) "
+                 "dropped\n",
+                 report.duplicates);
+  }
+  if (!report.complete()) {
+    const auto manifest =
+        dufp::fleet::make_fleet_retry_manifest(spec, report);
+    const std::string manifest_path = prefix + ".retry.json";
+    std::ofstream out(manifest_path, std::ios::binary);
+    if (!out.good()) {
+      throw CliError(kExitIo, "cannot write " + manifest_path);
+    }
+    out << manifest.canonical_text() << '\n';
+    std::fprintf(stderr,
+                 "[shard_worker] incomplete: %zu of %zu node(s) missing; "
+                 "retry manifest -> %s (run `dufp_shard_worker fleet-run "
+                 "--resume %s --out FILE`, then fleet-gather again with that "
+                 "FILE added)\n",
+                 report.missing.size(), report.job_count,
+                 manifest_path.c_str(), manifest_path.c_str());
+    return kExitIncomplete;
+  }
+  write_fleet_outputs(dufp::fleet::finalize_fleet(spec, report.results),
+                      prefix);
+  return kExitOk;
+}
+
+int cmd_fleet_serial(const Args& args) {
+  const FleetSpec spec = load_fleet_spec(args);
+  const std::string prefix = require_out(args);
+  write_fleet_outputs(dufp::fleet::run_fleet_serial(spec), prefix);
+  return kExitOk;
+}
+
+int cmd_fleet_supervise(const Args& args) {
+  const FleetSpec spec = load_fleet_spec(args);
+  const auto it = args.options.find("out-dir");
+  if (it == args.options.end()) usage_error("--out-dir DIR is required");
+
+  dufp::harness::SupervisorOptions options;
+  options.out_dir = it->second;
+  options.workers = get_int(args, "workers", 2);
+  options.chunk_size = get_int(args, "chunk-size", 1);
+  options.lease_ttl_seconds = get_double(args, "lease-ttl", 30.0);
+  options.max_restarts = get_int(args, "max-restarts", 2);
+  options.worker_deadline_seconds = get_double(args, "deadline", 0.0);
+  options.chaos = chaos_from_env();
+  options.quiet = std::getenv("DUFP_QUIET") != nullptr;
+
+  const auto report = dufp::fleet::supervise_fleet_run(spec, options);
+  std::fprintf(stderr,
+               "[shard_worker] fleet-supervise: %zu attempt(s), %d "
+               "restart(s), %d deadline kill(s), %d lease(s) reap-released, "
+               "%zu poisoned chunk(s), chunks %s\n",
+               report.attempts.size(), report.restarts, report.deadline_kills,
+               report.leases_released, report.poisoned_chunks.size(),
+               report.all_chunks_done ? "all done" : "INCOMPLETE");
+  for (const auto& f : report.output_files) {
+    std::printf("%s\n", f.c_str());  // machine-consumable: gather input set
+  }
+  if (report.fatal) {
+    throw ShardFormatError(
+        "fleet-supervise: a worker hit a non-retryable configuration error");
+  }
+  if (const auto g = args.options.find("gather"); g != args.options.end()) {
+    GatherOptions gopts;
+    gopts.partial = true;
+    auto gathered =
+        dufp::fleet::gather_fleet_report(spec, report.output_files, gopts);
+    if (!gathered.complete()) {
+      const auto manifest =
+          dufp::fleet::make_fleet_retry_manifest(spec, gathered);
+      const std::string manifest_path = g->second + ".retry.json";
+      std::ofstream out(manifest_path, std::ios::binary);
+      if (!out.good()) {
+        throw CliError(kExitIo, "cannot write " + manifest_path);
+      }
+      out << manifest.canonical_text() << '\n';
+      std::fprintf(stderr,
+                   "[shard_worker] fleet-supervise: %zu node(s) unrecovered; "
+                   "retry manifest -> %s\n",
+                   gathered.missing.size(), manifest_path.c_str());
+      return kExitIncomplete;
+    }
+    write_fleet_outputs(dufp::fleet::finalize_fleet(spec, gathered.results),
+                        g->second);
+    return kExitOk;
+  }
+  return report.all_chunks_done ? kExitOk : kExitIncomplete;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -464,6 +714,11 @@ int main(int argc, char** argv) {
     if (cmd == "gather") return cmd_gather(args);
     if (cmd == "serial") return cmd_serial(args);
     if (cmd == "supervise") return cmd_supervise(args);
+    if (cmd == "fleet-spec") return cmd_fleet_spec(args);
+    if (cmd == "fleet-run") return cmd_fleet_run(args);
+    if (cmd == "fleet-gather") return cmd_fleet_gather(args);
+    if (cmd == "fleet-serial") return cmd_fleet_serial(args);
+    if (cmd == "fleet-supervise") return cmd_fleet_supervise(args);
   } catch (const CliError& e) {
     std::fprintf(stderr, "dufp_shard_worker: %s\n", e.what());
     return e.code;

@@ -11,7 +11,9 @@
 // balancer composable with it.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/clock.h"
@@ -22,13 +24,25 @@
 namespace dufp::core {
 
 struct BalancerConfig {
-  double machine_budget_w = 440.0;  ///< total across all sockets
-  double min_cap_w = 65.0;          ///< per-socket floor
-  double max_cap_w = 125.0;         ///< per-socket ceiling (hw default)
+  /// Total budget across all sockets.  The default 0 is a sentinel:
+  /// "derive from the machine", i.e. max_cap_w x socket-count — the
+  /// uncapped machine — so a config built for any socket count starts
+  /// valid instead of inheriting a 4-socket magic number.
+  double machine_budget_w = 0.0;
+  double min_cap_w = 65.0;   ///< per-socket floor
+  double max_cap_w = 125.0;  ///< per-socket ceiling (hw default)
   /// Exponential smoothing of the allocation (0 = frozen, 1 = jumpy).
   double smoothing = 0.5;
   /// Extra weight floor so an idle socket keeps a live allocation.
   double base_weight = 0.1;
+
+  /// `machine_budget_w` with the sentinel resolved for `sockets`.
+  double resolved_budget_w(std::size_t sockets) const;
+
+  /// Every problem found for a machine of `sockets` sockets (empty =
+  /// valid), house aggregated-error style: min/max caps ordered, budget
+  /// >= sockets x min_cap_w, smoothing in (0, 1], base_weight >= 0.
+  std::vector<std::string> validate(std::size_t sockets) const;
 };
 
 class BudgetBalancer {
@@ -48,6 +62,15 @@ class BudgetBalancer {
 
   /// Current allocation (watts per socket).
   const std::vector<double>& allocation_w() const { return allocation_; }
+
+  /// Rebudgets the machine mid-run (fleet-level reallocation moves the
+  /// node budget between balancing intervals).  Existing allocations are
+  /// kept and drift toward the new split under the usual smoothing.
+  /// Throws std::invalid_argument when the new budget is below
+  /// sockets x min_cap_w.
+  void set_machine_budget_w(double budget_w);
+
+  double machine_budget_w() const { return config_.machine_budget_w; }
 
   std::uint64_t intervals() const { return intervals_ct_.value(); }
 

@@ -1,0 +1,254 @@
+#include "fleet/allocator.h"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "common/string_util.h"
+
+namespace dufp::fleet {
+
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool entry_matches(const FleetAllocatorRegistry::Entry& entry,
+                   std::string_view name) {
+  if (iequals(entry.name, name)) return true;
+  for (const auto& alias : entry.aliases) {
+    if (iequals(alias, name)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<double> clamp_to_budget(double budget_w,
+                                    const std::vector<ChildSignal>& children,
+                                    std::vector<double> alloc) {
+  double sum = 0.0;
+  double above_floor = 0.0;
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    alloc[i] = std::clamp(alloc[i], children[i].min_w, children[i].max_w);
+    sum += alloc[i];
+    above_floor += alloc[i] - children[i].min_w;
+  }
+  if (sum > budget_w && above_floor > 0.0) {
+    // Shrink only the share above each floor; floors are untouchable.
+    const double floor_sum = sum - above_floor;
+    const double scale =
+        std::max(0.0, (budget_w - floor_sum) / above_floor);
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      alloc[i] =
+          children[i].min_w + (alloc[i] - children[i].min_w) * scale;
+    }
+  }
+  return alloc;
+}
+
+namespace {
+
+/// Baseline: every child gets the same slice of the budget regardless of
+/// demand, clamped to its bounds.  The control arm of fleet_scaling.
+class StaticEqualAllocator final : public FleetAllocator {
+ public:
+  std::vector<double> allocate(
+      double budget_w, const std::vector<ChildSignal>& children) override {
+    const double equal =
+        budget_w / static_cast<double>(std::max<std::size_t>(1, children.size()));
+    std::vector<double> alloc(children.size(), equal);
+    return clamp_to_budget(budget_w, children, alloc);
+  }
+};
+
+/// Port of core::BudgetBalancer's weighting to the tree: each child is
+/// weighted by its last-epoch depression plus a base weight, the budget
+/// above the floors is split proportionally, and allocations are smoothed
+/// across epochs so a single bursty epoch does not whiplash the fleet.
+class ProportionalDemandAllocator final : public FleetAllocator {
+ public:
+  std::vector<double> allocate(
+      double budget_w, const std::vector<ChildSignal>& children) override {
+    const std::size_t n = children.size();
+    double floor_sum = 0.0;
+    double weight_sum = 0.0;
+    std::vector<double> weight(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      floor_sum += children[i].min_w;
+      weight[i] = children[i].depression + kBaseWeight;
+      weight_sum += weight[i];
+    }
+    const double spare = budget_w - floor_sum;
+    std::vector<double> target(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      target[i] = std::clamp(
+          children[i].min_w + spare * weight[i] / weight_sum,
+          children[i].min_w, children[i].max_w);
+    }
+    if (last_.size() != n) {
+      last_ = target;
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        last_[i] = last_[i] * (1.0 - kSmoothing) + target[i] * kSmoothing;
+      }
+    }
+    // Smoothing mixes allocations computed against different bounds, so
+    // repair feasibility before handing the split back.
+    last_ = clamp_to_budget(budget_w, children, last_);
+    return last_;
+  }
+
+ private:
+  static constexpr double kSmoothing = 0.5;
+  static constexpr double kBaseWeight = 0.1;
+
+  std::vector<double> last_;
+};
+
+/// FastCap-style fair redistribution: grant every child its floor, then
+/// water-fill the remainder in equal-share rounds — each round splits the
+/// leftover equally among children still below min(demand, max), so
+/// satisfied children's unused share flows to the starved ones.
+class FastCapAllocator final : public FleetAllocator {
+ public:
+  std::vector<double> allocate(
+      double budget_w, const std::vector<ChildSignal>& children) override {
+    const std::size_t n = children.size();
+    std::vector<double> alloc(n);
+    std::vector<double> cap(n);  // per-child satiation point
+    double remaining = budget_w;
+    for (std::size_t i = 0; i < n; ++i) {
+      alloc[i] = children[i].min_w;
+      remaining -= alloc[i];
+      cap[i] = std::clamp(children[i].demand_w, children[i].min_w,
+                          children[i].max_w);
+    }
+    // Each round either satiates at least one child or distributes the
+    // whole remainder, so n rounds always suffice.
+    for (std::size_t round = 0; round < n && remaining > 1e-9; ++round) {
+      std::size_t hungry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (alloc[i] < cap[i] - 1e-12) ++hungry;
+      }
+      if (hungry == 0) break;
+      const double share = remaining / static_cast<double>(hungry);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (alloc[i] < cap[i] - 1e-12) {
+          const double grant = std::min(share, cap[i] - alloc[i]);
+          alloc[i] += grant;
+          remaining -= grant;
+        }
+      }
+    }
+    return clamp_to_budget(budget_w, children, alloc);
+  }
+};
+
+}  // namespace
+
+FleetAllocatorRegistry& FleetAllocatorRegistry::instance() {
+  static FleetAllocatorRegistry registry = [] {
+    FleetAllocatorRegistry r;
+    register_builtin_allocators(r);
+    return r;
+  }();
+  return registry;
+}
+
+void FleetAllocatorRegistry::add(Entry entry) {
+  if (entry.name.empty()) {
+    throw std::invalid_argument(
+        "FleetAllocatorRegistry: entry must have a name");
+  }
+  if (!entry.factory) {
+    throw std::invalid_argument(
+        strf("FleetAllocatorRegistry: allocator \"%s\" has no factory",
+             entry.name.c_str()));
+  }
+  std::vector<std::string_view> keys;
+  keys.push_back(entry.name);
+  for (const auto& alias : entry.aliases) keys.push_back(alias);
+  for (const auto key : keys) {
+    if (find(key) != nullptr) {
+      throw std::invalid_argument(
+          strf("FleetAllocatorRegistry: name \"%.*s\" is already registered",
+               static_cast<int>(key.size()), key.data()));
+    }
+  }
+  entries_.push_back(std::move(entry));
+}
+
+const FleetAllocatorRegistry::Entry* FleetAllocatorRegistry::find(
+    std::string_view name) const {
+  for (const auto& entry : entries_) {
+    if (entry_matches(entry, name)) return &entry;
+  }
+  return nullptr;
+}
+
+const FleetAllocatorRegistry::Entry& FleetAllocatorRegistry::at(
+    std::string_view name) const {
+  const Entry* entry = find(name);
+  if (entry == nullptr) {
+    throw std::invalid_argument(
+        strf("unknown fleet allocator \"%.*s\" (known: %s)",
+             static_cast<int>(name.size()), name.data(),
+             known_names().c_str()));
+  }
+  return *entry;
+}
+
+std::vector<std::string> FleetAllocatorRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) out.push_back(entry.name);
+  return out;
+}
+
+std::string FleetAllocatorRegistry::known_names() const {
+  std::string out;
+  for (const auto& entry : entries_) {
+    if (!out.empty()) out += ", ";
+    out += entry.name;
+  }
+  return out;
+}
+
+std::unique_ptr<FleetAllocator> FleetAllocatorRegistry::create(
+    std::string_view name) const {
+  return at(name).factory();
+}
+
+void register_builtin_allocators(FleetAllocatorRegistry& registry) {
+  registry.add({
+      "static-equal",
+      "Equal split of the budget regardless of demand (baseline)",
+      {"equal", "static"},
+      [] { return std::make_unique<StaticEqualAllocator>(); },
+  });
+  registry.add({
+      "proportional",
+      "Depression-weighted proportional split with cross-epoch smoothing "
+      "(BudgetBalancer's weighting, lifted to the tree)",
+      {"proportional-demand"},
+      [] { return std::make_unique<ProportionalDemandAllocator>(); },
+  });
+  registry.add({
+      "fastcap",
+      "Max-min fair water-filling: floors first, then equal-share rounds "
+      "among children still below their demand",
+      {"fair"},
+      [] { return std::make_unique<FastCapAllocator>(); },
+  });
+}
+
+}  // namespace dufp::fleet

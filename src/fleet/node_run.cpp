@@ -1,0 +1,361 @@
+#include "fleet/node_run.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "core/agent.h"
+#include "core/budget_balancer.h"
+#include "core/policy_registry.h"
+#include "faults/fault_plan.h"
+#include "faults/faulty_counter_source.h"
+#include "faults/faulty_msr.h"
+#include "harness/plan.h"
+#include "msr/device.h"
+#include "perfmon/sim_counter_source.h"
+#include "powercap/pstate_control.h"
+#include "powercap/uncore_control.h"
+#include "powercap/zone.h"
+#include "sim/simulation.h"
+#include "workloads/profiles.h"
+
+namespace dufp::fleet {
+
+namespace {
+
+using json::Value;
+
+Value hex(double v) { return Value::make_string(json::double_to_hex(v)); }
+double unhex(const Value& v) { return json::hex_to_double(v.as_string()); }
+
+/// The time-weighted mean of an app's phase sequence: one PhaseSpec that
+/// consumes the same FLOPs, bytes and actuator sensitivity per second as
+/// the whole application does on average.  The epoch phases are scaled
+/// copies of this.
+workloads::PhaseSpec mean_phase(const workloads::WorkloadProfile& app) {
+  workloads::PhaseSpec mean;
+  mean.gflops_ref = 0.0;
+  mean.oi = 0.0;
+  mean.w_cpu = mean.w_mem = mean.w_unc = mean.w_fixed = 0.0;
+  mean.cpu_activity = mean.mem_activity = 0.0;
+  double total = 0.0;
+  double bytes_rate = 0.0;
+  for (const std::size_t idx : app.sequence()) {
+    const workloads::PhaseSpec& p = app.phase(idx);
+    const double w = p.nominal_seconds;
+    total += w;
+    mean.gflops_ref += w * p.gflops_ref;
+    bytes_rate += w * p.bytes_rate_ref_gbps();
+    mean.w_cpu += w * p.w_cpu;
+    mean.w_mem += w * p.w_mem;
+    mean.w_unc += w * p.w_unc;
+    mean.w_fixed += w * p.w_fixed;
+    mean.cpu_activity += w * p.cpu_activity;
+    mean.mem_activity += w * p.mem_activity;
+  }
+  mean.gflops_ref /= total;
+  bytes_rate /= total;
+  // Mean OI is the ratio of the mean rates, not the mean of ratios —
+  // that keeps total FLOPs and total bytes both faithful.
+  mean.oi = mean.gflops_ref / bytes_rate;
+  mean.w_cpu /= total;
+  mean.w_mem /= total;
+  mean.w_unc /= total;
+  mean.w_fixed /= total;
+  mean.cpu_activity /= total;
+  mean.mem_activity /= total;
+  // The convex combination sums to 1 only up to rounding; PhaseSpec
+  // validates at 1e-6, so renormalize exactly.
+  const double wsum = mean.w_cpu + mean.w_mem + mean.w_unc + mean.w_fixed;
+  mean.w_cpu /= wsum;
+  mean.w_mem /= wsum;
+  mean.w_unc /= wsum;
+  mean.w_fixed /= wsum;
+  return mean;
+}
+
+/// One phase per epoch, each the mean phase scaled by that epoch's
+/// traffic intensity: demand (FLOP rate) swings over [0.2x, 1.0x] and
+/// the activity factors over [0.5x, 1.0x], so an idle epoch draws
+/// noticeably less power but never models a fully powered-off node.
+workloads::WorkloadProfile node_profile(const FleetSpec& spec,
+                                        std::size_t node,
+                                        const AllocationPlan& plan) {
+  const workloads::WorkloadProfile& app = workloads::profile(spec.app);
+  const workloads::PhaseSpec mean = mean_phase(app);
+  workloads::WorkloadProfile out(
+      strf("%s-fleet", app.name().c_str()),
+      strf("%s scaled by fleet traffic, one phase per epoch",
+           app.name().c_str()));
+  for (int e = 0; e < spec.epochs; ++e) {
+    const double intensity =
+        plan.node_intensity[static_cast<std::size_t>(e)][node];
+    workloads::PhaseSpec p = mean;
+    p.name = strf("e%d", e);
+    p.nominal_seconds = spec.epoch_seconds;
+    p.gflops_ref = mean.gflops_ref * (0.2 + 0.8 * intensity);
+    const double act = 0.5 + 0.5 * intensity;
+    p.cpu_activity = mean.cpu_activity * act;
+    p.mem_activity = mean.mem_activity * act;
+    out.add_phase(p);
+    out.then(p.name);
+  }
+  return out;
+}
+
+}  // namespace
+
+json::Value encode_node_result(const FleetNodeResult& result) {
+  Value o = Value::make_object();
+  Value epochs = Value::make_array();
+  for (const EpochRecord& e : result.epochs) {
+    Value rec = Value::make_object();
+    rec.add("alloc_w", hex(e.alloc_w));
+    rec.add("demand_w", hex(e.demand_w));
+    rec.add("intensity", hex(e.intensity));
+    rec.add("wall_seconds", hex(e.wall_seconds));
+    rec.add("pkg_energy_j", hex(e.pkg_energy_j));
+    rec.add("dram_energy_j", hex(e.dram_energy_j));
+    epochs.push_back(std::move(rec));
+  }
+  o.add("epochs", std::move(epochs));
+  o.add("exec_seconds", hex(result.exec_seconds));
+  o.add("pkg_energy_j", hex(result.pkg_energy_j));
+  o.add("dram_energy_j", hex(result.dram_energy_j));
+  o.add("avg_speed", hex(result.avg_speed));
+  o.add("faults_injected", Value::make_u64(result.faults_injected));
+  o.add("degradations", Value::make_u64(result.degradations));
+  return o;
+}
+
+FleetNodeResult decode_node_result(const json::Value& v) {
+  FleetNodeResult result;
+  for (const Value& rec : v.at("epochs").as_array()) {
+    EpochRecord e;
+    e.alloc_w = unhex(rec.at("alloc_w"));
+    e.demand_w = unhex(rec.at("demand_w"));
+    e.intensity = unhex(rec.at("intensity"));
+    e.wall_seconds = unhex(rec.at("wall_seconds"));
+    e.pkg_energy_j = unhex(rec.at("pkg_energy_j"));
+    e.dram_energy_j = unhex(rec.at("dram_energy_j"));
+    result.epochs.push_back(e);
+  }
+  result.exec_seconds = unhex(v.at("exec_seconds"));
+  result.pkg_energy_j = unhex(v.at("pkg_energy_j"));
+  result.dram_energy_j = unhex(v.at("dram_energy_j"));
+  result.avg_speed = unhex(v.at("avg_speed"));
+  result.faults_injected = v.at("faults_injected").as_u64();
+  result.degradations = v.at("degradations").as_u64();
+  return result;
+}
+
+FleetNodeResult run_fleet_node(const FleetSpec& spec, std::size_t node,
+                               const AllocationPlan& plan) {
+  {
+    const auto problems = spec.validate();
+    if (!problems.empty()) {
+      std::string msg = "run_fleet_node: invalid spec:";
+      for (std::size_t i = 0; i < problems.size(); ++i) {
+        msg += (i == 0 ? " " : "; ") + problems[i];
+      }
+      throw std::invalid_argument(msg);
+    }
+  }
+  if (node >= spec.topology.node_count()) {
+    throw std::invalid_argument(
+        strf("run_fleet_node: node %zu out of range (fleet has %zu nodes)",
+             node, spec.topology.node_count()));
+  }
+
+  const int sockets = spec.topology.sockets_per_node;
+  const double node_floor =
+      spec.min_cap_w * static_cast<double>(sockets);
+
+  hw::MachineConfig machine;
+  machine.sockets = sockets;
+
+  const workloads::WorkloadProfile profile = node_profile(spec, node, plan);
+
+  sim::SimulationOptions sim_opts;
+  sim_opts.seed = harness::job_seed(spec.seed, static_cast<int>(node));
+  // Phases must map 1:1 onto epochs for the per-epoch accounting below,
+  // so the per-entry duration jitter is off; run-to-run variation enters
+  // through the traffic model and sampler noise instead.
+  sim_opts.workload_jitter_sigma = 0.0;
+  sim_opts.max_seconds = std::max(
+      60.0, static_cast<double>(spec.epochs) * spec.epoch_seconds * 100.0);
+
+  sim::Simulation s(machine, profile, sim_opts);
+  const int n = s.socket_count();
+
+  const bool inject = spec.fault_rate > 0.0;
+  faults::FaultOptions fault_opts;
+  if (inject) {
+    fault_opts = faults::FaultOptions::storm(spec.fault_rate, spec.fault_seed);
+  }
+
+  // Wiring mirrors harness::run_once: optional fault decorators between
+  // the control plane and the substrate, zones / uncore / counters per
+  // socket, injectors armed only after construction-time reads.
+  std::vector<std::unique_ptr<faults::FaultPlan>> plans;
+  std::vector<std::unique_ptr<faults::FaultyMsrDevice>> fdevs;
+  std::vector<std::unique_ptr<faults::FaultyCounterSource>> fsrcs;
+  std::vector<std::unique_ptr<powercap::PackageZone>> zones;
+  std::vector<std::unique_ptr<powercap::UncoreControl>> uncores;
+  std::vector<std::unique_ptr<powercap::PstateControl>> pstates;
+  std::vector<std::unique_ptr<perfmon::SimCounterSource>> sources;
+  std::vector<std::unique_ptr<core::Agent>> agents;
+
+  for (int i = 0; i < n; ++i) {
+    msr::MsrDevice* dev = &s.msr(i);
+    if (inject) {
+      Rng base(fault_opts.seed);
+      Rng per_run = base.fork(sim_opts.seed);
+      plans.push_back(std::make_unique<faults::FaultPlan>(
+          fault_opts, per_run.fork(static_cast<std::uint64_t>(i))));
+      fdevs.push_back(
+          std::make_unique<faults::FaultyMsrDevice>(s.msr(i), *plans.back()));
+      dev = fdevs.back().get();  // still disarmed: wiring reads clean
+    }
+    zones.push_back(std::make_unique<powercap::PackageZone>(*dev, i));
+    uncores.push_back(std::make_unique<powercap::UncoreControl>(*dev));
+    sources.push_back(
+        std::make_unique<perfmon::SimCounterSource>(s.socket(i), *dev));
+    if (inject) {
+      fsrcs.push_back(std::make_unique<faults::FaultyCounterSource>(
+          *sources.back(), *plans.back()));
+    }
+  }
+
+  // The node-level balancer splits the node budget among its sockets.
+  // It reads the *clean* MSRs: its APERF/MPERF sampling models an
+  // out-of-band management path (a BMC), and a faulted read escaping a
+  // periodic callback would abort the run.
+  core::BalancerConfig bal_cfg;
+  bal_cfg.min_cap_w = spec.min_cap_w;
+  bal_cfg.max_cap_w = spec.max_cap_w;
+  bal_cfg.machine_budget_w =
+      std::max(plan.node_w[0][node], node_floor);
+  std::vector<powercap::PackageZone*> bal_zones;
+  std::vector<const msr::MsrDevice*> bal_msrs;
+  for (int i = 0; i < n; ++i) {
+    bal_zones.push_back(zones[static_cast<std::size_t>(i)].get());
+    bal_msrs.push_back(&s.msr(i));
+  }
+  core::BudgetBalancer balancer(bal_cfg, std::move(bal_zones),
+                                std::move(bal_msrs),
+                                machine.socket.core_max_mhz,
+                                machine.socket.core_base_mhz);
+  // Best effort under fault injection (same stance as run_once's
+  // phase-cap listener): the balancer's cap writes go through the faulty
+  // zones, and a faulted rebalance tick is skipped — the sockets keep
+  // their previous caps until the next tick — rather than crashing the
+  // node.
+  s.schedule_periodic(SimTime::from_millis(200), [&balancer](SimTime now) {
+    try {
+      balancer.on_interval(now);
+    } catch (const msr::MsrError&) {
+    }
+  });
+
+  // The epoch clock: at each boundary, move the node's cap to the next
+  // entry of the plan's schedule.  Once the schedule is exhausted (the
+  // node overran its nominal wall time under throttling) the last budget
+  // holds.  The max() guards the balancer's floor check against the
+  // contract's 1e-9 bound slack.
+  {
+    auto epoch = std::make_shared<int>(0);
+    const auto epochs = spec.epochs;
+    const auto& node_w = plan.node_w;
+    s.schedule_periodic(
+        SimTime::from_seconds(spec.epoch_seconds),
+        [epoch, epochs, &node_w, node, node_floor, &balancer](SimTime) {
+          ++*epoch;
+          if (*epoch < epochs) {
+            balancer.set_machine_budget_w(std::max(
+                node_w[static_cast<std::size_t>(*epoch)][node], node_floor));
+          }
+        });
+  }
+
+  // Per-socket agents, exactly as in run_once.
+  const std::string policy_name =
+      core::PolicyRegistry::instance().at(spec.policy).name;
+  core::PolicyConfig policy;
+  policy.tolerated_slowdown = spec.tolerated_slowdown;
+  policy.min_cap_w = spec.min_cap_w;
+  policy =
+      core::PolicyRegistry::instance().apply_config_defaults(policy_name,
+                                                             policy);
+  for (int i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const perfmon::CounterSource& source =
+        inject ? static_cast<const perfmon::CounterSource&>(*fsrcs[idx])
+               : *sources[idx];
+    perfmon::SamplerOptions so;
+    so.noise_sigma = 0.001;
+    perfmon::IntervalSampler sampler(
+        source, machine.socket.core_base_mhz,
+        s.fork_rng(0x2000 + static_cast<std::uint64_t>(i)), so);
+    powercap::PstateControl* pstate = nullptr;
+    if (policy.manage_core_frequency) {
+      pstates.push_back(std::make_unique<powercap::PstateControl>(
+          inject ? static_cast<msr::MsrDevice&>(*fdevs[idx]) : s.msr(i)));
+      pstate = pstates.back().get();
+    }
+    agents.push_back(std::make_unique<core::Agent>(
+        policy_name, policy, *zones[idx], *uncores[idx], std::move(sampler),
+        pstate, nullptr));
+    core::Agent* agent = agents.back().get();
+    s.schedule_periodic(policy.interval,
+                        [agent](SimTime now) { agent->on_interval(now); });
+  }
+
+  if (inject) {
+    for (auto& d : fdevs) d->arm();
+    for (auto& f : fsrcs) f->arm();
+  }
+
+  const sim::RunSummary summary = s.run();
+
+  FleetNodeResult result;
+  result.epochs.resize(static_cast<std::size_t>(spec.epochs));
+  for (int e = 0; e < spec.epochs; ++e) {
+    const auto ei = static_cast<std::size_t>(e);
+    EpochRecord& rec = result.epochs[ei];
+    rec.alloc_w = plan.node_w[ei][node];
+    rec.demand_w = plan.node_demand_w[ei][node];
+    rec.intensity = plan.node_intensity[ei][node];
+  }
+  for (int i = 0; i < n; ++i) {
+    const auto& totals = s.phase_totals(i);
+    for (int e = 0; e < spec.epochs; ++e) {
+      const auto ei = static_cast<std::size_t>(e);
+      EpochRecord& rec = result.epochs[ei];
+      // Sockets run the epoch in parallel; the epoch is as slow as its
+      // slowest socket.
+      rec.wall_seconds = std::max(rec.wall_seconds, totals[ei].wall_seconds);
+      rec.pkg_energy_j += totals[ei].pkg_energy_j;
+      rec.dram_energy_j += totals[ei].dram_energy_j;
+    }
+  }
+  result.exec_seconds = summary.exec_seconds;
+  result.pkg_energy_j = summary.pkg_energy_j;
+  result.dram_energy_j = summary.dram_energy_j;
+  result.avg_speed = summary.exec_seconds > 0.0
+                         ? profile.nominal_total_seconds() /
+                               summary.exec_seconds
+                         : 0.0;
+  for (const auto& agent : agents) {
+    result.degradations += agent->stats().health.degradations;
+  }
+  for (const auto& p : plans) {
+    result.faults_injected += p->stats().total();
+  }
+  return result;
+}
+
+}  // namespace dufp::fleet

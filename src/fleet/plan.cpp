@@ -1,0 +1,169 @@
+#include "fleet/plan.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "common/string_util.h"
+#include "fleet/traffic.h"
+
+namespace dufp::fleet {
+
+namespace {
+
+/// Float slack for the conservation check: allocators compute with the
+/// same doubles we verify with, so anything beyond accumulated rounding
+/// is a real violation.
+constexpr double kSumSlack = 1e-6;
+constexpr double kBoundSlack = 1e-9;
+
+[[noreturn]] void contract_fail(const std::string& allocator_name,
+                                const std::string& label,
+                                const std::string& what) {
+  throw std::logic_error(strf("fleet allocator \"%s\" violated its contract "
+                              "at %s: %s",
+                              allocator_name.c_str(), label.c_str(),
+                              what.c_str()));
+}
+
+}  // namespace
+
+std::vector<double> checked_allocate(
+    FleetAllocator& alloc, const std::string& allocator_name,
+    const std::string& label, double budget_w,
+    const std::vector<ChildSignal>& children) {
+  std::vector<double> out = alloc.allocate(budget_w, children);
+  if (out.size() != children.size()) {
+    contract_fail(allocator_name, label,
+                  strf("returned %zu allocations for %zu children",
+                       out.size(), children.size()));
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out[i] < children[i].min_w - kBoundSlack ||
+        out[i] > children[i].max_w + kBoundSlack) {
+      contract_fail(
+          allocator_name, label,
+          strf("child %zu granted %g W outside its bounds [%g, %g]", i,
+               out[i], children[i].min_w, children[i].max_w));
+    }
+    sum += out[i];
+  }
+  if (sum > budget_w + kSumSlack) {
+    contract_fail(allocator_name, label,
+                  strf("children sum to %g W, above the %g W budget", sum,
+                       budget_w));
+  }
+  return out;
+}
+
+AllocationPlan plan_allocations(const FleetSpec& spec) {
+  {
+    const auto problems = spec.validate();
+    if (!problems.empty()) {
+      std::string msg = "plan_allocations: invalid spec:";
+      for (std::size_t i = 0; i < problems.size(); ++i) {
+        msg += (i == 0 ? " " : "; ") + problems[i];
+      }
+      throw std::invalid_argument(msg);
+    }
+  }
+
+  const FleetTopology& topo = spec.topology;
+  const std::size_t racks = static_cast<std::size_t>(topo.racks);
+  const std::size_t per_rack = static_cast<std::size_t>(topo.nodes_per_rack);
+  const std::size_t nodes = topo.node_count();
+  const double node_min =
+      spec.min_cap_w * static_cast<double>(topo.sockets_per_node);
+  const double node_max =
+      spec.max_cap_w * static_cast<double>(topo.sockets_per_node);
+
+  TrafficModel traffic({spec.traffic_profile, spec.traffic_seed});
+  const auto& registry = FleetAllocatorRegistry::instance();
+  const std::string alloc_name = registry.at(spec.allocator).name;
+
+  // One allocator instance per inner tree node, so stateful smoothing
+  // tracks *its* children across epochs.  Planning is sequential and in
+  // fixed order, which keeps any such state deterministic.
+  std::unique_ptr<FleetAllocator> cluster = registry.create(alloc_name);
+  std::vector<std::unique_ptr<FleetAllocator>> rack_allocs;
+  for (std::size_t r = 0; r < racks; ++r) {
+    rack_allocs.push_back(registry.create(alloc_name));
+  }
+
+  AllocationPlan plan;
+  plan.budget_w = spec.resolved_budget_w();
+  plan.rack_w.assign(static_cast<std::size_t>(spec.epochs),
+                     std::vector<double>(racks, 0.0));
+  plan.node_w.assign(static_cast<std::size_t>(spec.epochs),
+                     std::vector<double>(nodes, 0.0));
+  plan.node_demand_w = plan.node_w;
+  plan.node_intensity = plan.node_w;
+
+  // Feedback carried between epochs: how starved each node was.
+  std::vector<double> depression(nodes, 0.0);
+
+  for (int e = 0; e < spec.epochs; ++e) {
+    const auto ei = static_cast<std::size_t>(e);
+    for (std::size_t n = 0; n < nodes; ++n) {
+      const double intensity = traffic.intensity(n, e);
+      plan.node_intensity[ei][n] = intensity;
+      plan.node_demand_w[ei][n] =
+          node_min + intensity * (node_max - node_min);
+    }
+
+    // Cluster -> racks.  A rack's signal aggregates its nodes: summed
+    // demand and bounds, demand-weighted mean depression.
+    std::vector<ChildSignal> rack_signals(racks);
+    for (std::size_t r = 0; r < racks; ++r) {
+      ChildSignal& sig = rack_signals[r];
+      sig.min_w = node_min * static_cast<double>(per_rack);
+      sig.max_w = node_max * static_cast<double>(per_rack);
+      double weighted_depr = 0.0;
+      for (std::size_t slot = 0; slot < per_rack; ++slot) {
+        const std::size_t n = topo.node_index(static_cast<int>(r),
+                                              static_cast<int>(slot));
+        sig.demand_w += plan.node_demand_w[ei][n];
+        weighted_depr += depression[n] * plan.node_demand_w[ei][n];
+      }
+      sig.depression =
+          sig.demand_w > 0.0 ? weighted_depr / sig.demand_w : 0.0;
+    }
+    plan.rack_w[ei] = checked_allocate(*cluster, alloc_name, "cluster",
+                                       plan.budget_w, rack_signals);
+
+    // Rack -> nodes.
+    for (std::size_t r = 0; r < racks; ++r) {
+      std::vector<ChildSignal> node_signals(per_rack);
+      for (std::size_t slot = 0; slot < per_rack; ++slot) {
+        const std::size_t n = topo.node_index(static_cast<int>(r),
+                                              static_cast<int>(slot));
+        node_signals[slot] = {plan.node_demand_w[ei][n], node_min, node_max,
+                              depression[n]};
+      }
+      const auto granted = checked_allocate(
+          *rack_allocs[r], alloc_name,
+          strf("rack %d", static_cast<int>(r)), plan.rack_w[ei][r],
+          node_signals);
+      for (std::size_t slot = 0; slot < per_rack; ++slot) {
+        const std::size_t n = topo.node_index(static_cast<int>(r),
+                                              static_cast<int>(slot));
+        plan.node_w[ei][n] = granted[slot];
+      }
+    }
+
+    // Analytic feedback for the next epoch: 1 - granted/demanded, so a
+    // node that got everything it asked for reports 0 and a starved one
+    // reports how short it fell.
+    for (std::size_t n = 0; n < nodes; ++n) {
+      const double demand = plan.node_demand_w[ei][n];
+      depression[n] =
+          demand > 0.0
+              ? std::max(0.0, 1.0 - plan.node_w[ei][n] / demand)
+              : 0.0;
+    }
+  }
+  return plan;
+}
+
+}  // namespace dufp::fleet

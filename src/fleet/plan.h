@@ -1,0 +1,58 @@
+// Phase A of a fleet run: the allocation plan.
+//
+// Every per-epoch budget split is computed *up front* as a pure function
+// of the FleetSpec — demand comes from the deterministic traffic model,
+// and the feedback signal (last epoch's depression) from the analytic
+// ratio of granted to demanded watts, never from simulation state.  That
+// split is what makes the fleet shardable with zero coordination: every
+// process derives the identical plan, then each node's simulation runs
+// independently under its precomputed per-epoch cap schedule, so serial
+// and sharded executions are byte-identical by construction.
+//
+// The conservation invariant is enforced here, in code: after every
+// allocator call, children must sum to at most the parent's budget and
+// each child must sit inside its [min, max] bounds — a violation throws
+// std::logic_error naming the allocator and tree node, because a broken
+// allocator must never silently mint watts.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fleet/allocator.h"
+#include "fleet/spec.h"
+
+namespace dufp::fleet {
+
+/// The full per-epoch budget tree, cluster -> racks -> nodes.
+/// All vectors are indexed [epoch][rack] / [epoch][node] (nodes
+/// rack-major, see FleetTopology).
+struct AllocationPlan {
+  double budget_w = 0.0;  ///< resolved cluster budget (constant)
+  std::vector<std::vector<double>> rack_w;
+  std::vector<std::vector<double>> node_w;
+  /// What each node asked for: min + intensity x (max - min) watts.
+  std::vector<std::vector<double>> node_demand_w;
+  /// The traffic intensity sample behind each demand, for the records.
+  std::vector<std::vector<double>> node_intensity;
+};
+
+/// Runs `alloc.allocate(budget_w, children)` and enforces the
+/// FleetAllocator contract (size, per-child bounds, sum <= budget).
+/// Throws std::logic_error naming `label` (e.g. "cluster", "rack 1") on
+/// any violation.
+std::vector<double> checked_allocate(
+    FleetAllocator& alloc, const std::string& allocator_name,
+    const std::string& label, double budget_w,
+    const std::vector<ChildSignal>& children);
+
+/// Computes the whole plan: one allocator instance per inner tree node
+/// (the cluster plus each rack — allocators may carry cross-epoch
+/// smoothing state), epochs advanced in order, depression fed back from
+/// the previous epoch's grant/demand ratio.  Pure function of the spec.
+/// Throws std::invalid_argument on an invalid spec and std::logic_error
+/// when an allocator violates its contract.
+AllocationPlan plan_allocations(const FleetSpec& spec);
+
+}  // namespace dufp::fleet

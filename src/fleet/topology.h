@@ -1,0 +1,61 @@
+// The fleet's budget tree shape: cluster -> racks -> nodes -> sockets.
+//
+// Nodes are flat-indexed rack-major (node = rack * nodes_per_rack + slot)
+// so a node index is a portable identity across processes — the shard
+// layer's job indices map 1:1 onto node indices and every layer (wire
+// records, error messages, telemetry labels) derives rack/slot from the
+// same arithmetic.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace dufp::fleet {
+
+struct FleetTopology {
+  int racks = 2;
+  int nodes_per_rack = 2;
+  int sockets_per_node = 4;
+
+  std::size_t node_count() const {
+    return static_cast<std::size_t>(racks) *
+           static_cast<std::size_t>(nodes_per_rack);
+  }
+  std::size_t socket_count() const {
+    return node_count() * static_cast<std::size_t>(sockets_per_node);
+  }
+
+  int rack_of(std::size_t node) const {
+    return static_cast<int>(node / static_cast<std::size_t>(nodes_per_rack));
+  }
+  int slot_of(std::size_t node) const {
+    return static_cast<int>(node % static_cast<std::size_t>(nodes_per_rack));
+  }
+  std::size_t node_index(int rack, int slot) const {
+    return static_cast<std::size_t>(rack) *
+               static_cast<std::size_t>(nodes_per_rack) +
+           static_cast<std::size_t>(slot);
+  }
+
+  /// "rack 1 / node 3" — the attribution every error message and label
+  /// uses for node `node` (the node id is the within-rack slot).
+  std::string node_label(std::size_t node) const {
+    return strf("rack %d / node %d", rack_of(node), slot_of(node));
+  }
+
+  /// Every problem found (empty = valid).
+  std::vector<std::string> validate() const {
+    std::vector<std::string> problems;
+    if (racks < 1) problems.push_back("racks must be >= 1");
+    if (nodes_per_rack < 1) problems.push_back("nodes_per_rack must be >= 1");
+    if (sockets_per_node < 1) {
+      problems.push_back("sockets_per_node must be >= 1");
+    }
+    return problems;
+  }
+};
+
+}  // namespace dufp::fleet

@@ -1,0 +1,94 @@
+#include "fleet/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace dufp::fleet {
+
+namespace {
+
+constexpr int kDiurnal = 0;
+constexpr int kHeavyTail = 1;
+constexpr int kFlat = 2;
+
+/// Epochs per simulated "day" of the diurnal cycle.
+constexpr double kDiurnalPeriodEpochs = 24.0;
+
+double clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+}  // namespace
+
+const std::vector<std::string>& TrafficModel::profiles() {
+  static const std::vector<std::string> kProfiles{"diurnal", "heavy-tail",
+                                                  "flat"};
+  return kProfiles;
+}
+
+std::string TrafficModel::known_profiles() {
+  std::string out;
+  for (const auto& p : profiles()) {
+    if (!out.empty()) out += ", ";
+    out += p;
+  }
+  return out;
+}
+
+bool TrafficModel::is_known(const std::string& profile) {
+  const auto& known = profiles();
+  return std::find(known.begin(), known.end(), profile) != known.end();
+}
+
+TrafficModel::TrafficModel(TrafficOptions options)
+    : options_(std::move(options)) {
+  if (options_.profile == "diurnal") {
+    kind_ = kDiurnal;
+  } else if (options_.profile == "heavy-tail") {
+    kind_ = kHeavyTail;
+  } else if (options_.profile == "flat") {
+    kind_ = kFlat;
+  } else {
+    throw std::invalid_argument(
+        strf("TrafficModel: unknown profile \"%s\" (known: %s)",
+             options_.profile.c_str(), known_profiles().c_str()));
+  }
+}
+
+double TrafficModel::intensity(std::size_t node, int epoch) const {
+  // Per-node stream: stable node-level characteristics (diurnal phase
+  // offset, burstiness) are drawn before any per-epoch noise, so they do
+  // not depend on which epochs were evaluated or in what order.
+  Rng node_rng = Rng(options_.seed).fork(static_cast<std::uint64_t>(node));
+  // Per-(node, epoch) stream for the sample itself.
+  Rng rng = Rng(options_.seed)
+                .fork(static_cast<std::uint64_t>(node))
+                .fork(0x9e1u + static_cast<std::uint64_t>(epoch));
+  switch (kind_) {
+    case kDiurnal: {
+      // Day/night swing with a per-node phase offset (not every service
+      // peaks at the same hour) plus small per-epoch noise.
+      const double phase = node_rng.next_double();  // [0, 1) of a period
+      const double angle = 2.0 * M_PI *
+                           (static_cast<double>(epoch) / kDiurnalPeriodEpochs +
+                            phase);
+      const double swing = 0.5 * (1.0 + std::sin(angle));  // [0, 1]
+      return clamp01(0.15 + 0.75 * swing + rng.gaussian(0.0, 0.03));
+    }
+    case kHeavyTail: {
+      // Quiet floor punctured by Pareto bursts: most epochs idle along
+      // near the floor, a heavy tail saturates the node.
+      const double u = std::max(1e-9, rng.next_double());
+      const double pareto = std::pow(u, -1.0 / 1.5);  // alpha = 1.5, xm = 1
+      const double burst = (pareto - 1.0) / 9.0;      // 1..10 -> 0..1
+      return clamp01(0.10 + burst);
+    }
+    default: {  // kFlat
+      return clamp01(0.55 + rng.gaussian(0.0, 0.02));
+    }
+  }
+}
+
+}  // namespace dufp::fleet

@@ -1,0 +1,50 @@
+// Deterministic traffic generation: the per-(node, epoch) load intensity
+// the fleet allocators chase.
+//
+// Intensity is a pure function of (profile, seed, node, epoch) — every
+// sample draws from its own forked RNG stream, never from a shared
+// sequential one — so any process can evaluate any subset of the fleet in
+// any order and see identical demand.  That independence is what lets the
+// shard layer fan node simulations out with zero coordination.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dufp::fleet {
+
+struct TrafficOptions {
+  /// One of TrafficModel::profiles(): "diurnal" (day/night sinusoid with
+  /// per-node phase offsets), "heavy-tail" (Pareto bursts over a quiet
+  /// floor), "flat" (constant mid-load with small noise).
+  std::string profile = "diurnal";
+  std::uint64_t seed = 1;
+};
+
+class TrafficModel {
+ public:
+  /// Throws std::invalid_argument listing the known profiles when
+  /// `options.profile` is not one of them.
+  explicit TrafficModel(TrafficOptions options);
+
+  /// Load intensity in [0, 1] for `node` during `epoch`.  Pure function
+  /// of (profile, seed, node, epoch).
+  double intensity(std::size_t node, int epoch) const;
+
+  const TrafficOptions& options() const { return options_; }
+
+  /// Known profile names, registration order.
+  static const std::vector<std::string>& profiles();
+
+  /// "diurnal, heavy-tail, flat" — embedded in lookup error messages.
+  static std::string known_profiles();
+
+  static bool is_known(const std::string& profile);
+
+ private:
+  TrafficOptions options_;
+  int kind_ = 0;
+};
+
+}  // namespace dufp::fleet

@@ -60,7 +60,7 @@ constexpr int kExitIo = 5;
 /// One supervised worker attempt's whole life, run inside the fork:
 /// claim chunks, stream records to the `.partial` file, fsync and
 /// atomically rename on success.  Exit code is the only channel back.
-int worker_child_main(const GridSpec& spec, const SupervisorOptions& sup,
+int worker_child_main(const SupervisedWork& work, const SupervisorOptions& sup,
                       int worker, int attempt, const std::string& partial,
                       const std::string& final_path) {
   try {
@@ -84,7 +84,7 @@ int worker_child_main(const GridSpec& spec, const SupervisorOptions& sup,
       std::ofstream out(partial, std::ios::binary);
       if (!out.good()) return kExitIo;
       try {
-        run_shard(spec, opts, out);
+        work.run(opts, out);
       } catch (const ShardFormatError& e) {
         std::fprintf(stderr, "[worker %d.%d] %s\n", worker, attempt,
                      e.what());
@@ -132,8 +132,8 @@ struct Slot {
 
 }  // namespace
 
-SupervisorReport supervise_shard_run(const GridSpec& spec,
-                                     const SupervisorOptions& options) {
+SupervisorReport supervise_work(const SupervisedWork& work,
+                                const SupervisorOptions& options) {
   if (options.workers < 1) {
     throw std::invalid_argument("supervise_shard_run: workers must be >= 1");
   }
@@ -147,9 +147,9 @@ SupervisorReport supervise_shard_run(const GridSpec& spec,
         "supervise_shard_run: out_dir must exist: " + options.out_dir);
   }
 
-  const std::size_t universe_size =
-      options.job_filter != nullptr ? options.job_filter->size()
-                                    : build_plan(spec).plan.job_count();
+  const std::size_t universe_size = options.job_filter != nullptr
+                                        ? options.job_filter->size()
+                                        : work.job_count;
   const int chunks = static_cast<int>(
       (universe_size + static_cast<std::size_t>(options.chunk_size) - 1) /
       static_cast<std::size_t>(options.chunk_size));
@@ -174,7 +174,7 @@ SupervisorReport supervise_shard_run(const GridSpec& spec,
       if (options.child_override) {
         ::_exit(options.child_override(k, attempt));
       }
-      ::_exit(worker_child_main(spec, options, k, attempt, slot.partial_path,
+      ::_exit(worker_child_main(work, options, k, attempt, slot.partial_path,
                                 slot.final_path));
     }
     slot.pid = pid;
@@ -325,6 +325,16 @@ SupervisorReport supervise_shard_run(const GridSpec& spec,
     }
   }
   return report;
+}
+
+SupervisorReport supervise_shard_run(const GridSpec& spec,
+                                     const SupervisorOptions& options) {
+  SupervisedWork work;
+  work.job_count = build_plan(spec).plan.job_count();
+  work.run = [&spec](const ShardRunOptions& opts, std::ostream& out) {
+    run_shard(spec, opts, out);
+  };
+  return supervise_work(work, options);
 }
 
 }  // namespace dufp::harness

@@ -23,6 +23,7 @@
 // is always complete and a `.partial` is honestly labeled salvage input.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <string>
 #include <vector>
@@ -73,6 +74,21 @@ struct SupervisorOptions {
   std::function<int(int worker, int attempt)> child_override;
 };
 
+/// What the supervisor runs, independent of the payload kind: the size
+/// of the job universe (for chunk accounting) and the worker body that
+/// executes one attempt's share and streams its wire file.  The grid
+/// path wraps run_shard here; src/fleet wraps its node runner — both
+/// get the identical fork/reap/restart/poison machinery.
+struct SupervisedWork {
+  /// Full job count of the underlying plan (before any job_filter).
+  std::size_t job_count = 0;
+
+  /// Runs one worker attempt's share to `out`.  Runs inside the forked
+  /// child; a ShardFormatError maps to the spec-mismatch exit code
+  /// (fatal), any other exception to the job-failure code (retryable).
+  std::function<void(const ShardRunOptions&, std::ostream&)> run;
+};
+
 /// One reaped worker attempt, in reap order.
 struct WorkerAttempt {
   int worker = 0;
@@ -102,10 +118,15 @@ struct SupervisorReport {
   bool all_chunks_done = false;
 };
 
-/// Runs `spec` to completion (or restart exhaustion) under supervision.
+/// Runs `work` to completion (or restart exhaustion) under supervision.
 /// Throws std::invalid_argument on malformed options and
 /// std::runtime_error on fork/filesystem failures; worker failures are
 /// reported, never thrown.
+SupervisorReport supervise_work(const SupervisedWork& work,
+                                const SupervisorOptions& options);
+
+/// supervise_work bound to an experiment grid (run_shard as the worker
+/// body).
 SupervisorReport supervise_shard_run(const GridSpec& spec,
                                      const SupervisorOptions& options);
 

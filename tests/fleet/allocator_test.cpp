@@ -1,0 +1,174 @@
+// The fleet allocator registry (the single authority on which allocators
+// exist) and the built-in allocators' contract: size preserved, per-child
+// bounds respected, sum within budget.
+#include "fleet/allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dufp::fleet {
+namespace {
+
+std::vector<ChildSignal> children_of(std::vector<double> demands,
+                                     double min_w = 65.0,
+                                     double max_w = 125.0) {
+  std::vector<ChildSignal> out;
+  for (const double d : demands) out.push_back({d, min_w, max_w, 0.0});
+  return out;
+}
+
+double sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+void expect_contract(const std::vector<double>& alloc, double budget_w,
+                     const std::vector<ChildSignal>& children) {
+  ASSERT_EQ(alloc.size(), children.size());
+  for (std::size_t i = 0; i < alloc.size(); ++i) {
+    EXPECT_GE(alloc[i], children[i].min_w - 1e-9) << "child " << i;
+    EXPECT_LE(alloc[i], children[i].max_w + 1e-9) << "child " << i;
+  }
+  EXPECT_LE(sum(alloc), budget_w + 1e-6);
+}
+
+TEST(FleetAllocatorRegistryTest, BuiltinsInRegistrationOrder) {
+  const auto names = FleetAllocatorRegistry::instance().names();
+  EXPECT_EQ(names, (std::vector<std::string>{"static-equal", "proportional",
+                                             "fastcap"}));
+  EXPECT_EQ(FleetAllocatorRegistry::instance().known_names(),
+            "static-equal, proportional, fastcap");
+}
+
+TEST(FleetAllocatorRegistryTest, LookupIsCaseInsensitiveAndAliasAware) {
+  const auto& registry = FleetAllocatorRegistry::instance();
+  EXPECT_EQ(registry.at("FastCap").name, "fastcap");
+  EXPECT_EQ(registry.at("fair").name, "fastcap");      // alias
+  EXPECT_EQ(registry.at("EQUAL").name, "static-equal");
+  EXPECT_EQ(registry.at("proportional-demand").name, "proportional");
+  EXPECT_TRUE(registry.contains("static"));
+  EXPECT_FALSE(registry.contains("nope"));
+}
+
+TEST(FleetAllocatorRegistryTest, UnknownNameListsEveryRegisteredAllocator) {
+  try {
+    FleetAllocatorRegistry::instance().at("wishful");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown fleet allocator \"wishful\""),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("static-equal, proportional, fastcap"),
+              std::string::npos)
+        << msg;
+  }
+}
+
+TEST(FleetAllocatorRegistryTest, AddRejectsCollisionsAndBrokenEntries) {
+  FleetAllocatorRegistry registry;
+  register_builtin_allocators(registry);
+  // Collides (case-insensitively) with an existing canonical name.
+  EXPECT_THROW(registry.add({"FASTCAP", "", {}, [] {
+                  return FleetAllocatorRegistry::instance().create(
+                      "static-equal");
+                }}),
+               std::invalid_argument);
+  // Collides with an alias.
+  EXPECT_THROW(registry.add({"mine", "", {"fair"}, [] {
+                  return FleetAllocatorRegistry::instance().create(
+                      "static-equal");
+                }}),
+               std::invalid_argument);
+  EXPECT_THROW(registry.add({"", "", {}, nullptr}), std::invalid_argument);
+  EXPECT_THROW(registry.add({"no-factory", "", {}, nullptr}),
+               std::invalid_argument);
+}
+
+TEST(FleetAllocatorRegistryTest, LocalRegistryExtensionDoesNotTouchGlobal) {
+  FleetAllocatorRegistry registry;
+  register_builtin_allocators(registry);
+  registry.add({"all-to-first", "grants child 0 everything it can take",
+                {},
+                [] {
+                  class AllToFirst final : public FleetAllocator {
+                    std::vector<double> allocate(
+                        double budget_w,
+                        const std::vector<ChildSignal>& children) override {
+                      std::vector<double> alloc;
+                      for (const auto& c : children) alloc.push_back(c.min_w);
+                      if (!alloc.empty()) alloc[0] = children[0].max_w;
+                      return clamp_to_budget(budget_w, children, alloc);
+                    }
+                  };
+                  return std::make_unique<AllToFirst>();
+                }});
+  EXPECT_TRUE(registry.contains("all-to-first"));
+  EXPECT_FALSE(FleetAllocatorRegistry::instance().contains("all-to-first"));
+  const auto children = children_of({100, 100, 100});
+  expect_contract(registry.create("all-to-first")->allocate(300, children),
+                  300, children);
+}
+
+TEST(ClampToBudgetTest, ClampsIntoBoundsAndScalesAboveFloors) {
+  const auto children = children_of({0, 0, 0});  // bounds [65, 125]
+  // Out-of-bounds entries get clamped...
+  auto alloc = clamp_to_budget(1000.0, children, {10.0, 500.0, 100.0});
+  EXPECT_DOUBLE_EQ(alloc[0], 65.0);
+  EXPECT_DOUBLE_EQ(alloc[1], 125.0);
+  EXPECT_DOUBLE_EQ(alloc[2], 100.0);
+  // ...and an over-budget sum is shrunk in the share above each floor,
+  // floors untouched: sum 290 over budget 260 -> scale (260-195)/95.
+  alloc = clamp_to_budget(260.0, children, {65.0, 125.0, 100.0});
+  EXPECT_NEAR(sum(alloc), 260.0, 1e-9);
+  EXPECT_DOUBLE_EQ(alloc[0], 65.0);  // at its floor, untouched
+  EXPECT_GT(alloc[1], alloc[2]);     // ordering above floors preserved
+  expect_contract(alloc, 260.0, children);
+}
+
+TEST(BuiltinAllocatorsTest, AllSatisfyTheContractAcrossBudgets) {
+  const auto children = children_of({70.0, 125.0, 90.0, 110.0});
+  for (const auto& name : FleetAllocatorRegistry::instance().names()) {
+    auto alloc = FleetAllocatorRegistry::instance().create(name);
+    // From the floor-only budget to beyond everyone's ceiling.
+    for (const double budget : {260.0, 300.0, 380.0, 450.0, 600.0}) {
+      expect_contract(alloc->allocate(budget, children), budget, children);
+    }
+  }
+}
+
+TEST(BuiltinAllocatorsTest, StaticEqualIgnoresDemand) {
+  auto alloc = FleetAllocatorRegistry::instance().create("static-equal");
+  const auto out = alloc->allocate(400.0, children_of({125.0, 65.0, 70.0,
+                                                       125.0}));
+  for (const double w : out) EXPECT_DOUBLE_EQ(w, 100.0);
+}
+
+TEST(BuiltinAllocatorsTest, FastCapRedistributesUnusedShareToStarved) {
+  // Child 0 is satisfied at 70 W; water-filling must flow its unused
+  // equal share to the starved children instead of stranding it.
+  auto alloc = FleetAllocatorRegistry::instance().create("fastcap");
+  const auto children = children_of({70.0, 125.0, 125.0});
+  const auto out = alloc->allocate(320.0, children);
+  expect_contract(out, 320.0, children);
+  EXPECT_NEAR(out[0], 70.0, 1e-9);   // capped at its demand
+  EXPECT_NEAR(out[1], 125.0, 1e-9);  // full satiation from the freed share
+  EXPECT_NEAR(out[2], 125.0, 1e-9);
+}
+
+TEST(BuiltinAllocatorsTest, ProportionalFavorsDepressedChildren) {
+  auto alloc = FleetAllocatorRegistry::instance().create("proportional");
+  std::vector<ChildSignal> children = children_of({125.0, 125.0});
+  children[0].depression = 0.9;  // starved last epoch
+  children[1].depression = 0.0;
+  const auto out = alloc->allocate(200.0, children);
+  expect_contract(out, 200.0, children);
+  EXPECT_GT(out[0], out[1]);
+}
+
+}  // namespace
+}  // namespace dufp::fleet

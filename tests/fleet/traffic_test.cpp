@@ -1,0 +1,114 @@
+// Traffic determinism: intensity is a pure function of (profile, seed,
+// node, epoch) — the property that lets any process evaluate any subset
+// of the fleet in any order and derive the identical allocation plan.
+#include "fleet/traffic.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dufp::fleet {
+namespace {
+
+TEST(TrafficTest, KnownProfilesAreRegistered) {
+  const auto& names = TrafficModel::profiles();
+  EXPECT_EQ(names, (std::vector<std::string>{"diurnal", "heavy-tail",
+                                             "flat"}));
+  for (const auto& name : names) EXPECT_TRUE(TrafficModel::is_known(name));
+  EXPECT_FALSE(TrafficModel::is_known("tidal"));
+  EXPECT_EQ(TrafficModel::known_profiles(), "diurnal, heavy-tail, flat");
+}
+
+TEST(TrafficTest, UnknownProfileThrowsListingKnownOnes) {
+  try {
+    TrafficModel model({"tidal", 1});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("tidal"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("diurnal"), std::string::npos) << msg;
+  }
+}
+
+TEST(TrafficTest, IntensityIsInUnitRange) {
+  for (const auto& profile : TrafficModel::profiles()) {
+    TrafficModel model({profile, 7});
+    for (std::size_t node = 0; node < 64; ++node) {
+      for (int epoch = 0; epoch < 24; ++epoch) {
+        const double x = model.intensity(node, epoch);
+        EXPECT_GE(x, 0.0) << profile << " node " << node << " epoch "
+                          << epoch;
+        EXPECT_LE(x, 1.0) << profile << " node " << node << " epoch "
+                          << epoch;
+      }
+    }
+  }
+}
+
+TEST(TrafficTest, PureFunctionOfNodeAndEpoch) {
+  // Same (profile, seed): identical samples from independent instances,
+  // in any evaluation order — no hidden sequential stream.
+  for (const auto& profile : TrafficModel::profiles()) {
+    TrafficModel a({profile, 3});
+    TrafficModel b({profile, 3});
+    // b evaluated backwards, a forwards.
+    std::vector<double> forward;
+    for (std::size_t node = 0; node < 8; ++node) {
+      for (int epoch = 0; epoch < 6; ++epoch) {
+        forward.push_back(a.intensity(node, epoch));
+      }
+    }
+    std::size_t k = forward.size();
+    for (std::size_t node = 8; node-- > 0;) {
+      for (int epoch = 6; epoch-- > 0;) {
+        --k;
+        EXPECT_EQ(forward[k], b.intensity(node, epoch)) << profile;
+      }
+    }
+  }
+}
+
+TEST(TrafficTest, SeedsAndNodesDecorrelate) {
+  TrafficModel a({"diurnal", 1});
+  TrafficModel b({"diurnal", 2});
+  int diff_seed = 0;
+  int diff_node = 0;
+  for (int epoch = 0; epoch < 12; ++epoch) {
+    if (a.intensity(0, epoch) != b.intensity(0, epoch)) ++diff_seed;
+    if (a.intensity(0, epoch) != a.intensity(1, epoch)) ++diff_node;
+  }
+  EXPECT_GT(diff_seed, 0);  // different seeds, different streams
+  EXPECT_GT(diff_node, 0);  // per-node phase offsets / streams
+}
+
+TEST(TrafficTest, ProfilesHaveDistinctShapes) {
+  TrafficModel diurnal({"diurnal", 1});
+  TrafficModel flat({"flat", 1});
+  int differs = 0;
+  for (int epoch = 0; epoch < 12; ++epoch) {
+    if (diurnal.intensity(0, epoch) != flat.intensity(0, epoch)) ++differs;
+  }
+  EXPECT_GT(differs, 0);
+}
+
+TEST(TrafficTest, HeavyTailBurstsAboveQuietFloor) {
+  // Pareto bursts over a quiet floor: across enough samples both a calm
+  // epoch and a burst epoch must show up.
+  TrafficModel model({"heavy-tail", 5});
+  double lo = 1.0;
+  double hi = 0.0;
+  for (std::size_t node = 0; node < 32; ++node) {
+    for (int epoch = 0; epoch < 16; ++epoch) {
+      const double x = model.intensity(node, epoch);
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+    }
+  }
+  EXPECT_LT(lo, 0.5);
+  EXPECT_GT(hi, 0.7);
+}
+
+}  // namespace
+}  // namespace dufp::fleet

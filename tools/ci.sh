@@ -185,6 +185,94 @@ for r in rows:
 print(f"tournament smoke: {len(rows)} policies ranked, CSV OK")
 EOF
 
+echo "== fleet smoke =="
+# Fleet-scale hierarchical budgeting (DESIGN.md § Fleet-scale
+# hierarchical power budgeting): the 2x2-rack reference fleet through
+# every execution path.  The serial run is the golden; a 2-shard static
+# run must gather to byte-identical outputs; dropping a shard must exit
+# 6 and write a retry manifest whose resume run completes the bytes.
+# All exit codes are asserted exactly.
+fleet_dir="${build_dir}/fleet-out"
+rm -rf "${fleet_dir}"
+mkdir -p "${fleet_dir}"
+"${shard_worker}" fleet-spec > "${fleet_dir}/spec.json" 2> /dev/null
+DUFP_QUIET=1 "${shard_worker}" fleet-serial --spec "${fleet_dir}/spec.json" \
+    --out "${fleet_dir}/serial" 2> /dev/null
+for shard in 0 1; do
+  DUFP_QUIET=1 "${shard_worker}" fleet-run --spec "${fleet_dir}/spec.json" \
+      --out "${fleet_dir}/w${shard}.jsonl" --shard "${shard}" --shards 2 \
+      2> /dev/null
+done
+"${shard_worker}" fleet-gather --spec "${fleet_dir}/spec.json" \
+    --out "${fleet_dir}/gathered" \
+    "${fleet_dir}/w0.jsonl" "${fleet_dir}/w1.jsonl" 2> /dev/null
+for suffix in alloc.csv summary.csv prom; do
+  cmp "${fleet_dir}/gathered.${suffix}" "${fleet_dir}/serial.${suffix}" || {
+    echo "fleet smoke: DETERMINISM VIOLATION: sharded ${suffix} differs" \
+         "from serial" >&2
+    exit 1
+  }
+done
+# Salvage + resume: shard 1's nodes are missing, the partial gather must
+# say so via exit 6 + a manifest, and the resume run must fill the gap.
+status=0
+"${shard_worker}" fleet-gather --spec "${fleet_dir}/spec.json" \
+    --out "${fleet_dir}/partial" --partial \
+    "${fleet_dir}/w0.jsonl" 2> /dev/null || status=$?
+[[ "${status}" -eq 6 && -f "${fleet_dir}/partial.retry.json" ]] || {
+  echo "fleet smoke: partial fleet-gather should exit 6 + write a retry" \
+       "manifest (exit ${status})" >&2
+  exit 1
+}
+DUFP_QUIET=1 "${shard_worker}" fleet-run \
+    --resume "${fleet_dir}/partial.retry.json" \
+    --out "${fleet_dir}/rescue.jsonl" 2> /dev/null
+"${shard_worker}" fleet-gather --spec "${fleet_dir}/spec.json" \
+    --out "${fleet_dir}/partial" \
+    "${fleet_dir}/w0.jsonl" "${fleet_dir}/rescue.jsonl" 2> /dev/null
+cmp "${fleet_dir}/partial.alloc.csv" "${fleet_dir}/serial.alloc.csv" || {
+  echo "fleet smoke: DETERMINISM VIOLATION: resumed gather differs from" \
+       "serial" >&2
+  exit 1
+}
+echo "fleet smoke: serial = sharded = salvage+resume, bytes identical"
+
+echo "== fleet_scaling smoke =="
+# Every registered fleet allocator on the 2x2x2 smoke fleet, serial vs
+# supervised-sharded byte-compared inside the bench (it exits non-zero
+# on drift), then the scorecard JSON/CSV schema-checked.
+DUFP_SMOKE=1 DUFP_QUIET=1 DUFP_OUT_DIR="${smoke_dir}" \
+    "${build_dir}/bench/fleet_scaling"
+python3 - "${smoke_dir}/BENCH_fleet_scaling.json" \
+    "${smoke_dir}/fleet_scaling.csv" <<'EOF'
+import csv, json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema_version"] == 1
+assert doc["bench"] == "fleet_scaling"
+assert doc["smoke"] is True
+for key in ("racks", "nodes_per_rack", "sockets_per_node", "sockets",
+            "epochs", "budget_w", "traffic"):
+    assert key in doc["config"], f"missing config key: {key}"
+allocators = ("static-equal", "proportional", "fastcap")
+for name in allocators:
+    entry = doc[name]
+    assert entry["identical_bytes"] is True, f"{name}: byte drift"
+    assert entry["total_energy_j"] > 0
+    assert 0.0 <= entry["violation_rate"] <= 1.0
+    assert 0.0 < entry["jain_fairness"] <= 1.0
+with open(sys.argv[2]) as f:
+    rows = list(csv.DictReader(f))
+assert len(rows) == len(allocators), f"expected {len(allocators)} rows"
+expected_cols = {"allocator", "traffic", "budget_w", "total_energy_j",
+                 "violation_rate", "jain_fairness", "mean_speed"}
+assert expected_cols <= set(rows[0]), \
+    f"missing columns: {expected_cols - set(rows[0])}"
+assert {r["allocator"] for r in rows} == set(allocators)
+print(f"fleet_scaling smoke: {len(rows)} allocators ranked, bytes"
+      " identical, schema OK")
+EOF
+
 echo "== perf gate (sim_throughput, full run) =="
 # A real (non-smoke) run of the tracked throughput bench, gated on the
 # serial speedup over the pre-optimisation seed engine.  The tracked
