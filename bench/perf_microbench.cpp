@@ -176,6 +176,45 @@ void BM_SimulatedSecond(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatedSecond)->Unit(benchmark::kMillisecond);
 
+// The event-leaping tradeoff, measured as a pair on the same warm rig:
+// leap_horizon() is the planner's per-decision cost ("how far can we
+// jump"), step() the exact per-tick cost a leap of N ticks amortizes —
+// one planner call plus N lane-add ticks replaces N full steps.  The
+// pair keeps the planner honest: it runs on every leap attempt, so it
+// must stay well under the step cost it saves.
+void BM_LeapHorizon(benchmark::State& state) {
+  const auto& prof = workloads::profile(workloads::AppId::cg);
+  hw::MachineConfig machine;
+  machine.sockets = 4;
+  sim::SimulationOptions opts;
+  opts.seed = 7;
+  sim::Simulation s(machine, prof, opts);
+  for (int i = 0; i < 50; ++i) s.step();  // windows filled, fixed point up
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.leap_horizon());
+  }
+}
+BENCHMARK(BM_LeapHorizon);
+
+void BM_PlainStep(benchmark::State& state) {
+  const auto& prof = workloads::profile(workloads::AppId::cg);
+  hw::MachineConfig machine;
+  machine.sockets = 4;
+  sim::SimulationOptions opts;
+  opts.seed = 7;
+  auto s = std::make_unique<sim::Simulation>(machine, prof, opts);
+  for (int i = 0; i < 50; ++i) s->step();
+  for (auto _ : state) {
+    if (!s->step()) {
+      state.PauseTiming();
+      s = std::make_unique<sim::Simulation>(machine, prof, opts);
+      for (int i = 0; i < 50; ++i) s->step();
+      state.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_PlainStep);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -38,6 +38,9 @@ struct Measurement {
   double sim_seconds = 0.0;     ///< simulated run length
   double ticks = 0.0;           ///< engine steps per run
   int sockets = 0;
+  /// Leap/step/batch split of the run (identical across repetitions: the
+  /// engine is deterministic, so the last repetition's stats serve).
+  sim::BatchStats stats;
 
   double ticks_per_sec() const {
     return wall_seconds > 0.0 ? ticks / wall_seconds : 0.0;
@@ -102,6 +105,7 @@ Measurement measure(const harness::RunConfig& cfg, int reps) {
     m.wall_seconds = std::min(m.wall_seconds, wall);
     m.sim_seconds = res.summary.exec_seconds;
     m.ticks = res.summary.exec_seconds / cfg.sim.tick.seconds();
+    m.stats = res.batch_stats;
   }
   return m;
 }
@@ -115,10 +119,24 @@ void append_measurement_json(std::string& json, const char* key,
       "    \"ticks\": %.0f,\n"
       "    \"ticks_per_sec\": %.1f,\n"
       "    \"socket_ticks_per_sec\": %.1f,\n"
-      "    \"socket_sim_seconds_per_wall_sec\": %.2f\n"
+      "    \"socket_sim_seconds_per_wall_sec\": %.2f,\n"
+      "    \"leap\": {\n"
+      "      \"leapt_ticks\": %lld,\n"
+      "      \"stepped_ticks\": %lld,\n"
+      "      \"batched_ticks\": %lld,\n"
+      "      \"leaps\": %lld,\n"
+      "      \"max_leap\": %lld,\n"
+      "      \"events_fired\": %lld\n"
+      "    }\n"
       "  }",
       key, m.wall_seconds, m.sim_seconds, m.ticks, m.ticks_per_sec(),
-      m.socket_ticks_per_sec(), m.socket_sim_rate());
+      m.socket_ticks_per_sec(), m.socket_sim_rate(),
+      static_cast<long long>(m.stats.leapt_ticks),
+      static_cast<long long>(m.stats.stepped_ticks),
+      static_cast<long long>(m.stats.batched_ticks),
+      static_cast<long long>(m.stats.leaps),
+      static_cast<long long>(m.stats.max_leap),
+      static_cast<long long>(m.stats.events_fired));
 }
 
 int run_main() {
@@ -146,6 +164,13 @@ int run_main() {
   const Measurement serial = measure(serial_cfg, reps);
   std::printf("serial:          %10.0f ticks/s  (%.1f socket-sim-s / wall-s)\n",
               serial.ticks_per_sec(), serial.socket_sim_rate());
+  std::printf("  leap split:    %lld leapt + %lld stepped ticks "
+              "(%lld leaps, max %lld, %lld events)\n",
+              static_cast<long long>(serial.stats.leapt_ticks),
+              static_cast<long long>(serial.stats.stepped_ticks),
+              static_cast<long long>(serial.stats.leaps),
+              static_cast<long long>(serial.stats.max_leap),
+              static_cast<long long>(serial.stats.events_fired));
 
   harness::RunConfig par_cfg = serial_cfg;
   par_cfg.sim.socket_threads = sockets;
@@ -162,7 +187,7 @@ int run_main() {
   }
 
   std::string json = "{\n";
-  json += "  \"schema_version\": 1,\n";
+  json += "  \"schema_version\": 2,\n";
   json += "  \"bench\": \"sim_throughput\",\n";
   json += strf("  \"smoke\": %s,\n", smoke ? "true" : "false");
   json += strf(

@@ -12,10 +12,4 @@ std::string SimTime::to_string() const {
   return buf;
 }
 
-SimTime SimClock::advance(SimDuration step) {
-  DUFP_EXPECT(step.micros() > 0);
-  now_ += step;
-  return now_;
-}
-
 }  // namespace dufp

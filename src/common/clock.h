@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/expect.h"
+
 #include "common/units.h"
 
 namespace dufp {
@@ -62,7 +64,12 @@ class SimClock {
   SimTime now() const { return now_; }
 
   /// Advance by `step`; returns the new time.  Steps must be positive.
-  SimTime advance(SimDuration step);
+  /// Inline: the engine advances the clock once per simulated tick.
+  SimTime advance(SimDuration step) {
+    DUFP_EXPECT(step.micros() > 0);
+    now_ += step;
+    return now_;
+  }
 
  private:
   SimTime now_ = SimTime::zero();

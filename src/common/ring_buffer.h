@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstring>
 #include <vector>
 
 #include "common/expect.h"
@@ -27,7 +28,9 @@ class RingBuffer {
   bool push(const T& v) {
     const bool evicting = full();
     buf_[head_] = v;
-    head_ = (head_ + 1) % buf_.size();
+    // Wrap with a branch, not a modulo: this runs once per simulated
+    // socket-tick per averaging window and the integer division shows up.
+    if (++head_ == buf_.size()) head_ = 0;
     if (evicting) {
       tail_ = head_;
     } else {
@@ -49,8 +52,17 @@ class RingBuffer {
     return buf_[(tail_ + i) % buf_.size()];
   }
 
-  const T& newest() const { return from_newest(0); }
-  const T& oldest() const { return from_oldest(0); }
+  // head_ and tail_ are always in [0, capacity), so the common accessors
+  // index directly instead of going through the modulo arithmetic of the
+  // general from_*() forms.
+  const T& newest() const {
+    DUFP_EXPECT(size_ > 0);
+    return buf_[head_ == 0 ? buf_.size() - 1 : head_ - 1];
+  }
+  const T& oldest() const {
+    DUFP_EXPECT(size_ > 0);
+    return buf_[tail_];
+  }
 
   void clear() {
     head_ = tail_ = 0;
@@ -71,6 +83,10 @@ class RingBuffer {
 };
 
 /// Windowed arithmetic mean over the last `capacity` samples, O(1) update.
+///
+/// Also tracks the length of the trailing run of bitwise-identical samples
+/// so the simulation's event-leaping fast path can detect, in O(1), that
+/// adding the same value again is a complete no-op (see steady_under).
 class WindowedMean {
  public:
   explicit WindowedMean(std::size_t capacity) : ring_(capacity) {}
@@ -79,6 +95,12 @@ class WindowedMean {
     if (ring_.full()) sum_ -= ring_.oldest();
     ring_.push(v);
     sum_ += v;
+    if (run_length_ > 0 && bit_equal(v, run_value_)) {
+      if (run_length_ < ring_.capacity()) ++run_length_;
+    } else {
+      run_value_ = v;
+      run_length_ = 1;
+    }
   }
 
   double mean() const {
@@ -90,11 +112,35 @@ class WindowedMean {
   void clear() {
     ring_.clear();
     sum_ = 0.0;
+    run_length_ = 0;
+    run_value_ = 0.0;
+  }
+
+  /// Length of the trailing run of bitwise-identical samples (capped at
+  /// capacity).  O(1) pre-gate for steady_under.
+  std::size_t run_length() const { return run_length_; }
+
+  /// True when add(v) — repeated any number of times — would leave every
+  /// observable of this window (mean, size, sum) bitwise unchanged: the
+  /// window is full, every stored sample is bitwise `v` (so each future
+  /// add evicts exactly what it inserts), and the running sum is a fixed
+  /// point of the evict-then-insert update.
+  bool steady_under(double v) const {
+    return ring_.full() && run_length_ >= ring_.capacity() &&
+           bit_equal(v, run_value_) && (sum_ - v) + v == sum_;
   }
 
  private:
+  /// Bitwise equality: stricter than ==, so +0.0 / -0.0 (whose additive
+  /// behaviour differs) never alias and NaN never reports steady.
+  static bool bit_equal(double a, double b) {
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+  }
+
   RingBuffer<double> ring_;
   double sum_ = 0.0;
+  double run_value_ = 0.0;       ///< value of the trailing identical run
+  std::size_t run_length_ = 0;   ///< capped at capacity()
 };
 
 }  // namespace dufp

@@ -153,7 +153,7 @@ FleetNodeResult decode_node_result(const json::Value& v) {
 }
 
 FleetNodeResult run_fleet_node(const FleetSpec& spec, std::size_t node,
-                               const AllocationPlan& plan) {
+                               const AllocationPlan& plan, bool time_leap) {
   {
     const auto problems = spec.validate();
     if (!problems.empty()) {
@@ -187,6 +187,7 @@ FleetNodeResult run_fleet_node(const FleetSpec& spec, std::size_t node,
   sim_opts.workload_jitter_sigma = 0.0;
   sim_opts.max_seconds = std::max(
       60.0, static_cast<double>(spec.epochs) * spec.epoch_seconds * 100.0);
+  sim_opts.time_leap = time_leap;
 
   sim::Simulation s(machine, profile, sim_opts);
   const int n = s.socket_count();

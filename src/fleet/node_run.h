@@ -66,7 +66,12 @@ FleetNodeResult decode_node_result(const json::Value& v);
 /// Runs node `node` of the fleet under `plan`'s budget schedule.
 /// `plan` must be plan_allocations(spec).  Throws std::invalid_argument
 /// on a malformed spec or an out-of-range node.
+///
+/// `time_leap` toggles the engine's event-leaping fast path (on by
+/// default, exact by construction); the switch exists so equivalence
+/// tests can byte-compare leap-on against leap-off fleet results.
 FleetNodeResult run_fleet_node(const FleetSpec& spec, std::size_t node,
-                               const AllocationPlan& plan);
+                               const AllocationPlan& plan,
+                               bool time_leap = true);
 
 }  // namespace dufp::fleet

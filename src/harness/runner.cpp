@@ -303,6 +303,7 @@ RunResult run_once(const RunConfig& config) {
 
   RunResult result;
   result.summary = s.run();
+  result.batch_stats = s.batch_stats();
 
   for (const auto& agent : ctx.agents) {
     result.agent_stats.push_back(agent->stats());

@@ -134,6 +134,11 @@ struct RunResult {
   /// flight-recorder contents, and the watchdog fail-open dumps.  Feed it
   /// to telemetry::export_run / write_prometheus / write_chrome_trace.
   std::optional<telemetry::TelemetrySnapshot> telemetry;
+
+  /// How the engine spent its ticks (leap / step / batch split) — lets the
+  /// throughput benches report the event-leaping behaviour without owning
+  /// the Simulation.
+  sim::BatchStats batch_stats;
 };
 
 /// Executes one run.  Throws std::invalid_argument on malformed configs.

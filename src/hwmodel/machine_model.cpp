@@ -12,16 +12,6 @@ MachineModel::MachineModel(const MachineConfig& config) : config_(config) {
   }
 }
 
-SocketModel& MachineModel::socket(int i) {
-  DUFP_EXPECT(i >= 0 && i < socket_count());
-  return *sockets_[static_cast<std::size_t>(i)];
-}
-
-const SocketModel& MachineModel::socket(int i) const {
-  DUFP_EXPECT(i >= 0 && i < socket_count());
-  return *sockets_[static_cast<std::size_t>(i)];
-}
-
 double MachineModel::total_pkg_power_w() const {
   double sum = 0.0;
   for (const auto& s : sockets_) sum += s->evaluate().pkg_power_w;

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/expect.h"
 #include "hwmodel/socket_config.h"
 #include "hwmodel/socket_model.h"
 
@@ -16,8 +17,15 @@ class MachineModel {
   const MachineConfig& config() const { return config_; }
   int socket_count() const { return static_cast<int>(sockets_.size()); }
 
-  SocketModel& socket(int i);
-  const SocketModel& socket(int i) const;
+  // Inline: the engine resolves a socket once or more per socket-tick.
+  SocketModel& socket(int i) {
+    DUFP_EXPECT(i >= 0 && i < socket_count());
+    return *sockets_[static_cast<std::size_t>(i)];
+  }
+  const SocketModel& socket(int i) const {
+    DUFP_EXPECT(i >= 0 && i < socket_count());
+    return *sockets_[static_cast<std::size_t>(i)];
+  }
 
   /// Aggregate instantaneous package power across sockets (each socket
   /// evaluated at its current settings).

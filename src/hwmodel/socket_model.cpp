@@ -23,35 +23,6 @@ SocketModel::SocketModel(const SocketConfig& config, int socket_id)
   DUFP_EXPECT(config.uncore_min_mhz < config.uncore_max_mhz);
 }
 
-double SocketModel::quantize_core_mhz(double mhz) const {
-  const double clamped =
-      std::clamp(mhz, config_.core_min_mhz, config_.core_max_mhz);
-  const double steps = std::round((clamped - config_.core_min_mhz) /
-                                  config_.core_step_mhz);
-  return config_.core_min_mhz + steps * config_.core_step_mhz;
-}
-
-double SocketModel::quantize_uncore_mhz(double mhz) const {
-  const double clamped =
-      std::clamp(mhz, config_.uncore_min_mhz, config_.uncore_max_mhz);
-  const double steps = std::round((clamped - config_.uncore_min_mhz) /
-                                  config_.uncore_step_mhz);
-  return config_.uncore_min_mhz + steps * config_.uncore_step_mhz;
-}
-
-// Every setter quantizes first and only invalidates the memoized
-// evaluation when the stored value actually changes: the RAPL governor
-// re-asserts its limit every tick and the engine re-asserts the phase
-// demand every segment, and both are no-ops almost every time.
-
-void SocketModel::set_core_freq_limit_mhz(double mhz) {
-  const double q = quantize_core_mhz(mhz);
-  if (q != core_freq_limit_mhz_) {
-    core_freq_limit_mhz_ = q;
-    cache_valid_ = false;
-  }
-}
-
 void SocketModel::set_uncore_window_mhz(double min_mhz, double max_mhz) {
   // Hardware normalizes a reversed window by honouring the max field.
   if (min_mhz > max_mhz) min_mhz = max_mhz;
@@ -60,19 +31,6 @@ void SocketModel::set_uncore_window_mhz(double min_mhz, double max_mhz) {
   if (qmin != uncore_min_mhz_ || qmax != uncore_max_mhz_) {
     uncore_min_mhz_ = qmin;
     uncore_max_mhz_ = qmax;
-    cache_valid_ = false;
-    ++state_version_;
-  }
-}
-
-void SocketModel::set_demand(const PhaseDemand& demand) {
-  DUFP_EXPECT(demand.w_cpu >= 0.0 && demand.w_mem >= 0.0 &&
-              demand.w_unc >= 0.0 && demand.w_fixed >= 0.0);
-  const double sum =
-      demand.w_cpu + demand.w_mem + demand.w_unc + demand.w_fixed;
-  DUFP_EXPECT(std::abs(sum - 1.0) < 1e-6);
-  if (!(demand == demand_)) {
-    demand_ = demand;
     cache_valid_ = false;
     ++state_version_;
   }
@@ -102,8 +60,15 @@ double SocketModel::effective_uncore_mhz() const {
   return std::clamp(requested, uncore_min_mhz_, uncore_max_mhz_);
 }
 
-SocketInstant SocketModel::evaluate() const {
-  if (cache_valid_) return cached_instant_;
+SocketInstant SocketModel::evaluate_slow() const {
+  for (const InstantWay& w : instant_ways_) {
+    if (w.valid && w.core_limit == core_freq_limit_mhz_ &&
+        w.user_pstate == user_pstate_mhz_ && w.version == state_version_) {
+      cached_instant_ = w.instant;
+      cache_valid_ = true;
+      return cached_instant_;
+    }
+  }
   SocketInstant out;
   out.core_mhz = effective_core_mhz();
   out.uncore_mhz = effective_uncore_mhz();
@@ -116,6 +81,12 @@ SocketInstant SocketModel::evaluate() const {
   out.dram_power_w = power_model_.dram_power_w(out.bytes_rate);
   cached_instant_ = out;
   cache_valid_ = true;
+  InstantWay& way = instant_ways_[instant_rr_++ % kInstantWays];
+  way.core_limit = core_freq_limit_mhz_;
+  way.user_pstate = user_pstate_mhz_;
+  way.version = state_version_;
+  way.instant = out;
+  way.valid = true;
   return out;
 }
 
@@ -136,16 +107,6 @@ double SocketModel::core_mhz_for_power(double target_w) const {
   inverse_target_w_ = target_w;
   inverse_result_mhz_ = mhz;
   return mhz;
-}
-
-void SocketModel::accumulate(const SocketInstant& instant, double dt_s) {
-  DUFP_EXPECT(dt_s >= 0.0);
-  pkg_energy_j_ += instant.pkg_power_w * dt_s;
-  dram_energy_j_ += instant.dram_power_w * dt_s;
-  flops_total_ += instant.flops_rate * dt_s;
-  bytes_total_ += instant.bytes_rate * dt_s;
-  aperf_cycles_ += instant.core_mhz * 1e6 * dt_s;
-  mperf_cycles_ += config_.core_base_mhz * 1e6 * dt_s;
 }
 
 }  // namespace dufp::hw

@@ -59,10 +59,10 @@ std::uint32_t encode_time_window(double seconds, const RaplUnits& u) {
   // so exhaustive search is the clearest correct implementation.
   std::uint32_t best_field = 0;
   double best_err = std::numeric_limits<double>::infinity();
-  for (std::uint32_t y = 0; y < 32; ++y) {
+  double pow2 = 1.0;  // exact 2^y, doubled per iteration (no libm call)
+  for (std::uint32_t y = 0; y < 32; ++y, pow2 *= 2.0) {
     for (std::uint32_t z = 0; z < 4; ++z) {
-      const double w = std::ldexp(1.0, static_cast<int>(y)) *
-                       (1.0 + static_cast<double>(z) / 4.0) * tu;
+      const double w = pow2 * (1.0 + static_cast<double>(z) / 4.0) * tu;
       const double err = std::abs(w - seconds);
       if (err < best_err) {
         best_err = err;

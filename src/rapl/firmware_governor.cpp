@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 #include "common/expect.h"
@@ -28,6 +29,19 @@ FirmwareGovernor::FirmwareGovernor(hw::SocketModel& socket,
   def.short_term_enabled = true;
   def.short_term_clamped = true;
   set_limit(def);
+  // Cell-edge cache slots for every P-state, allocated up front so the
+  // decision paths stay allocation-free in steady state.
+  const auto& cfg = socket.config();
+  const auto n_states = static_cast<std::size_t>(std::lround(
+                            (cfg.core_max_mhz - cfg.core_min_mhz) /
+                            cfg.core_step_mhz)) +
+                        1;
+  cells_.resize(n_states * kCellWays);
+  // The cell table identifies "search output" with "grid point": the
+  // P-state range must be an exact multiple of the step (true of real
+  // hardware grids), or the search's top clamp could return an off-grid
+  // frequency no cell represents.
+  DUFP_EXPECT(grid_mhz(n_states - 1) == cfg.core_max_mhz);
 }
 
 std::size_t FirmwareGovernor::window_ticks(double window_s) const {
@@ -51,27 +65,23 @@ void FirmwareGovernor::set_limit(const msr::PowerLimit& limit) {
 }
 
 void FirmwareGovernor::tick() {
-  double allowance = std::numeric_limits<double>::infinity();
-  if (limit_.long_term_enabled && limit_.long_term_w > 0.0) {
-    const double avg = long_window_.full() || long_window_.size() > 0
-                           ? long_window_.mean()
-                           : limit_.long_term_w;
-    allowance = std::min(allowance,
-                         limit_.long_term_w +
-                             params_.headroom_gain * (limit_.long_term_w - avg));
-  }
-  if (limit_.short_term_enabled && limit_.short_term_w > 0.0) {
-    const double avg = short_window_.size() > 0 ? short_window_.mean()
-                                                : limit_.short_term_w;
-    allowance = std::min(allowance,
-                         limit_.short_term_w + params_.headroom_gain *
-                                                   (limit_.short_term_w - avg));
-  }
+  current_limit_mhz_ = planned_limit_mhz();
+  socket_.set_core_freq_limit_mhz(current_limit_mhz_);
+}
 
+double FirmwareGovernor::planned_limit_mhz() const {
+  return planned_cached(current_allowance());
+}
+
+double FirmwareGovernor::planned_limit_reference_mhz() const {
+  return planned_from_allowance(current_allowance());
+}
+
+double FirmwareGovernor::planned_from_allowance(double allowance_w) const {
   const auto& cfg = socket_.config();
   double target = cfg.core_max_mhz;
-  if (std::isfinite(allowance)) {
-    target = highest_compliant_mhz(std::max(allowance, 0.0));
+  if (std::isfinite(allowance_w)) {
+    target = highest_compliant_mhz(std::max(allowance_w, 0.0));
   }
 
   // Slew limiting.
@@ -81,8 +91,175 @@ void FirmwareGovernor::tick() {
     target =
         std::min(target, current_limit_mhz_ + params_.unthrottle_slew_mhz);
   }
-  current_limit_mhz_ = socket_.quantize_core_mhz(target);
-  socket_.set_core_freq_limit_mhz(current_limit_mhz_);
+  return socket_.quantize_core_mhz(target);
+}
+
+bool FirmwareGovernor::steady_state(double pkg_power_w) const {
+  return long_window_.steady_under(pkg_power_w) &&
+         short_window_.steady_under(pkg_power_w) &&
+         planned_limit_mhz() == current_limit_mhz_;
+}
+
+double FirmwareGovernor::grid_mhz(std::size_t idx) const {
+  // Must match the FP expression of highest_compliant_mhz's flooring
+  // (floor result * step + min) bit for bit.
+  const auto& cfg = socket_.config();
+  return static_cast<double>(idx) * cfg.core_step_mhz + cfg.core_min_mhz;
+}
+
+double FirmwareGovernor::lowest_allowance_reaching(std::size_t idx) const {
+  // The P-state search clamps the allowance at zero, so its output is
+  // constant for allowance <= 0 and monotone nondecreasing above (the
+  // inner bisection compares against a threshold that moves one way, and
+  // floor/clamp of a monotone input stay monotone).
+  const double target = grid_mhz(idx);
+  const auto reaches = [&](double a) {
+    return highest_compliant_mhz(std::max(a, 0.0)) >= target;
+  };
+  const auto bits_of = [](double v) {
+    std::uint64_t b;
+    std::memcpy(&b, &v, sizeof b);
+    return b;
+  };
+  // Seed the bracket from the forward power model: analytically the
+  // search output crosses `target` exactly at the package power of the
+  // target state, and the search's inner bisection lands within a hair
+  // of the analytic inverse.  A verified narrow bracket around the seed
+  // cuts the probe count roughly in half; if verification fails (clamp
+  // regions, degenerate demands) fall back to the full positive range.
+  std::uint64_t lo = 0;  // bits of +0.0
+  std::uint64_t hi = 0;
+  const double seed = socket_.package_power_at(target);
+  bool bracketed = false;
+  if (std::isfinite(seed) && seed > 0.0) {
+    const double lo_seed = seed * (1.0 - 1e-9);
+    const double hi_seed = seed * (1.0 + 1e-9);
+    if (lo_seed > 0.0 && !reaches(lo_seed) && reaches(hi_seed)) {
+      lo = bits_of(lo_seed);  // search(lo) < target
+      hi = bits_of(hi_seed);  // search(hi) >= target
+      bracketed = true;
+    }
+  }
+  if (!bracketed) {
+    if (reaches(0.0)) return -std::numeric_limits<double>::infinity();
+    constexpr double kTop = 1e300;
+    if (!reaches(kTop)) return std::numeric_limits<double>::infinity();
+    hi = bits_of(kTop);
+  }
+  // Bisect the positive-double bit lattice (IEEE-754 ordering of
+  // positive doubles matches their bit patterns): probes of the real
+  // search pin the exact double where its output flips, so the cached
+  // edge can never disagree with the computation it replaces.
+  while (hi - lo > 1) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    double probe;
+    std::memcpy(&probe, &mid, sizeof probe);
+    if (reaches(probe)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  double edge;
+  std::memcpy(&edge, &hi, sizeof edge);
+  return edge;
+}
+
+double FirmwareGovernor::cell_edge(std::size_t idx) const {
+  DUFP_EXPECT(idx * kCellWays < cells_.size());
+  CellSlot* ways = cells_.data() + idx * kCellWays;
+  const std::uint64_t ver = socket_.state_version();
+  // The ways are kept in recency order (front = most recently used), so
+  // the common case — socket state unmoved since the front slot was last
+  // confirmed — is a single integer compare.
+  const auto promote = [&](std::size_t w) -> double {
+    if (w != 0) {
+      const CellSlot hit = ways[w];
+      for (std::size_t i = w; i > 0; --i) ways[i] = ways[i - 1];
+      ways[0] = hit;
+    }
+    return ways[0].edge;
+  };
+  for (std::size_t w = 0; w < kCellWays; ++w) {
+    if (ways[w].valid && ways[w].version == ver) return promote(w);
+  }
+  // The state moved (uncore retune, phase change); it may still be one
+  // seen before — DUFP controllers sweep the uncore window range and
+  // workloads revisit phases, so match by content and re-confirm.
+  const hw::PhaseDemand& d = socket_.demand();
+  const double umin = socket_.uncore_window_min_mhz();
+  const double umax = socket_.uncore_window_max_mhz();
+  for (std::size_t w = 0; w < kCellWays; ++w) {
+    if (ways[w].valid && ways[w].unc_min == umin && ways[w].unc_max == umax &&
+        ways[w].demand == d) {
+      ways[w].version = ver;
+      return promote(w);
+    }
+  }
+  // Never-seen state: build the edge (the only place the P-state search
+  // still runs) into the least recently used way — the back — then
+  // promote it.
+  CellSlot& slot = ways[kCellWays - 1];
+  slot.edge = lowest_allowance_reaching(idx);
+  slot.version = ver;
+  slot.unc_min = umin;
+  slot.unc_max = umax;
+  slot.demand = d;
+  slot.valid = true;
+  return promote(kCellWays - 1);
+}
+
+double FirmwareGovernor::planned_cached(double allowance_w) const {
+  const auto& cfg = socket_.config();
+  double target = cfg.core_max_mhz;
+  if (std::isfinite(allowance_w)) {
+    // Locate the allowance's cell — the P-state the search would return —
+    // starting from the applied limit's cell (where a calm tick lands in
+    // one or two comparisons) and walking only as far as the slew limits
+    // can matter: past them the clamp fixes the outcome regardless of
+    // how much further the search result lies.
+    const std::size_t n = cells_.size() / kCellWays;
+    auto k = static_cast<std::size_t>(std::lround(
+        (current_limit_mhz_ - cfg.core_min_mhz) / cfg.core_step_mhz));
+    if (allowance_w >= cell_edge(k)) {
+      while (k + 1 < n &&
+             grid_mhz(k) < current_limit_mhz_ + params_.unthrottle_slew_mhz &&
+             allowance_w >= cell_edge(k + 1)) {
+        ++k;
+      }
+    } else {
+      while (k > 0 &&
+             grid_mhz(k) > current_limit_mhz_ - params_.throttle_slew_mhz) {
+        --k;
+        if (allowance_w >= cell_edge(k)) break;
+      }
+    }
+    target = grid_mhz(k);
+  }
+
+  // Slew limiting and quantization, shared verbatim with the reference
+  // decision (planned_from_allowance).
+  if (target < current_limit_mhz_) {
+    target = std::max(target, current_limit_mhz_ - params_.throttle_slew_mhz);
+  } else if (target > current_limit_mhz_) {
+    target =
+        std::min(target, current_limit_mhz_ + params_.unthrottle_slew_mhz);
+  }
+  return socket_.quantize_core_mhz(target);
+}
+
+void FirmwareGovernor::refresh_calm_cell() {
+  // The applied limit's cell edges, flattened into members so the calm
+  // test itself is two comparisons; revalidated by (limit, state version).
+  const auto& cfg = socket_.config();
+  const std::size_t n = cells_.size() / kCellWays;
+  const auto idx = static_cast<std::size_t>(std::lround(
+      (current_limit_mhz_ - cfg.core_min_mhz) / cfg.core_step_mhz));
+  calm_lo_ = cell_edge(idx);
+  calm_top_ = idx + 1 >= n;
+  calm_hi_ = calm_top_ ? 0.0 : cell_edge(idx + 1);
+  calm_limit_ = current_limit_mhz_;
+  calm_version_ = socket_.state_version();
 }
 
 double FirmwareGovernor::highest_compliant_mhz(double allowance_w) const {
@@ -96,13 +273,6 @@ double FirmwareGovernor::highest_compliant_mhz(double allowance_w) const {
           cfg.core_step_mhz +
       cfg.core_min_mhz;
   return std::clamp(floored, cfg.core_min_mhz, cfg.core_max_mhz);
-}
-
-void FirmwareGovernor::record_power(double pkg_power_w, double dt_s) {
-  DUFP_EXPECT(dt_s > 0.0);
-  DUFP_EXPECT(pkg_power_w >= 0.0);
-  long_window_.add(pkg_power_w);
-  short_window_.add(pkg_power_w);
 }
 
 }  // namespace dufp::rapl

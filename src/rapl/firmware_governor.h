@@ -14,14 +14,16 @@
 //    average must drain and the P-state slews down step by step.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <optional>
+#include <vector>
 
 #include "common/ring_buffer.h"
+#include "hwmodel/demand.h"
+#include "hwmodel/socket_model.h"
 #include "msr/registers.h"
-
-namespace dufp::hw {
-class SocketModel;
-}
 
 namespace dufp::rapl {
 
@@ -54,7 +56,12 @@ class FirmwareGovernor {
   void tick();
 
   /// Feeds the power actually drawn over the tick just simulated.
-  void record_power(double pkg_power_w, double dt_s);
+  void record_power(double pkg_power_w, double dt_s) {
+    DUFP_EXPECT(dt_s > 0.0);
+    DUFP_EXPECT(pkg_power_w >= 0.0);
+    long_window_.add(pkg_power_w);
+    short_window_.add(pkg_power_w);
+  }
 
   /// Window averages (diagnostics / tests).
   double long_term_avg_w() const { return long_window_.mean(); }
@@ -63,7 +70,145 @@ class FirmwareGovernor {
   /// Frequency limit currently applied (MHz).
   double current_limit_mhz() const { return current_limit_mhz_; }
 
+  /// True when the governor is at a bitwise fixed point under a constant
+  /// recorded package power of `pkg_power_w`: both averaging windows are
+  /// full of exactly that value with a round-off-stable running sum, and
+  /// re-running the control decision would reproduce the currently
+  /// applied frequency limit bit for bit.  While this holds, a
+  /// tick()+record_power(pkg_power_w) cycle changes no observable
+  /// governor or socket state — the precondition the simulation's
+  /// event-leaping fast path relies on to skip the control loop entirely.
+  bool steady_state(double pkg_power_w) const;
+
+  /// O(1) pre-gate for steady_state: both windows consist entirely of one
+  /// bitwise-identical value.  Cheap enough to poll every tick.
+  bool windows_uniform() const {
+    return long_window_.full() &&
+           long_window_.run_length() >= long_window_.capacity() &&
+           short_window_.full() &&
+           short_window_.run_length() >= short_window_.capacity();
+  }
+
+  /// Calm-tick fast path for the simulation engine.  Performs, in one
+  /// call, the exact observable work of a tick()+record_power(recorded_w)
+  /// pair *provided the control decision would keep the current frequency
+  /// limit* — and refuses (returning false, touching nothing) otherwise.
+  ///
+  /// The decision is the cell-table decision tick() itself uses (see
+  /// planned_limit_mhz); for a calm tick it costs a couple of comparisons
+  /// against cached cell edges instead of a bisection.  Defined here so
+  /// the engine's calm-stretch loop inlines it.
+  bool fast_calm_tick(double recorded_w) {
+    // Calm ⟺ the decision tick() would take keeps the applied limit, i.e.
+    // the allowance lies in the applied limit's own cell (the P-state
+    // search returns the limit, no slew applies, and quantization of a
+    // grid point is the identity).
+    if (calm_limit_ != current_limit_mhz_ ||
+        calm_version_ != socket_.state_version()) {
+      refresh_calm_cell();
+    }
+    // A non-finite allowance plans core_max in the reference decision;
+    // +inf matches the test exactly (it passes only for the top state),
+    // and the never-occurring NaN / -inf fail every comparison and merely
+    // fall back to the exact path.
+    const double a = current_allowance();
+    if (!(a >= calm_lo_ && (calm_top_ || a < calm_hi_))) return false;
+    // tick() would re-apply the unchanged limit (a no-op write: the
+    // socket setter compares before invalidating); record_power() would
+    // push the tick's power into both windows.  Only the pushes are
+    // observable.
+    long_window_.add(recorded_w);
+    short_window_.add(recorded_w);
+    return true;
+  }
+
+  /// The control decision of tick() without the actuation: the quantized
+  /// frequency limit the governor would apply given the current windows.
+  ///
+  /// Computed without running the P-state search: the allowance axis
+  /// partitions into cells on which the search output is constant (it is
+  /// a monotone step function of the allowance), and the exact cell
+  /// edges — the precise doubles where the search output flips, pinned
+  /// by bisecting the IEEE-754 bit lattice with probes of the real
+  /// search — are cached per P-state, keyed on the uncore window and the
+  /// phase demand (the search's only other inputs).  Locating the
+  /// allowance's cell costs a few comparisons; the bisection runs only
+  /// when an edge is first needed for a never-seen socket state.
+  double planned_limit_mhz() const;
+
+  /// Reference implementation of the same decision via a fresh P-state
+  /// search (the pre-cell-table code path).  Exposed so equivalence
+  /// tests can check the cached decision bit-for-bit; not used on any
+  /// engine path.
+  double planned_limit_reference_mhz() const;
+
  private:
+  /// One cached edge of the allowance→P-state partition: the exact
+  /// double where the P-state search first reaches the state `idx` steps
+  /// above core_min.  Keyed on the inputs the search depends on besides
+  /// the allowance, so edges survive a DUFP controller hunting the
+  /// uncore window and workloads revisiting phases; kCellWays
+  /// alternatives per state cover a controller alternating between a few
+  /// operating points without thrash.
+  struct CellSlot {
+    std::uint64_t version = 0;  ///< state version at last confirmation
+    double unc_min = 0.0;       ///< uncore window the edge was built for
+    double unc_max = 0.0;
+    hw::PhaseDemand demand;     ///< demand the edge was built for
+    double edge = 0.0;
+    bool valid = false;
+  };
+  /// A DUFP controller's uncore hunt sweeps the full ratio range (a dozen
+  /// or more distinct windows), so the ways must cover the whole sweep or
+  /// the cache thrashes and the edge bisection dominates the run again.
+  /// Hits are moved to the front, keeping the common case one compare.
+  static constexpr std::size_t kCellWays = 24;
+
+  /// Instantaneous allowance from the current window averages — the
+  /// first half of the control decision.  Runs once per socket per calm
+  /// tick, hence inline.
+  double current_allowance() const {
+    double allowance = std::numeric_limits<double>::infinity();
+    if (limit_.long_term_enabled && limit_.long_term_w > 0.0) {
+      const double avg = long_window_.full() || long_window_.size() > 0
+                             ? long_window_.mean()
+                             : limit_.long_term_w;
+      allowance =
+          std::min(allowance,
+                   limit_.long_term_w +
+                       params_.headroom_gain * (limit_.long_term_w - avg));
+    }
+    if (limit_.short_term_enabled && limit_.short_term_w > 0.0) {
+      const double avg = short_window_.size() > 0 ? short_window_.mean()
+                                                  : limit_.short_term_w;
+      allowance =
+          std::min(allowance,
+                   limit_.short_term_w +
+                       params_.headroom_gain * (limit_.short_term_w - avg));
+    }
+    return allowance;
+  }
+  /// Refills the flat calm-cell members (calm_lo_/calm_hi_/calm_top_)
+  /// from the cell table for the currently applied limit.
+  void refresh_calm_cell();
+  /// Reference second half of the decision: fresh P-state search, slew,
+  /// quantization.
+  double planned_from_allowance(double allowance_w) const;
+  /// Cell-table second half: bit-identical to planned_from_allowance by
+  /// construction (exact cached edges; slew/quantization shared).
+  double planned_cached(double allowance_w) const;
+
+  /// Edge of cell `idx` for the socket's current state (lazily built,
+  /// cached in cells_).  -inf when every allowance reaches the state,
+  /// +inf when none does.
+  double cell_edge(std::size_t idx) const;
+  /// Smallest allowance for which the P-state search reaches grid state
+  /// `idx`, pinned to the exact flipping double by bit-lattice bisection.
+  double lowest_allowance_reaching(std::size_t idx) const;
+  /// P-state `idx` in MHz, evaluated with the exact FP expression the
+  /// search's grid flooring produces.
+  double grid_mhz(std::size_t idx) const;
+
   /// Highest quantized core frequency with predicted power <= allowance.
   double highest_compliant_mhz(double allowance_w) const;
 
@@ -75,6 +220,19 @@ class FirmwareGovernor {
   WindowedMean long_window_;
   WindowedMean short_window_;
   double current_limit_mhz_;
+  /// Cell-edge cache, kCellWays recency-ordered slots per P-state
+  /// (planned_limit_mhz is const — the lazily built cache is an
+  /// invisible memo).
+  mutable std::vector<CellSlot> cells_;
+
+  /// The applied limit's own cell, flattened into members so the calm
+  /// test is two comparisons with no cache lookup; revalidated by
+  /// (limit, socket state version).
+  mutable double calm_lo_ = 0.0;
+  mutable double calm_hi_ = 0.0;
+  mutable bool calm_top_ = false;  ///< limit is the top state: no upper edge
+  mutable double calm_limit_ = -1.0;
+  mutable std::uint64_t calm_version_ = 0;
 };
 
 }  // namespace dufp::rapl

@@ -93,12 +93,6 @@ void RaplEngine::install_registers() {
   });
 }
 
-void RaplEngine::tick() { governor_.tick(); }
-
-void RaplEngine::record(const hw::SocketInstant& instant, double dt_s) {
-  governor_.record_power(instant.pkg_power_w, dt_s);
-}
-
 msr::PowerLimit RaplEngine::package_limit() const {
   return decode_power_limit(msr_.peek(kMsrPkgPowerLimit), units_);
 }

@@ -32,10 +32,12 @@ class RaplEngine {
 
   /// Firmware control step; call once per simulation tick before the
   /// socket is evaluated.
-  void tick();
+  void tick() { governor_.tick(); }
 
   /// Accounting step; call once per tick after the socket was evaluated.
-  void record(const hw::SocketInstant& instant, double dt_s);
+  void record(const hw::SocketInstant& instant, double dt_s) {
+    governor_.record_power(instant.pkg_power_w, dt_s);
+  }
 
   const msr::RaplUnits& units() const { return units_; }
   const FirmwareGovernor& governor() const { return governor_; }

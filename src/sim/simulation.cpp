@@ -1,7 +1,9 @@
 #include "sim/simulation.h"
 
 #include <algorithm>
+#include <cmath>
 #include <future>
+#include <limits>
 #include <stdexcept>
 
 #include "common/expect.h"
@@ -41,6 +43,29 @@ constexpr std::int64_t kMinBatchTicks = 4;
 /// the weights to sum to 1 +/- 1e-6, so actual speed can exceed 1.0 by up
 /// to ~1e-6; 1.001 gives three orders of magnitude of slack.
 constexpr double kSpeedBoundMargin = 1.001;
+
+/// Below this gap the leap planner's fixed-point verification plus the
+/// gather/scatter costs about as much as just stepping the ticks.
+constexpr std::int64_t kMinLeapTicks = 4;
+
+/// Below this horizon the calm-stretch entry checks and gather/scatter
+/// cost about as much as stepping the ticks exactly.
+constexpr std::int64_t kMinFastTicks = 4;
+
+/// Builds a trace row.  Shared by the exact stepper and the leap fast
+/// path so both construct rows from identical expressions — part of the
+/// byte-identity argument, not a convenience.
+void fill_tick_record(const hw::SocketInstant& inst, double pkg_avg_w,
+                      const msr::PowerLimit& lim, TickRecord& record) {
+  record.core_mhz = static_cast<float>(inst.core_mhz);
+  record.uncore_mhz = static_cast<float>(inst.uncore_mhz);
+  record.pkg_power_w = static_cast<float>(pkg_avg_w);
+  record.dram_power_w = static_cast<float>(inst.dram_power_w);
+  record.cap_long_w = static_cast<float>(lim.long_term_w);
+  record.cap_short_w = static_cast<float>(lim.short_term_w);
+  record.flops_grate = static_cast<float>(flops_to_gflops(inst.flops_rate));
+  record.speed = static_cast<float>(inst.speed);
+}
 
 }  // namespace
 
@@ -84,6 +109,12 @@ Simulation::Simulation(
     phase_totals_.emplace_back(app->phases().size());
   }
   tick_records_.resize(static_cast<std::size_t>(n));
+  // Leap lanes and event counters are sized once here so the steady-state
+  // paths (exact tick and leap alike) stay allocation-free.
+  leap_acc_.resize(static_cast<std::size_t>(n) * kLeapLanes, 0.0);
+  leap_inc_.resize(static_cast<std::size_t>(n) * kLeapLanes, 0.0);
+  stretch_v_.resize(static_cast<std::size_t>(n), 0.0);
+  segment_events_.resize(static_cast<std::size_t>(n), 0);
 }
 
 const std::vector<PhaseTotals>& Simulation::phase_totals(int i) const {
@@ -182,9 +213,11 @@ void Simulation::integrate_socket_tick(int s, double tick_s,
   double remaining = tick_s;
   double pkg_energy = 0.0;
   hw::SocketInstant last_instant{};
+  std::int64_t segments = 0;
   // Bounded iteration: each segment either exhausts the tick or crosses
   // one sequence entry, and sequences are finite.
   while (remaining > 1e-12) {
+    ++segments;
     const bool was_finished = w.finished();
     const std::size_t phase_before =
         was_finished ? kNoPhase : w.current_phase_idx();
@@ -213,17 +246,12 @@ void Simulation::integrate_socket_tick(int s, double tick_s,
     }
     remaining -= seg;
   }
+  // A tick split into k segments crossed k-1 entry boundaries; the
+  // counter is per-socket so parallel workers never share a write target.
+  segment_events_[si] += segments - 1;
 
-  record.core_mhz = static_cast<float>(last_instant.core_mhz);
-  record.uncore_mhz = static_cast<float>(last_instant.uncore_mhz);
-  record.pkg_power_w = static_cast<float>(pkg_energy / tick_s);
-  record.dram_power_w = static_cast<float>(last_instant.dram_power_w);
-  const auto& lim = rapls_[si]->governor().limit();
-  record.cap_long_w = static_cast<float>(lim.long_term_w);
-  record.cap_short_w = static_cast<float>(lim.short_term_w);
-  record.flops_grate =
-      static_cast<float>(flops_to_gflops(last_instant.flops_rate));
-  record.speed = static_cast<float>(last_instant.speed);
+  fill_tick_record(last_instant, pkg_energy / tick_s,
+                   rapls_[si]->governor().limit(), record);
 
   // 3. Feed the firmware's running-average window with the tick's
   //    time-averaged power (phase splits included).
@@ -244,6 +272,7 @@ void Simulation::finish_tick(const std::vector<TickRecord>& records) {
     if (t_us == p.next_due_us) {
       p.fn(t);
       p.next_due_us += p.interval.micros();
+      ++batch_stats_.events_fired;
     }
   }
 
@@ -255,11 +284,18 @@ void Simulation::finish_tick(const std::vector<TickRecord>& records) {
   }
 }
 
+BatchStats Simulation::batch_stats() const {
+  BatchStats out = batch_stats_;
+  for (const std::int64_t c : segment_events_) out.events_fired += c;
+  return out;
+}
+
 bool Simulation::step() {
   if (!started_) {
     started_ = true;
     announce_initial_phases();
   }
+  ++batch_stats_.stepped_ticks;
   const double tick_s = options_.tick.seconds();
   for (int s = 0; s < socket_count(); ++s) {
     integrate_socket_tick(s, tick_s, tick_records_[static_cast<std::size_t>(s)]);
@@ -311,6 +347,305 @@ std::int64_t Simulation::max_batch_ticks() const {
   return any_unfinished ? std::min(bound, finish_bound) : 0;
 }
 
+std::int64_t Simulation::event_bound_ticks() const {
+  const std::int64_t tick_us = options_.tick.micros();
+  const std::int64_t now_us = clock_.now().micros();
+
+  // Periodic deadlines sit on the tick grid (schedule_periodic requires
+  // interval % tick == 0 and deadlines are multiples of the interval), so
+  // the exact integer divide is the tick count to the deadline; stopping
+  // one tick short leaves the firing to the exact stepper.
+  std::int64_t gap = std::numeric_limits<std::int64_t>::max() / 2;
+  for (const auto& p : periodics_) {
+    gap = std::min(gap, (p.next_due_us - now_us) / tick_us - 1);
+  }
+  if (gap <= 0) return 0;
+
+  // The watchdog compares t.seconds() > max_seconds after every tick; no
+  // fast-path tick may cross it (the exact stepper owns the throw).
+  const double limit_us = options_.max_seconds * 1e6;
+  if (static_cast<double>(now_us) +
+          static_cast<double>(gap) * static_cast<double>(tick_us) >
+      limit_us) {
+    std::int64_t g = static_cast<std::int64_t>(
+        (limit_us - static_cast<double>(now_us)) /
+        static_cast<double>(tick_us));
+    while (g > 0 &&
+           SimTime{now_us + g * tick_us}.seconds() > options_.max_seconds) {
+      --g;
+    }
+    gap = std::min(gap, g);
+  }
+  return std::max<std::int64_t>(gap, 0);
+}
+
+std::int64_t Simulation::compute_leap_gap() const {
+  if (!options_.time_leap || !started_) return 0;
+  const int n = socket_count();
+
+  // O(1) pre-gate: a full leap needs both governor windows uniform on
+  // every socket.  Under an active cap that is rare (window contents
+  // drift), so this check keeps the planner's cost negligible on runs
+  // where the fixed point never forms — those are served by the tier-2
+  // calm-tick stretch instead.
+  for (int s = 0; s < n; ++s) {
+    if (!rapls_[static_cast<std::size_t>(s)]->governor().windows_uniform()) {
+      return 0;
+    }
+  }
+
+  std::int64_t gap = event_bound_ticks();
+  if (gap < kMinLeapTicks) return 0;
+  const double tick_s = options_.tick.seconds();
+
+  // Per-socket fixed-point verification + next-entry-boundary bound.
+  bool any_unfinished = false;
+  for (int s = 0; s < n; ++s) {
+    const auto si = static_cast<std::size_t>(s);
+    const auto& w = *workloads_[si];
+    const auto& sock = machine_.socket(s);
+
+    // The stepped tick would re-apply the current demand first; if that
+    // write would change anything (entry crossed into a different phase
+    // on the previous tick), the socket is not at a fixed point.
+    if (!(w.current_demand() == sock.demand())) return 0;
+    const hw::SocketInstant inst = sock.evaluate();
+
+    // The power the stepped tick would record: pkg_energy accumulates
+    // p * tick_s over the (single) segment and is divided back by tick_s.
+    // Same expression here so the window fixed-point check sees the exact
+    // bits record_power() would be fed.
+    const double recorded_w = (inst.pkg_power_w * tick_s) / tick_s;
+    if (!rapls_[si]->governor().steady_state(recorded_w)) return 0;
+
+    if (!w.finished()) {
+      any_unfinished = true;
+      if (!(inst.speed > 0.0)) return 0;
+      // Strictly-inside-the-entry bound: after G leapt ticks the entry's
+      // consumed time grows by G per-tick additions of c; the margin
+      // absorbs both the accumulated rounding of that sum and the
+      // remaining/speed division in the stepper's segment split, so every
+      // leapt tick stays a single full segment and the boundary tick is
+      // handled exactly (same idiom as max_batch_ticks).
+      const double c = inst.speed * tick_s;
+      const double safe =
+          std::floor((w.remaining_in_phase() - c) / (c * kSpeedBoundMargin)) -
+          1.0;
+      if (!(safe >= static_cast<double>(kMinLeapTicks))) return 0;
+      gap = std::min(gap, static_cast<std::int64_t>(safe));
+    }
+  }
+  // All workloads finished: the final tick(s) belong to the stepper, and
+  // run() has already returned anyway.
+  if (!any_unfinished) return 0;
+  return gap >= kMinLeapTicks ? gap : 0;
+}
+
+void Simulation::gather_socket_lanes(int s, const hw::SocketInstant& inst) {
+  // One slab of kLeapLanes accumulator lanes per socket.  Lane order
+  // matches SocketModel::accumulate / the phase-totals block /
+  // WorkloadInstance::advance in the stepped path; each lane's per-tick
+  // increment is the exact value the stepper would add each tick, so a
+  // flat add loop over the lanes replays the identical FP operations —
+  // only the control loop around them (governor decision, demand rewrite,
+  // segment split, periodic compares) is skipped.
+  const auto si = static_cast<std::size_t>(s);
+  const double tick_s = options_.tick.seconds();
+  auto& w = *workloads_[si];
+  auto& sock = machine_.socket(s);
+  double* acc = leap_acc_.data() + si * kLeapLanes;
+  double* inc = leap_inc_.data() + si * kLeapLanes;
+
+  const auto a = sock.accumulators();
+  acc[0] = a.pkg_energy_j;
+  inc[0] = inst.pkg_power_w * tick_s;
+  acc[1] = a.dram_energy_j;
+  inc[1] = inst.dram_power_w * tick_s;
+  acc[2] = a.flops_total;
+  inc[2] = inst.flops_rate * tick_s;
+  acc[3] = a.bytes_total;
+  inc[3] = inst.bytes_rate * tick_s;
+  acc[4] = a.aperf_cycles;
+  inc[4] = inst.core_mhz * 1e6 * tick_s;
+  acc[5] = a.mperf_cycles;
+  inc[5] = sock.config().core_base_mhz * 1e6 * tick_s;
+
+  if (!w.finished()) {
+    const PhaseTotals& pt = phase_totals_[si][w.current_phase_idx()];
+    acc[6] = pt.wall_seconds;
+    inc[6] = tick_s;
+    acc[7] = pt.pkg_energy_j;
+    inc[7] = inst.pkg_power_w * tick_s;
+    acc[8] = pt.dram_energy_j;
+    inc[8] = inst.dram_power_w * tick_s;
+    const double c = inst.speed * tick_s;
+    acc[9] = w.consumed_total();
+    inc[9] = c;
+    acc[10] = w.consumed_in_current();
+    inc[10] = c;
+  } else {
+    for (std::size_t j = 6; j < kLeapLanes; ++j) {
+      acc[j] = 0.0;
+      inc[j] = 0.0;
+    }
+  }
+
+  // Cache the trace row: it is constant while the socket stays at this
+  // instant (single-segment ticks at a fixed instant produce the same
+  // record every tick), and both fast paths re-gather whenever the
+  // instant can change.
+  fill_tick_record(inst, (inst.pkg_power_w * tick_s) / tick_s,
+                   rapls_[si]->governor().limit(), tick_records_[si]);
+  // The exact value the stepped path would feed record_power(): energy of
+  // the tick's single segment divided back by the tick length.
+  stretch_v_[si] = (inst.pkg_power_w * tick_s) / tick_s;
+}
+
+void Simulation::scatter_socket_lanes(int s) {
+  const auto si = static_cast<std::size_t>(s);
+  auto& w = *workloads_[si];
+  auto& sock = machine_.socket(s);
+  const double* acc = leap_acc_.data() + si * kLeapLanes;
+  sock.restore_accumulators({acc[0], acc[1], acc[2], acc[3], acc[4], acc[5]});
+  if (!w.finished()) {
+    PhaseTotals& pt = phase_totals_[si][w.current_phase_idx()];
+    pt.wall_seconds = acc[6];
+    pt.pkg_energy_j = acc[7];
+    pt.dram_energy_j = acc[8];
+    w.restore_progress(acc[10], acc[9]);
+  }
+}
+
+void Simulation::execute_leap(std::int64_t gap) {
+  const int n = socket_count();
+
+  // Gather.  Every control-loop operation skipped inside the gap
+  // (governor decision, window pushes, demand rewrite) is a verified
+  // no-op at the fixed point compute_leap_gap established.
+  for (int s = 0; s < n; ++s) {
+    gather_socket_lanes(s, machine_.socket(s).evaluate());
+  }
+
+  // The leap itself: per-chain FP addition order is preserved (each lane
+  // is an independent accumulator chain), so results are bit-identical to
+  // gap stepped ticks; across lanes the loop vectorizes.
+  {
+    double* __restrict acc = leap_acc_.data();
+    const double* __restrict inc = leap_inc_.data();
+    const std::size_t m = static_cast<std::size_t>(n) * kLeapLanes;
+    if (trace_ == nullptr) {
+      for (std::int64_t k = 0; k < gap; ++k) {
+        for (std::size_t j = 0; j < m; ++j) acc[j] += inc[j];
+      }
+      clock_.advance(SimDuration{gap * options_.tick.micros()});
+    } else {
+      // A sink observes every tick, so the clock advances tick-wise and
+      // the (constant) rows are emitted per tick, exactly as finish_tick
+      // would; periodics and the watchdog are bound-excluded.
+      for (std::int64_t k = 0; k < gap; ++k) {
+        for (std::size_t j = 0; j < m; ++j) acc[j] += inc[j];
+        const SimTime t = clock_.advance(options_.tick);
+        trace_->on_tick(t, tick_records_);
+      }
+    }
+  }
+
+  // Scatter the advanced accumulators back.
+  for (int s = 0; s < n; ++s) scatter_socket_lanes(s);
+
+  ++batch_stats_.leaps;
+  batch_stats_.leapt_ticks += gap;
+  batch_stats_.max_leap = std::max(batch_stats_.max_leap, gap);
+}
+
+bool Simulation::fast_stretch() {
+  if (!options_.time_leap || !started_) return false;
+  std::int64_t horizon = event_bound_ticks();
+  if (horizon < kMinFastTicks) return false;
+  const int n = socket_count();
+  const double tick_s = options_.tick.seconds();
+
+  // Entry checks.  Unlike the full leap, the stretch tolerates drifting
+  // governor windows and mid-stretch limit moves, so the only per-socket
+  // preconditions are the ones every calm tick relies on: the demand the
+  // stepper would re-apply is already applied (no entry crossed on the
+  // previous tick), and no sequence-entry boundary can land inside the
+  // stretch.  The boundary bound uses the *global* speed ceiling (speed
+  // <= 1/(weight sum), see kSpeedBoundMargin) rather than the current
+  // speed, so it survives limit flips that change the speed mid-stretch.
+  bool any_unfinished = false;
+  for (int s = 0; s < n; ++s) {
+    const auto si = static_cast<std::size_t>(s);
+    const auto& w = *workloads_[si];
+    if (!(w.current_demand() == machine_.socket(s).demand())) return false;
+    if (!w.finished()) {
+      any_unfinished = true;
+      const double safe =
+          std::floor(w.remaining_in_phase() / (tick_s * kSpeedBoundMargin)) -
+          1.0;
+      if (!(safe >= static_cast<double>(kMinFastTicks))) return false;
+      horizon = std::min(horizon, static_cast<std::int64_t>(safe));
+    }
+  }
+  // All workloads finished: the final tick(s) belong to the stepper.
+  if (!any_unfinished || horizon < kMinFastTicks) return false;
+
+  for (int s = 0; s < n; ++s) {
+    gather_socket_lanes(s, machine_.socket(s).evaluate());
+  }
+
+  // A contiguous run of all-calm ticks counts as one leap in the stats;
+  // a tick where any socket's control decision moved the limit is an
+  // exact (stepped) tick even though the calm sockets took the fast path.
+  std::int64_t calm_run = 0;
+  const auto close_run = [&] {
+    if (calm_run > 0) {
+      ++batch_stats_.leaps;
+      batch_stats_.max_leap = std::max(batch_stats_.max_leap, calm_run);
+      calm_run = 0;
+    }
+  };
+
+  for (std::int64_t k = 0; k < horizon; ++k) {
+    bool all_calm = true;
+    for (int s = 0; s < n; ++s) {
+      const auto si = static_cast<std::size_t>(s);
+      if (rapls_[si]->governor().fast_calm_tick(stretch_v_[si])) {
+        // Calm tick: the governor kept its limit (verified via the plan
+        // band) and pushed the tick's power into its windows; what
+        // remains of the stepped tick is the accumulator additions.
+        double* __restrict acc = leap_acc_.data() + si * kLeapLanes;
+        const double* __restrict inc = leap_inc_.data() + si * kLeapLanes;
+        for (std::size_t j = 0; j < kLeapLanes; ++j) acc[j] += inc[j];
+      } else {
+        // Flip tick: the decision would move the limit.  Hand the socket
+        // to the exact stepper for this tick (which applies the new
+        // limit, splits segments if ever needed, fills the trace row),
+        // then re-gather lanes at the new instant.
+        all_calm = false;
+        scatter_socket_lanes(s);
+        integrate_socket_tick(s, tick_s, tick_records_[si]);
+        gather_socket_lanes(s, machine_.socket(s).evaluate());
+      }
+    }
+    if (all_calm) {
+      ++batch_stats_.leapt_ticks;
+      ++calm_run;
+    } else {
+      close_run();
+      ++batch_stats_.stepped_ticks;
+    }
+    // Clock and trace advance tick-wise exactly as finish_tick would;
+    // periodics and the watchdog cannot fire inside the horizon.
+    const SimTime t = clock_.advance(options_.tick);
+    if (trace_ != nullptr) trace_->on_tick(t, tick_records_);
+  }
+  close_run();
+
+  for (int s = 0; s < n; ++s) scatter_socket_lanes(s);
+  return true;
+}
+
 void Simulation::run_parallel() {
   const int n = socket_count();
   const double tick_s = options_.tick.seconds();
@@ -327,6 +662,19 @@ void Simulation::run_parallel() {
   futures.reserve(static_cast<std::size_t>(n));
 
   for (;;) {
+    // Event leap first: when every socket sits at a fixed point there is
+    // no parallel work worth distributing — the leap covers the stretch
+    // to the next event in one flat pass on the coordinating thread.
+    const std::int64_t gap = compute_leap_gap();
+    if (gap > 0) {
+      execute_leap(gap);
+      continue;  // a leap never finishes a workload
+    }
+    // Calm-tick stretch next: off the fixed point but between events, the
+    // reduced serial loop is far cheaper per socket-tick than a parallel
+    // batch of full ticks — the batcher only earns its barriers on
+    // stretches dense with limit moves or segment splits.
+    if (fast_stretch()) continue;  // a stretch never finishes a workload
     const std::int64_t batch = max_batch_ticks();
     if (batch < kMinBatchTicks) {
       // Endgame (the last workload is about to finish) or a periodic is
@@ -383,7 +731,14 @@ RunSummary Simulation::run() {
   if (options_.socket_threads > 1 && socket_count() > 1) {
     run_parallel();
   } else {
-    while (step()) {
+    for (;;) {
+      const std::int64_t gap = compute_leap_gap();
+      if (gap > 0) {
+        execute_leap(gap);
+        continue;  // a leap never finishes a workload
+      }
+      if (fast_stretch()) continue;  // a stretch never finishes a workload
+      if (!step()) break;
     }
   }
   RunSummary sum;

@@ -17,6 +17,26 @@
 // in parallel in batches sized so no controller callback and no workload
 // completion can land inside a batch; the outputs are byte-identical to
 // the serial engine.
+//
+// Event leaping (SimulationOptions::time_leap, see DESIGN.md §7b) runs
+// in two tiers.  Tier 1 — the full leap: when every socket sits at a
+// verified bitwise fixed point (governor windows uniform and sum-stable,
+// control decision reproducing itself, demand mid-phase), run() leaps
+// simulated time up to the next event — the minimum over the next
+// periodic deadline, each socket's next sequence-entry boundary, the
+// max_seconds watchdog — executing only the irreducible per-tick
+// floating-point accumulations over flat structure-of-arrays lanes.
+// Tier 2 — the calm-tick stretch: under an active power cap the governor
+// windows drift (old samples evict) even while the applied frequency
+// limit holds, so the fixed point rarely exists; the engine then runs a
+// reduced per-tick loop that executes only the observable-feeding
+// operations (window sum updates, the plan-band membership test standing
+// in for the P-state search, the accumulator lanes) and falls back to
+// the exact stepper per socket on any tick whose control decision would
+// actually move the limit.  Both tiers perform the exact FP operations
+// the stepped engine performs and skip only work that is provably
+// unobservable, so every output stays byte-identical; event-dense
+// stretches fall back to exact stepping automatically.
 #pragma once
 
 #include <cstddef>
@@ -58,20 +78,40 @@ struct SimulationOptions {
   /// the socket they are called for (the harness's phase-cap listener
   /// does).
   int socket_threads = 1;
+
+  /// Event-leaping fast path (on by default): run() skips the control
+  /// loop across provably event-free, fixed-point stretches and executes
+  /// only the per-tick accumulator additions.  Byte-identical to stepping
+  /// for every observable output — the knob exists for A/B identity tests
+  /// and perf diagnosis, not because the results differ.
+  bool time_leap = true;
 };
 
-/// How the socket-parallel engine spent its ticks (all zero after a
-/// serial run).  Cheap enough to keep always-on; the throughput benches
-/// and the batching regression tests read it so batch-window behaviour is
-/// observable, not inferred.  Batches are bounded by the next periodic
-/// deadline, the last-workload finish lower bound and kMaxBatchTicks —
-/// phase boundaries never bound a batch (tick integration splits at them
-/// regardless of batching).
+/// How the engine spent its ticks.  Cheap enough to keep always-on; the
+/// throughput benches and the batching/leaping regression tests read it
+/// so hot-path behaviour is observable, not inferred.
+///
+/// The batch_* fields describe the socket-parallel engine (all zero after
+/// a serial run); batches are bounded by the next periodic deadline, the
+/// last-workload finish lower bound and kMaxBatchTicks — phase boundaries
+/// never bound a batch (tick integration splits at them regardless of
+/// batching).  The leap fields describe the event-leaping fast path in
+/// either mode.  Invariant: leapt_ticks + stepped_ticks + batched_ticks
+/// equals the total ticks simulated (serial fallback ticks inside
+/// run_parallel count under both serial_ticks and stepped_ticks).
 struct BatchStats {
   std::int64_t batches = 0;        ///< parallel batches executed
   std::int64_t batched_ticks = 0;  ///< ticks stepped inside those batches
   std::int64_t serial_ticks = 0;   ///< ticks stepped via the serial fallback
   std::int64_t max_batch = 0;      ///< largest single batch, in ticks
+
+  std::int64_t leaps = 0;          ///< event leaps executed
+  std::int64_t leapt_ticks = 0;    ///< ticks covered by those leaps
+  std::int64_t stepped_ticks = 0;  ///< ticks through the exact stepper
+  std::int64_t max_leap = 0;       ///< largest single leap, in ticks
+  /// Events the exact path handled: periodic-callback firings plus tick
+  /// segment splits (sequence-entry boundaries landing inside a tick).
+  std::int64_t events_fired = 0;
 };
 
 /// Wall time and energy attributed to one phase of the workload on one
@@ -174,9 +214,18 @@ class Simulation {
 
   bool finished() const;
 
-  /// Batch accounting of the socket-parallel engine (zeroes after a
-  /// serial run).
-  const BatchStats& batch_stats() const { return batch_stats_; }
+  /// How the engine spent its ticks so far: leap/step split in both
+  /// modes, batch accounting when socket-parallel (batch_* fields zero
+  /// after a serial run).  By value: folds the per-socket event counters
+  /// maintained lock-free by parallel workers.
+  BatchStats batch_stats() const;
+
+  /// Number of ticks the engine could leap right now (0 when any socket
+  /// is off its fixed point, an event is imminent, or time_leap is off).
+  /// Diagnostic mirror of the internal next-event computation — the
+  /// microbench times it against a plain tick, and tests use it to
+  /// observe steadiness directly.
+  std::int64_t leap_horizon() const { return compute_leap_gap(); }
 
  private:
   struct Periodic {
@@ -197,6 +246,36 @@ class Simulation {
   /// Upper bound on ticks that can run before any periodic fires inside
   /// the batch or any unfinished workload can possibly finish.
   std::int64_t max_batch_ticks() const;
+  /// Ticks until the next engine-external event: min over periodic
+  /// deadlines (minus the firing tick, which the exact stepper owns) and
+  /// the max_seconds watchdog.  Never negative.
+  std::int64_t event_bound_ticks() const;
+  /// Event-leap planner: verifies every socket sits at a bitwise fixed
+  /// point and min-reduces the per-socket / global event bounds (next
+  /// periodic deadline, next sequence-entry boundary, max_seconds) over
+  /// flat arrays.  Returns the leapable tick count, or 0 when stepping is
+  /// required (off fixed point, event within kMinLeapTicks, leap off).
+  std::int64_t compute_leap_gap() const;
+  /// Tier-2 fast path: runs up to the event horizon in calm ticks
+  /// (governor plan provably unchanged, windows updated exactly, lanes
+  /// accumulated), per-socket falling back to integrate_socket_tick on
+  /// limit-moving ticks.  Returns false without advancing anything when
+  /// the preconditions fail (event imminent, demand residue, leap off).
+  bool fast_stretch();
+  /// Loads socket `s`'s accumulator lanes and per-tick increments from
+  /// `inst` into the SoA arrays, refreshes the cached trace row and the
+  /// recorded tick power (stretch_v_).  Shared by both leap tiers; called
+  /// again whenever the socket's instant can have changed.
+  void gather_socket_lanes(int s, const hw::SocketInstant& inst);
+  /// Writes socket `s`'s advanced lanes back into the socket model,
+  /// phase totals and workload progress.
+  void scatter_socket_lanes(int s);
+  /// Executes a planned leap: gathers the per-socket accumulators into
+  /// structure-of-arrays lanes, applies the exact per-tick additions for
+  /// `gap` ticks in one vectorizable loop, scatters the results back and
+  /// advances the clock (emitting the constant trace rows when a sink is
+  /// attached).  Pre-sized members only — allocation-free.
+  void execute_leap(std::int64_t gap);
 
   SimulationOptions options_;
   Rng root_rng_;
@@ -217,6 +296,23 @@ class Simulation {
   // write the same cache line; the replay loop gathers per-tick rows.
   std::vector<TickRecord> batch_records_;
   BatchStats batch_stats_;
+
+  /// Structure-of-arrays leap lanes, sized at construction
+  /// (kLeapLanes doubles per socket, socket-major).  `acc` holds the
+  /// gathered accumulator values, `inc` the per-tick increment of each
+  /// lane; the leap loop is then a single flat `acc[j] += inc[j]` pass
+  /// per tick over all sockets — vectorizable, allocation-free, and
+  /// executing exactly the additions the stepped engine would.
+  static constexpr std::size_t kLeapLanes = 11;
+  std::vector<double> leap_acc_;
+  std::vector<double> leap_inc_;
+  /// Per-socket recorded tick power during a calm stretch — the exact
+  /// value the stepped path would feed record_power().
+  std::vector<double> stretch_v_;
+  /// Segment-split events observed per socket; kept per-socket so
+  /// parallel workers update them without synchronization, folded into
+  /// BatchStats::events_fired by batch_stats().
+  std::vector<std::int64_t> segment_events_;
   bool started_ = false;
 };
 

@@ -31,11 +31,6 @@ std::size_t WorkloadProfile::phase_index(const std::string& phase_name) const {
                               "': unknown phase " + phase_name);
 }
 
-const PhaseSpec& WorkloadProfile::phase(std::size_t index) const {
-  DUFP_EXPECT(index < phases_.size());
-  return phases_[index];
-}
-
 WorkloadProfile& WorkloadProfile::then(const std::string& phase_name,
                                        int repeats) {
   DUFP_EXPECT(repeats > 0);
@@ -102,30 +97,6 @@ WorkloadInstance::WorkloadInstance(const WorkloadProfile& profile,
   }
 }
 
-const PhaseSpec& WorkloadInstance::current_phase() const {
-  DUFP_EXPECT(!finished());
-  return profile_.phase(profile_.sequence()[position_]);
-}
-
-hw::PhaseDemand WorkloadInstance::current_demand() const {
-  if (finished()) return hw::PhaseDemand::make_idle();
-  return current_phase().demand();
-}
-
-std::size_t WorkloadInstance::current_phase_idx() const {
-  DUFP_EXPECT(!finished());
-  return profile_.sequence()[position_];
-}
-
-double WorkloadInstance::remaining_in_phase() const {
-  DUFP_EXPECT(!finished());
-  return durations_[position_] - consumed_in_current_;
-}
-
-double WorkloadInstance::remaining_nominal_seconds() const {
-  return remaining_after_[position_] - consumed_in_current_;
-}
-
 void WorkloadInstance::advance(double nominal_seconds) {
   DUFP_EXPECT(nominal_seconds >= 0.0);
   consumed_total_ += nominal_seconds;
@@ -139,6 +110,16 @@ void WorkloadInstance::advance(double nominal_seconds) {
     ++position_;
     consumed_in_current_ = 0.0;
   }
+}
+
+void WorkloadInstance::restore_progress(double consumed_in_current,
+                                        double consumed_total) {
+  DUFP_EXPECT(!finished());
+  DUFP_EXPECT(consumed_in_current >= consumed_in_current_);
+  DUFP_EXPECT(consumed_total >= consumed_total_);
+  DUFP_EXPECT(consumed_in_current < durations_[position_]);
+  consumed_in_current_ = consumed_in_current;
+  consumed_total_ = consumed_total;
 }
 
 double WorkloadInstance::total_nominal_seconds() const {

@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/expect.h"
 #include "common/rng.h"
 #include "workloads/phase.h"
 
@@ -37,7 +38,10 @@ class WorkloadProfile {
   const std::vector<std::size_t>& sequence() const { return sequence_; }
 
   std::size_t phase_index(const std::string& phase_name) const;
-  const PhaseSpec& phase(std::size_t index) const;
+  const PhaseSpec& phase(std::size_t index) const {
+    DUFP_EXPECT(index < phases_.size());
+    return phases_[index];
+  }
 
   /// Interned phase name: phase names are unique within a profile (see
   /// add_phase), so a phase *index* is a stable, allocation-free key for a
@@ -77,26 +81,56 @@ class WorkloadInstance {
 
   bool finished() const { return position_ >= durations_.size(); }
 
+  // The accessors below run once per socket per simulated tick; they are
+  // defined here so the engine's per-tick loop inlines them.
+
   /// Current phase spec / demand; requires !finished().
-  const PhaseSpec& current_phase() const;
-  hw::PhaseDemand current_demand() const;
+  const PhaseSpec& current_phase() const {
+    DUFP_EXPECT(!finished());
+    return profile_.phase(profile_.sequence()[position_]);
+  }
+  hw::PhaseDemand current_demand() const {
+    if (finished()) return hw::PhaseDemand::make_idle();
+    return current_phase().demand();
+  }
 
   /// Index (into profile().phases()) of the current phase; requires
   /// !finished().  The engine's allocation-free transition tracking keys
   /// on this instead of copying phase-name strings.
-  std::size_t current_phase_idx() const;
+  std::size_t current_phase_idx() const {
+    DUFP_EXPECT(!finished());
+    return profile_.sequence()[position_];
+  }
 
   /// Nominal seconds left in the current sequence entry.
-  double remaining_in_phase() const;
+  double remaining_in_phase() const {
+    DUFP_EXPECT(!finished());
+    return durations_[position_] - consumed_in_current_;
+  }
 
   /// Jittered nominal seconds left in the whole sequence (0 when
   /// finished).  O(1): the socket-parallel engine queries this every batch
   /// to bound how many ticks can run before any workload could finish.
-  double remaining_nominal_seconds() const;
+  double remaining_nominal_seconds() const {
+    return remaining_after_[position_] - consumed_in_current_;
+  }
 
   /// Consumes `nominal_seconds` of progress, crossing sequence entries as
   /// needed.  Requires nominal_seconds >= 0.
   void advance(double nominal_seconds);
+
+  /// Progress accumulators advance() maintains, exposed so the engine's
+  /// event-leaping fast path can replay the exact per-tick additions
+  /// externally (one add per accumulator per tick, same order and values
+  /// as advance()) and restore the results.
+  double consumed_in_current() const { return consumed_in_current_; }
+  double consumed_total() const { return consumed_total_; }
+
+  /// Restores progress advanced externally (see above).  The leap must
+  /// stay strictly inside the current sequence entry: requires
+  /// !finished(), monotone progress, and consumed_in_current below the
+  /// entry's jittered duration.
+  void restore_progress(double consumed_in_current, double consumed_total);
 
   std::size_t position() const { return position_; }
   std::size_t total_steps() const { return durations_.size(); }

@@ -87,6 +87,39 @@ TEST(AllocGuardTest, SteadyStateTickIsAllocationFree) {
   EXPECT_GE(intervals, 2u);
 }
 
+TEST(AllocGuardTest, LeapAndStretchPathsAreAllocationFree) {
+  // Same guard over the event-leaping engine: run() dispatches between
+  // the full leap (execute_leap), the calm-tick stretch (fast_stretch)
+  // and the exact stepper, and none of them may touch the heap — the SoA
+  // lanes, the stretch scratch and the governor's cell-edge ways are all
+  // sized at construction.
+  const auto profile = golden_profile();
+  const harness::RunConfig cfg = golden_config(profile);
+  sim::SimulationOptions opts = cfg.sim;
+  opts.seed = cfg.seed;
+  ASSERT_TRUE(opts.time_leap);
+  sim::Simulation s(cfg.machine, profile, opts);
+  std::uint64_t intervals = 0;
+  s.schedule_periodic(SimTime::from_millis(200),
+                      [&](SimTime) { ++intervals; });
+
+  // Warm-up as above, then let run() finish the workload through the
+  // fast paths with the counter armed.
+  for (int i = 0; i < 50; ++i) s.step();
+  const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  s.run();
+  const std::uint64_t delta =
+      g_alloc_count.load(std::memory_order_relaxed) - before;
+
+  EXPECT_EQ(delta, 0u)
+      << "the leaping engine allocated " << delta
+      << " times after warm-up — a fast path regressed";
+  const sim::BatchStats bs = s.batch_stats();
+  EXPECT_GT(bs.leapt_ticks, 0) << "the guard never saw a fast-path tick";
+  EXPECT_GT(bs.leaps, 0);
+  EXPECT_GT(intervals, 0u);
+}
+
 TEST(AllocGuardTest, CountingHooksAreLive) {
   const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
   auto* p = new int(7);

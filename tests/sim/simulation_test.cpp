@@ -201,27 +201,57 @@ TEST(SimulationTest, BatchStatsAccountForEveryParallelTick) {
   SimulationOptions o = fast_options();
   o.workload_jitter_sigma = 0.02;  // stagger the per-socket finish ticks
   o.socket_threads = 2;
+  o.time_leap = false;  // pin the batcher itself; leap paths tested below
   const auto prof = small_profile();
   Simulation s(m, prof, o);
   const auto sum = s.run();
-  const auto& bs = s.batch_stats();
+  const auto bs = s.batch_stats();
   const auto total_ticks =
       static_cast<std::int64_t>(std::llround(sum.exec_seconds * 1000.0));
   EXPECT_EQ(bs.batched_ticks + bs.serial_ticks, total_ticks);
+  EXPECT_EQ(bs.stepped_ticks, bs.serial_ticks);
+  EXPECT_EQ(bs.leapt_ticks, 0);
   EXPECT_GT(bs.batches, 0);
   EXPECT_LT(bs.serial_ticks, 64) << "endgame tail fell back to serial";
   EXPECT_GE(bs.max_batch, 256) << "batch window collapsed";
 }
 
+TEST(SimulationTest, TickAccountingInvariantWithLeapingEnabled) {
+  // With the event-leaping fast paths on (the default), every simulated
+  // tick is classified exactly once: covered by a leap / calm stretch,
+  // stepped exactly, or stepped inside a parallel batch.
+  for (const int threads : {1, 2}) {
+    hw::MachineConfig m;
+    m.sockets = 4;
+    SimulationOptions o = fast_options();
+    o.workload_jitter_sigma = 0.02;
+    o.socket_threads = threads;
+    const auto prof = small_profile();
+    Simulation s(m, prof, o);
+    const auto sum = s.run();
+    const auto bs = s.batch_stats();
+    const auto total_ticks =
+        static_cast<std::int64_t>(std::llround(sum.exec_seconds * 1000.0));
+    EXPECT_EQ(bs.leapt_ticks + bs.stepped_ticks + bs.batched_ticks,
+              total_ticks)
+        << "threads=" << threads;
+    EXPECT_GT(bs.leapt_ticks, 0) << "fast path never engaged";
+  }
+}
+
 TEST(SimulationTest, BatchStatsZeroAfterSerialRun) {
   const auto prof = small_profile();
   Simulation s(one_socket(), prof, fast_options());
-  s.run();
-  const auto& bs = s.batch_stats();
+  const auto sum = s.run();
+  const auto bs = s.batch_stats();
   EXPECT_EQ(bs.batches, 0);
   EXPECT_EQ(bs.batched_ticks, 0);
   EXPECT_EQ(bs.serial_ticks, 0);
   EXPECT_EQ(bs.max_batch, 0);
+  // The leap fields still account for every serial tick.
+  const auto total_ticks =
+      static_cast<std::int64_t>(std::llround(sum.exec_seconds * 1000.0));
+  EXPECT_EQ(bs.leapt_ticks + bs.stepped_ticks, total_ticks);
 }
 
 TEST(SimulationTest, ForkRngIndependentPerTag) {

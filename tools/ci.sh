@@ -38,10 +38,19 @@ with open(sys.argv[1]) as f:
 for key in ("schema_version", "bench", "smoke", "config", "baseline",
             "serial", "socket_threads_4", "speedup"):
     assert key in doc, f"missing key: {key}"
-assert doc["schema_version"] == 1
+assert doc["schema_version"] == 2
 assert doc["smoke"] is True
 assert doc["serial"]["ticks"] > 0
-print("sim_throughput smoke: JSON OK")
+# Event-leaping accounting: every tick must be classified exactly once
+# (leapt on the calm fast path, stepped exactly, or batched in the
+# socket-parallel engine) — a gap or an overlap here means the leaping
+# engine dropped or double-counted simulated time.
+for key in ("serial", "socket_threads_4"):
+    leap = doc[key]["leap"]
+    total = leap["leapt_ticks"] + leap["stepped_ticks"] + leap["batched_ticks"]
+    assert total == int(doc[key]["ticks"]), (
+        f"{key}: leap split {total} != ticks {doc[key]['ticks']}")
+print("sim_throughput smoke: JSON OK, leap split accounts for every tick")
 EOF
 
 echo "== shard_scaling smoke =="
@@ -276,16 +285,17 @@ EOF
 echo "== perf gate (sim_throughput, full run) =="
 # A real (non-smoke) run of the tracked throughput bench, gated on the
 # serial speedup over the pre-optimisation seed engine.  The tracked
-# number is ~2.22x (BENCH_sim_throughput.json); the default floor of
-# 1.7x leaves ~23% noise margin so shared CI hosts don't flake, while
-# still catching any real hot-path regression.  Override per-host with
-# DUFP_CI_MIN_SERIAL_SPEEDUP; the parallel gate only applies on
-# multi-core hosts (on 1 CPU socket-threads measure overhead, not
-# speedup).
+# number is ~10x (BENCH_sim_throughput.json, event-leaping engine); the
+# default floor of 6.0x leaves ~40% noise margin so shared CI hosts
+# don't flake, while still catching any real hot-path regression (the
+# pre-leaping engine measured ~2.2x and would fail this gate).
+# Override per-host with DUFP_CI_MIN_SERIAL_SPEEDUP; the parallel gate
+# only applies on multi-core hosts (on 1 CPU socket-threads measure
+# overhead, not speedup).
 perf_dir="${build_dir}/perf-out"
 rm -rf "${perf_dir}"
 DUFP_OUT_DIR="${perf_dir}" "${build_dir}/bench/sim_throughput"
-min_serial="${DUFP_CI_MIN_SERIAL_SPEEDUP:-1.7}"
+min_serial="${DUFP_CI_MIN_SERIAL_SPEEDUP:-6.0}"
 min_parallel="${DUFP_CI_MIN_PARALLEL_SPEEDUP:-1.0}"
 python3 - "${perf_dir}/BENCH_sim_throughput.json" \
     "${min_serial}" "${min_parallel}" <<'EOF'
