@@ -9,8 +9,11 @@
 //
 // On a single-CPU host the N-process rows time-slice one core and
 // measure sharding overhead (serialization, gather, process startup),
-// not a speedup — `config.host_cpus` is recorded so the JSON is
-// interpretable either way (same convention as sim_throughput).
+// not a speedup — the rows still run (the byte-identity verdict is
+// meaningful on any host) but publish {"skipped_reason": "host_cpus==1"}
+// in place of speedup_vs_single, so gates key on the marker instead of
+// re-deriving the CPU count (same convention as sim_throughput and
+// grid_throughput).  schema_version 2.
 //
 // Knobs:
 //   DUFP_SMOKE=1      1-app, 2-repetition grid: CI smoke
@@ -151,7 +154,7 @@ int run_main() {
   }
 
   std::string json = "{\n";
-  json += "  \"schema_version\": 1,\n";
+  json += "  \"schema_version\": 2,\n";
   json += "  \"bench\": \"shard_scaling\",\n";
   json += strf("  \"smoke\": %s,\n", smoke ? "true" : "false");
   json += strf(
@@ -171,15 +174,28 @@ int run_main() {
   bool all_identical = true;
   for (std::size_t i = 0; i < runs.size(); ++i) {
     all_identical = all_identical && runs[i].identical;
+    // The byte-identity verdict is meaningful on any host; the speedup
+    // is not on one CPU (the workers time-slice a single core), so the
+    // row then carries the machine-checkable skip marker instead of a
+    // number that invites misreading (same convention as sim_throughput
+    // / grid_throughput — gates key on the marker).
+    std::string speedup_field;
+    if (host_cpus >= 2) {
+      speedup_field = strf(
+          "    \"speedup_vs_single\": %.3f,\n",
+          runs[i].wall_seconds > 0.0 ? single_wall / runs[i].wall_seconds
+                                     : 0.0);
+    } else {
+      speedup_field = "    \"skipped_reason\": \"host_cpus==1\",\n";
+    }
     json += strf(
         ",\n"
         "  \"processes_%d\": {\n"
         "    \"wall_seconds\": %.6f,\n"
-        "    \"speedup_vs_single\": %.3f,\n"
+        "%s"
         "    \"identical_bytes\": %s\n"
         "  }",
-        shard_counts[i], runs[i].wall_seconds,
-        runs[i].wall_seconds > 0.0 ? single_wall / runs[i].wall_seconds : 0.0,
+        shard_counts[i], runs[i].wall_seconds, speedup_field.c_str(),
         runs[i].identical ? "true" : "false");
   }
   json += "\n}\n";

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/expect.h"
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "core/agent.h"
@@ -13,8 +14,10 @@
 #include "faults/fault_plan.h"
 #include "faults/faulty_counter_source.h"
 #include "faults/faulty_msr.h"
+#include "harness/options.h"
 #include "harness/plan.h"
 #include "msr/device.h"
+#include "sim/multi_sim.h"
 #include "perfmon/sim_counter_source.h"
 #include "powercap/pstate_control.h"
 #include "powercap/uncore_control.h"
@@ -152,8 +155,53 @@ FleetNodeResult decode_node_result(const json::Value& v) {
   return result;
 }
 
+/// Everything a prepared node run owns.  Heap-held behind the pimpl so
+/// every address captured during wiring (profile, balancer, zones, the
+/// budget schedule) stays stable for the simulation's lifetime.
+struct PreparedFleetNode::Impl {
+  workloads::WorkloadProfile profile{"fleet-node-placeholder", ""};
+  std::unique_ptr<sim::Simulation> sim;
+
+  std::vector<std::unique_ptr<faults::FaultPlan>> plans;
+  std::vector<std::unique_ptr<faults::FaultyMsrDevice>> fdevs;
+  std::vector<std::unique_ptr<faults::FaultyCounterSource>> fsrcs;
+  std::vector<std::unique_ptr<powercap::PackageZone>> zones;
+  std::vector<std::unique_ptr<powercap::UncoreControl>> uncores;
+  std::vector<std::unique_ptr<powercap::PstateControl>> pstates;
+  std::vector<std::unique_ptr<perfmon::SimCounterSource>> sources;
+  std::vector<std::unique_ptr<core::Agent>> agents;
+  std::unique_ptr<core::BudgetBalancer> balancer;
+
+  /// Per-epoch node budgets, already floored — the epoch clock reads
+  /// these, so the AllocationPlan itself need not outlive prepare.
+  std::vector<double> budgets;
+
+  /// Result skeleton with the plan columns (alloc/demand/intensity)
+  /// copied in at prepare time; finish() fills the simulated fields.
+  FleetNodeResult result;
+  int epochs = 0;
+  bool finished = false;
+};
+
+PreparedFleetNode::PreparedFleetNode(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+PreparedFleetNode::PreparedFleetNode(PreparedFleetNode&&) noexcept = default;
+PreparedFleetNode& PreparedFleetNode::operator=(PreparedFleetNode&&) noexcept =
+    default;
+PreparedFleetNode::~PreparedFleetNode() = default;
+
+sim::Simulation& PreparedFleetNode::simulation() { return *impl_->sim; }
+
 FleetNodeResult run_fleet_node(const FleetSpec& spec, std::size_t node,
                                const AllocationPlan& plan, bool time_leap) {
+  PreparedFleetNode prepared = prepare_fleet_node(spec, node, plan, time_leap);
+  prepared.simulation().run();
+  return prepared.finish();
+}
+
+PreparedFleetNode prepare_fleet_node(const FleetSpec& spec, std::size_t node,
+                                     const AllocationPlan& plan,
+                                     bool time_leap) {
   {
     const auto problems = spec.validate();
     if (!problems.empty()) {
@@ -177,7 +225,10 @@ FleetNodeResult run_fleet_node(const FleetSpec& spec, std::size_t node,
   hw::MachineConfig machine;
   machine.sockets = sockets;
 
-  const workloads::WorkloadProfile profile = node_profile(spec, node, plan);
+  auto impl = std::make_unique<PreparedFleetNode::Impl>();
+  impl->epochs = spec.epochs;
+  impl->profile = node_profile(spec, node, plan);
+  const workloads::WorkloadProfile& profile = impl->profile;
 
   sim::SimulationOptions sim_opts;
   sim_opts.seed = harness::job_seed(spec.seed, static_cast<int>(node));
@@ -189,7 +240,8 @@ FleetNodeResult run_fleet_node(const FleetSpec& spec, std::size_t node,
       60.0, static_cast<double>(spec.epochs) * spec.epoch_seconds * 100.0);
   sim_opts.time_leap = time_leap;
 
-  sim::Simulation s(machine, profile, sim_opts);
+  impl->sim = std::make_unique<sim::Simulation>(machine, profile, sim_opts);
+  sim::Simulation& s = *impl->sim;
   const int n = s.socket_count();
 
   const bool inject = spec.fault_rate > 0.0;
@@ -198,17 +250,18 @@ FleetNodeResult run_fleet_node(const FleetSpec& spec, std::size_t node,
     fault_opts = faults::FaultOptions::storm(spec.fault_rate, spec.fault_seed);
   }
 
-  // Wiring mirrors harness::run_once: optional fault decorators between
-  // the control plane and the substrate, zones / uncore / counters per
-  // socket, injectors armed only after construction-time reads.
-  std::vector<std::unique_ptr<faults::FaultPlan>> plans;
-  std::vector<std::unique_ptr<faults::FaultyMsrDevice>> fdevs;
-  std::vector<std::unique_ptr<faults::FaultyCounterSource>> fsrcs;
-  std::vector<std::unique_ptr<powercap::PackageZone>> zones;
-  std::vector<std::unique_ptr<powercap::UncoreControl>> uncores;
-  std::vector<std::unique_ptr<powercap::PstateControl>> pstates;
-  std::vector<std::unique_ptr<perfmon::SimCounterSource>> sources;
-  std::vector<std::unique_ptr<core::Agent>> agents;
+  // Wiring mirrors harness::prepare_run: optional fault decorators
+  // between the control plane and the substrate, zones / uncore /
+  // counters per socket, injectors armed only after construction-time
+  // reads.  All owned by the Impl so their addresses survive the return.
+  auto& plans = impl->plans;
+  auto& fdevs = impl->fdevs;
+  auto& fsrcs = impl->fsrcs;
+  auto& zones = impl->zones;
+  auto& uncores = impl->uncores;
+  auto& pstates = impl->pstates;
+  auto& sources = impl->sources;
+  auto& agents = impl->agents;
 
   for (int i = 0; i < n; ++i) {
     msr::MsrDevice* dev = &s.msr(i);
@@ -235,51 +288,58 @@ FleetNodeResult run_fleet_node(const FleetSpec& spec, std::size_t node,
   // It reads the *clean* MSRs: its APERF/MPERF sampling models an
   // out-of-band management path (a BMC), and a faulted read escaping a
   // periodic callback would abort the run.
+  // The budget schedule, already floored: the epoch clock reads this
+  // copy, so neither the plan nor the spec must outlive prepare.  The
+  // max() guards the balancer's floor check against the contract's 1e-9
+  // bound slack.
+  impl->budgets.reserve(static_cast<std::size_t>(spec.epochs));
+  for (int e = 0; e < spec.epochs; ++e) {
+    impl->budgets.push_back(
+        std::max(plan.node_w[static_cast<std::size_t>(e)][node], node_floor));
+  }
+
   core::BalancerConfig bal_cfg;
   bal_cfg.min_cap_w = spec.min_cap_w;
   bal_cfg.max_cap_w = spec.max_cap_w;
-  bal_cfg.machine_budget_w =
-      std::max(plan.node_w[0][node], node_floor);
+  bal_cfg.machine_budget_w = impl->budgets[0];
   std::vector<powercap::PackageZone*> bal_zones;
   std::vector<const msr::MsrDevice*> bal_msrs;
   for (int i = 0; i < n; ++i) {
     bal_zones.push_back(zones[static_cast<std::size_t>(i)].get());
     bal_msrs.push_back(&s.msr(i));
   }
-  core::BudgetBalancer balancer(bal_cfg, std::move(bal_zones),
-                                std::move(bal_msrs),
-                                machine.socket.core_max_mhz,
-                                machine.socket.core_base_mhz);
+  impl->balancer = std::make_unique<core::BudgetBalancer>(
+      bal_cfg, std::move(bal_zones), std::move(bal_msrs),
+      machine.socket.core_max_mhz, machine.socket.core_base_mhz);
+  core::BudgetBalancer* balancer = impl->balancer.get();
   // Best effort under fault injection (same stance as run_once's
   // phase-cap listener): the balancer's cap writes go through the faulty
   // zones, and a faulted rebalance tick is skipped — the sockets keep
   // their previous caps until the next tick — rather than crashing the
   // node.
-  s.schedule_periodic(SimTime::from_millis(200), [&balancer](SimTime now) {
+  s.schedule_periodic(SimTime::from_millis(200), [balancer](SimTime now) {
     try {
-      balancer.on_interval(now);
+      balancer->on_interval(now);
     } catch (const msr::MsrError&) {
     }
   });
 
   // The epoch clock: at each boundary, move the node's cap to the next
-  // entry of the plan's schedule.  Once the schedule is exhausted (the
-  // node overran its nominal wall time under throttling) the last budget
-  // holds.  The max() guards the balancer's floor check against the
-  // contract's 1e-9 bound slack.
+  // entry of the schedule.  Once the schedule is exhausted (the node
+  // overran its nominal wall time under throttling) the last budget
+  // holds.
   {
     auto epoch = std::make_shared<int>(0);
-    const auto epochs = spec.epochs;
-    const auto& node_w = plan.node_w;
-    s.schedule_periodic(
-        SimTime::from_seconds(spec.epoch_seconds),
-        [epoch, epochs, &node_w, node, node_floor, &balancer](SimTime) {
-          ++*epoch;
-          if (*epoch < epochs) {
-            balancer.set_machine_budget_w(std::max(
-                node_w[static_cast<std::size_t>(*epoch)][node], node_floor));
-          }
-        });
+    const std::vector<double>* budgets = &impl->budgets;
+    s.schedule_periodic(SimTime::from_seconds(spec.epoch_seconds),
+                        [epoch, budgets, balancer](SimTime) {
+                          ++*epoch;
+                          if (static_cast<std::size_t>(*epoch) <
+                              budgets->size()) {
+                            balancer->set_machine_budget_w(
+                                (*budgets)[static_cast<std::size_t>(*epoch)]);
+                          }
+                        });
   }
 
   // Per-socket agents, exactly as in run_once.
@@ -320,21 +380,34 @@ FleetNodeResult run_fleet_node(const FleetSpec& spec, std::size_t node,
     for (auto& f : fsrcs) f->arm();
   }
 
-  const sim::RunSummary summary = s.run();
-
-  FleetNodeResult result;
-  result.epochs.resize(static_cast<std::size_t>(spec.epochs));
+  // The plan columns the result reports verbatim, copied now so finish()
+  // needs nothing beyond the Impl.
+  impl->result.epochs.resize(static_cast<std::size_t>(spec.epochs));
   for (int e = 0; e < spec.epochs; ++e) {
     const auto ei = static_cast<std::size_t>(e);
-    EpochRecord& rec = result.epochs[ei];
+    EpochRecord& rec = impl->result.epochs[ei];
     rec.alloc_w = plan.node_w[ei][node];
     rec.demand_w = plan.node_demand_w[ei][node];
     rec.intensity = plan.node_intensity[ei][node];
   }
+
+  return PreparedFleetNode(std::move(impl));
+}
+
+FleetNodeResult PreparedFleetNode::finish() {
+  Impl& impl = *impl_;
+  DUFP_EXPECT(!impl.finished);
+  impl.finished = true;
+  sim::Simulation& s = *impl.sim;
+  DUFP_EXPECT(s.finished());
+  const sim::RunSummary summary = s.summarize();
+
+  FleetNodeResult result = std::move(impl.result);
+  const int n = s.socket_count();
+  const auto epochs = static_cast<std::size_t>(impl.epochs);
   for (int i = 0; i < n; ++i) {
     const auto& totals = s.phase_totals(i);
-    for (int e = 0; e < spec.epochs; ++e) {
-      const auto ei = static_cast<std::size_t>(e);
+    for (std::size_t ei = 0; ei < epochs; ++ei) {
       EpochRecord& rec = result.epochs[ei];
       // Sockets run the epoch in parallel; the epoch is as slow as its
       // slowest socket.
@@ -347,16 +420,51 @@ FleetNodeResult run_fleet_node(const FleetSpec& spec, std::size_t node,
   result.pkg_energy_j = summary.pkg_energy_j;
   result.dram_energy_j = summary.dram_energy_j;
   result.avg_speed = summary.exec_seconds > 0.0
-                         ? profile.nominal_total_seconds() /
+                         ? impl.profile.nominal_total_seconds() /
                                summary.exec_seconds
                          : 0.0;
-  for (const auto& agent : agents) {
+  for (const auto& agent : impl.agents) {
     result.degradations += agent->stats().health.degradations;
   }
-  for (const auto& p : plans) {
+  for (const auto& p : impl.plans) {
     result.faults_injected += p->stats().total();
   }
   return result;
+}
+
+std::vector<FleetNodeResult> run_fleet_nodes(
+    const FleetSpec& spec, const std::vector<std::size_t>& nodes,
+    const AllocationPlan& plan, bool time_leap, int lanes) {
+  const int width =
+      lanes > 0 ? lanes : harness::BenchOptions::from_env().resolved_lanes();
+  std::vector<FleetNodeResult> results;
+  results.reserve(nodes.size());
+  if (width <= 1) {
+    for (const std::size_t node : nodes) {
+      results.push_back(run_fleet_node(spec, node, plan, time_leap));
+    }
+    return results;
+  }
+  // Waves of `width` interleaved node simulations.  Each lane's outputs
+  // are byte-identical to a standalone run (sim::MultiSim's contract),
+  // and the shared cell cache keeps later waves warm.
+  for (std::size_t begin = 0; begin < nodes.size();) {
+    const std::size_t end =
+        std::min(nodes.size(), begin + static_cast<std::size_t>(width));
+    std::vector<PreparedFleetNode> wave;
+    wave.reserve(end - begin);
+    std::vector<sim::Simulation*> sims;
+    sims.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      wave.push_back(prepare_fleet_node(spec, nodes[i], plan, time_leap));
+      sims.push_back(&wave.back().simulation());
+    }
+    sim::MultiSim multi(std::move(sims));
+    multi.run_all();
+    for (auto& prepared : wave) results.push_back(prepared.finish());
+    begin = end;
+  }
+  return results;
 }
 
 }  // namespace dufp::fleet

@@ -24,11 +24,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/json.h"
 #include "fleet/plan.h"
 #include "fleet/spec.h"
+#include "sim/simulation.h"
 
 namespace dufp::fleet {
 
@@ -73,5 +75,51 @@ FleetNodeResult decode_node_result(const json::Value& v);
 FleetNodeResult run_fleet_node(const FleetSpec& spec, std::size_t node,
                                const AllocationPlan& plan,
                                bool time_leap = true);
+
+/// A node run wired but not yet executed: the simulation plus every
+/// object run_fleet_node would have built around it (balancer, epoch
+/// clock, agents, fault decorators), with injectors armed and the budget
+/// schedule copied in — the spec/plan need not outlive the object.
+/// Drive `simulation()` to completion (Simulation::run() or interleaved
+/// through sim::MultiSim), then call finish() exactly once.
+class PreparedFleetNode {
+ public:
+  PreparedFleetNode(PreparedFleetNode&&) noexcept;
+  PreparedFleetNode& operator=(PreparedFleetNode&&) noexcept;
+  ~PreparedFleetNode();
+
+  sim::Simulation& simulation();
+
+  /// Collects the FleetNodeResult run_fleet_node would have produced.
+  /// Requires the simulation to have run to completion.
+  FleetNodeResult finish();
+
+ private:
+  friend PreparedFleetNode prepare_fleet_node(const FleetSpec& spec,
+                                              std::size_t node,
+                                              const AllocationPlan& plan,
+                                              bool time_leap);
+  struct Impl;
+  explicit PreparedFleetNode(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Validates and wires one node run without executing it.
+/// run_fleet_node(spec, node, plan, leap) ≡
+/// { auto p = prepare_fleet_node(spec, node, plan, leap);
+///   p.simulation().run(); return p.finish(); }.
+PreparedFleetNode prepare_fleet_node(const FleetSpec& spec, std::size_t node,
+                                     const AllocationPlan& plan,
+                                     bool time_leap = true);
+
+/// Lane-batched execution of a set of node jobs: results in input order,
+/// each byte-identical to run_fleet_node(spec, nodes[i], plan).  Nodes
+/// are processed in waves of `lanes` interleaved simulations
+/// (0 = DUFP_LANES, default 8; 1 = sequential).
+std::vector<FleetNodeResult> run_fleet_nodes(const FleetSpec& spec,
+                                             const std::vector<std::size_t>& nodes,
+                                             const AllocationPlan& plan,
+                                             bool time_leap = true,
+                                             int lanes = 0);
 
 }  // namespace dufp::fleet

@@ -37,11 +37,14 @@ void run_fleet_shard(const FleetSpec& spec,
   harness::run_shard_wire(
       fleet_wire_identity(spec), options,
       [&spec, &plan](const std::vector<std::size_t>& nodes) {
+        // The worker's chunk runs lane-batched: byte-identical payloads,
+        // one interleaved engine pass per wave of DUFP_LANES nodes.
+        const std::vector<FleetNodeResult> results =
+            run_fleet_nodes(spec, nodes, plan);
         std::vector<Value> payloads;
-        payloads.reserve(nodes.size());
-        for (const std::size_t node : nodes) {
-          payloads.push_back(
-              encode_node_result(run_fleet_node(spec, node, plan)));
+        payloads.reserve(results.size());
+        for (const FleetNodeResult& r : results) {
+          payloads.push_back(encode_node_result(r));
         }
         return payloads;
       },
@@ -299,13 +302,11 @@ FleetOutputs finalize_fleet(const FleetSpec& spec,
 
 FleetOutputs run_fleet_serial(const FleetSpec& spec) {
   const AllocationPlan plan = plan_allocations(spec);
-  std::vector<FleetNodeResult> results;
-  const std::size_t nodes = spec.topology.node_count();
-  results.reserve(nodes);
-  for (std::size_t n = 0; n < nodes; ++n) {
-    results.push_back(run_fleet_node(spec, n, plan));
-  }
-  return finalize_fleet(spec, results);
+  std::vector<std::size_t> nodes(spec.topology.node_count());
+  for (std::size_t n = 0; n < nodes.size(); ++n) nodes[n] = n;
+  // Lane-batched node execution (sim::MultiSim): byte-identical to the
+  // per-node loop this replaces, warm cell-edge tables across lanes.
+  return finalize_fleet(spec, run_fleet_nodes(spec, nodes, plan));
 }
 
 harness::SupervisorReport supervise_fleet_run(

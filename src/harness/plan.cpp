@@ -80,7 +80,24 @@ std::vector<RunResult> ExperimentPlan::run_jobs(
   };
 
   if (threads <= 1 || total <= 1) {
-    for (std::size_t i = 0; i < total; ++i) execute(i);
+    // Serial path: hand the whole job list to the lane-batched engine,
+    // which interleaves runs in waves of DUFP_LANES through one engine
+    // pass (sim::MultiSim).  Results are byte-identical to the loop of
+    // run_once calls this replaces; configs a lane cannot carry (trace
+    // sinks, socket_threads > 1) fall back to run_once inside run_batch.
+    std::vector<RunConfig> configs;
+    configs.reserve(total);
+    for (std::size_t i = 0; i < total; ++i) {
+      configs.push_back(job_config(indices[i]));
+    }
+    std::vector<RunResult> batched = run_batch(configs);
+    for (std::size_t i = 0; i < total; ++i) {
+      results[i] = std::move(batched[i]);
+      const std::size_t d = done.fetch_add(1) + 1;
+      if (note_step != 0 && d % note_step == 0 && d < total) {
+        note_progress(strf("  jobs %zu/%zu", d, total));
+      }
+    }
   } else {
     const int workers =
         static_cast<int>(std::min<std::size_t>(

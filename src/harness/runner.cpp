@@ -1,9 +1,12 @@
 #include "harness/runner.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "common/expect.h"
 #include "core/policy_registry.h"
+#include "harness/options.h"
+#include "sim/multi_sim.h"
 #include "faults/faulty_counter_source.h"
 #include "faults/faulty_msr.h"
 #include "perfmon/sim_counter_source.h"
@@ -136,8 +139,11 @@ void throw_on_invalid(const RunConfig& config) {
   throw std::invalid_argument(msg);
 }
 
-/// Everything owned by one run: built, wired, then discarded.
-struct RunContext {
+}  // namespace
+
+/// Everything owned by one run: built, wired, driven, then discarded.
+struct PreparedRun::Impl {
+  RunConfig config;  ///< kept for finish() (profile pointer stays live)
   std::unique_ptr<sim::Simulation> simulation;
   std::unique_ptr<telemetry::Telemetry> telemetry;
   std::vector<std::unique_ptr<faults::FaultPlan>> plans;
@@ -148,14 +154,26 @@ struct RunContext {
   std::vector<std::unique_ptr<powercap::PstateControl>> pstates;
   std::vector<std::unique_ptr<perfmon::SimCounterSource>> sources;
   std::vector<std::unique_ptr<core::Agent>> agents;
+  bool finished = false;
 };
 
-}  // namespace
+PreparedRun::PreparedRun(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+PreparedRun::PreparedRun(PreparedRun&&) noexcept = default;
+PreparedRun& PreparedRun::operator=(PreparedRun&&) noexcept = default;
+PreparedRun::~PreparedRun() = default;
 
-RunResult run_once(const RunConfig& config) {
+sim::Simulation& PreparedRun::simulation() {
+  DUFP_EXPECT(impl_ != nullptr);
+  return *impl_->simulation;
+}
+
+PreparedRun prepare_run(const RunConfig& config) {
   throw_on_invalid(config);
 
-  RunContext ctx;
+  auto impl = std::make_unique<PreparedRun::Impl>();
+  impl->config = config;
+  PreparedRun::Impl& ctx = *impl;
   sim::SimulationOptions sim_opts = config.sim;
   sim_opts.seed = config.seed;
   ctx.simulation = std::make_unique<sim::Simulation>(
@@ -301,9 +319,26 @@ RunResult run_once(const RunConfig& config) {
     for (auto& f : ctx.fsrcs) f->arm();
   }
 
+  return PreparedRun(std::move(impl));
+}
+
+RunResult PreparedRun::finish() {
+  DUFP_EXPECT(impl_ != nullptr);
+  DUFP_EXPECT(!impl_->finished);
+  impl_->finished = true;
+  Impl& ctx = *impl_;
+  const RunConfig& config = ctx.config;
+  sim::Simulation& s = *ctx.simulation;
+  DUFP_EXPECT(s.finished());
+  const int n = s.socket_count();
+  const bool telem_on = config.telemetry.enabled;
+
   RunResult result;
-  result.summary = s.run();
+  result.summary = s.summarize();
   result.batch_stats = s.batch_stats();
+  for (int i = 0; i < n; ++i) {
+    result.cell_stats.add(s.rapl(i).governor().cell_stats());
+  }
 
   for (const auto& agent : ctx.agents) {
     result.agent_stats.push_back(agent->stats());
@@ -346,9 +381,69 @@ RunResult run_once(const RunConfig& config) {
         .set(result.summary.dram_energy_j);
     reg.gauge("dufp_run_total_energy_joules", "Package + DRAM energy")
         .set(result.summary.total_energy_j());
+    // Note: cell-edge table economics (RunResult::cell_stats) stay OUT
+    // of the telemetry snapshot on purpose.  Snapshot bytes are covered
+    // by the serial ≡ parallel ≡ sharded identity guarantee, but cache
+    // warmth is a property of the execution strategy (which runs shared
+    // the process, in what order), not of the run — the counters would
+    // legitimately differ across strategies.  Benches report them from
+    // RunResult::cell_stats instead.
     result.telemetry = ctx.telemetry->snapshot();
   }
   return result;
+}
+
+RunResult run_once(const RunConfig& config) {
+  PreparedRun run = prepare_run(config);
+  run.simulation().run();
+  return run.finish();
+}
+
+std::vector<RunResult> run_batch(const std::vector<RunConfig>& configs,
+                                 const BatchOptions& options) {
+  const int lanes = options.lanes > 0
+                        ? options.lanes
+                        : BenchOptions::from_env().resolved_lanes();
+  DUFP_EXPECT(lanes >= 1);
+  DUFP_EXPECT(options.threads >= 1);
+  std::vector<RunResult> results(configs.size());
+
+  // Partition: lane-able configs interleave in waves; the rest (shared
+  // trace sinks would interleave their byte streams; socket-parallel
+  // runs use a different engine loop with different BatchStats) run
+  // sequentially via run_once.
+  std::vector<std::size_t> batchable;
+  batchable.reserve(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const RunConfig& cfg = configs[i];
+    if (lanes > 1 && cfg.trace == nullptr && cfg.sim.socket_threads <= 1) {
+      batchable.push_back(i);
+    } else {
+      results[i] = run_once(cfg);
+    }
+  }
+
+  for (std::size_t w = 0; w < batchable.size();
+       w += static_cast<std::size_t>(lanes)) {
+    const std::size_t end =
+        std::min(batchable.size(), w + static_cast<std::size_t>(lanes));
+    std::vector<PreparedRun> prepared;
+    prepared.reserve(end - w);
+    std::vector<sim::Simulation*> sims;
+    sims.reserve(end - w);
+    for (std::size_t j = w; j < end; ++j) {
+      prepared.push_back(prepare_run(configs[batchable[j]]));
+      sims.push_back(&prepared.back().simulation());
+    }
+    sim::MultiSimOptions ms_opts;
+    ms_opts.threads = options.threads;
+    sim::MultiSim engine(std::move(sims), ms_opts);
+    engine.run_all();
+    for (std::size_t j = w; j < end; ++j) {
+      results[batchable[j]] = prepared[j - w].finish();
+    }
+  }
+  return results;
 }
 
 RepeatedResult aggregate_runs(const std::vector<RunResult>& runs) {

@@ -14,6 +14,7 @@
 #include "core/policy.h"
 #include "faults/fault_plan.h"
 #include "hwmodel/socket_config.h"
+#include "rapl/cell_cache.h"
 #include "sim/simulation.h"
 #include "sim/trace.h"
 #include "telemetry/telemetry.h"
@@ -139,10 +140,66 @@ struct RunResult {
   /// throughput benches report the event-leaping behaviour without owning
   /// the Simulation.
   sim::BatchStats batch_stats;
+
+  /// Cell-edge table economics summed over the run's governors (cold
+  /// builds, planner probes, shared-cache hits, way evictions) — how much
+  /// of the run started warm.  Process-local diagnostics: deliberately
+  /// NOT part of the shard wire codec, so gathered results carry zeros
+  /// here (the workers' counters live in the worker processes).
+  rapl::CellStats cell_stats;
 };
 
 /// Executes one run.  Throws std::invalid_argument on malformed configs.
 RunResult run_once(const RunConfig& config);
+
+/// A run wired but not yet executed: the simulation plus every object
+/// run_once would have built around it (zones, agents, fault decorators,
+/// telemetry), with injectors armed.  Drive `simulation()` to completion
+/// — via Simulation::run(), or interleaved with other runs through
+/// sim::MultiSim — then call finish() exactly once to collect the
+/// RunResult run_once would have produced.
+class PreparedRun {
+ public:
+  PreparedRun(PreparedRun&&) noexcept;
+  PreparedRun& operator=(PreparedRun&&) noexcept;
+  ~PreparedRun();
+
+  sim::Simulation& simulation();
+
+  /// Collects stats / phase totals / telemetry into the RunResult.
+  /// Requires the simulation to have run to completion.
+  RunResult finish();
+
+ private:
+  friend PreparedRun prepare_run(const RunConfig& config);
+  struct Impl;
+  explicit PreparedRun(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Validates and wires one run without executing it.  run_once(cfg) ≡
+/// { auto p = prepare_run(cfg); p.simulation().run(); return p.finish(); }.
+PreparedRun prepare_run(const RunConfig& config);
+
+/// Lane-batched execution of independent runs (the harness face of
+/// sim::MultiSim).
+struct BatchOptions {
+  /// Lane width: how many runs interleave through one engine pass.
+  /// 0 resolves from DUFP_LANES (default 8); 1 executes sequentially
+  /// via run_once.
+  int lanes = 0;
+  /// Lane-group threads handed to MultiSim (1 = serial).
+  int threads = 1;
+};
+
+/// Executes every config and returns results in input order, each
+/// byte-identical to run_once(configs[i]).  Configs are processed in
+/// waves of `lanes` interleaved simulations; configs that cannot join a
+/// wave (an attached trace sink — sinks may be shared across configs, so
+/// interleaving their tick streams would reorder bytes — or
+/// sim.socket_threads > 1) fall back to run_once.
+std::vector<RunResult> run_batch(const std::vector<RunConfig>& configs,
+                                 const BatchOptions& options = {});
 
 /// Aggregated repeated-runs metrics following the paper's protocol; the
 /// trimming key is execution time.

@@ -37,6 +37,10 @@ FirmwareGovernor::FirmwareGovernor(hw::SocketModel& socket,
                             cfg.core_step_mhz)) +
                         1;
   cells_.resize(n_states * kCellWays);
+  // Intern the config with the process-wide cell cache now: the dense id
+  // goes into every shared key, and interning up front keeps the in-run
+  // cache paths allocation-free (the alloc-guard contract).
+  shared_cfg_ = SharedCellCache::instance().intern_config(cfg);
   // The cell table identifies "search output" with "grid point": the
   // P-state range must be an exact multiple of the step (true of real
   // hardware grids), or the search's top clamp could return an off-grid
@@ -114,6 +118,7 @@ double FirmwareGovernor::lowest_allowance_reaching(std::size_t idx) const {
   // floor/clamp of a monotone input stay monotone).
   const double target = grid_mhz(idx);
   const auto reaches = [&](double a) {
+    ++cell_stats_.probes;
     return highest_compliant_mhz(std::max(a, 0.0)) >= target;
   };
   const auto bits_of = [](double v) {
@@ -181,7 +186,10 @@ double FirmwareGovernor::cell_edge(std::size_t idx) const {
     return ways[0].edge;
   };
   for (std::size_t w = 0; w < kCellWays; ++w) {
-    if (ways[w].valid && ways[w].version == ver) return promote(w);
+    if (ways[w].valid && ways[w].version == ver) {
+      ++cell_stats_.local_hits;
+      return promote(w);
+    }
   }
   // The state moved (uncore retune, phase change); it may still be one
   // seen before — DUFP controllers sweep the uncore window range and
@@ -193,14 +201,30 @@ double FirmwareGovernor::cell_edge(std::size_t idx) const {
     if (ways[w].valid && ways[w].unc_min == umin && ways[w].unc_max == umax &&
         ways[w].demand == d) {
       ways[w].version = ver;
+      ++cell_stats_.local_hits;
       return promote(w);
     }
   }
-  // Never-seen state: build the edge (the only place the P-state search
-  // still runs) into the least recently used way — the back — then
-  // promote it.
+  // Never-seen state for *this* governor: consult the process-wide
+  // shared cache — another governor (same config, other socket, other
+  // run, other repetition) may have pinned this exact edge already.  A
+  // hit fills the way with the identical bits the local bisection would
+  // produce, so the refill below is the only place the P-state search
+  // still runs.
+  SharedCellCache& shared = SharedCellCache::instance();
+  const SharedCellCache::Key key =
+      SharedCellCache::make_key(shared_cfg_, idx, umin, umax, d);
   CellSlot& slot = ways[kCellWays - 1];
-  slot.edge = lowest_allowance_reaching(idx);
+  if (slot.valid) ++cell_stats_.way_evictions;
+  double edge;
+  if (shared.lookup(key, &edge)) {
+    ++cell_stats_.shared_hits;
+  } else {
+    edge = lowest_allowance_reaching(idx);
+    ++cell_stats_.cold_builds;
+    shared.insert(key, edge);
+  }
+  slot.edge = edge;
   slot.version = ver;
   slot.unc_min = umin;
   slot.unc_max = umax;

@@ -24,6 +24,7 @@
 #include "hwmodel/demand.h"
 #include "hwmodel/socket_model.h"
 #include "msr/registers.h"
+#include "rapl/cell_cache.h"
 
 namespace dufp::rapl {
 
@@ -142,6 +143,12 @@ class FirmwareGovernor {
   /// engine path.
   double planned_limit_reference_mhz() const;
 
+  /// Cell-table economics of this governor since construction: cold edge
+  /// builds, probes spent inside them, hits served by the process-wide
+  /// shared cache, way evictions.  A pure observer — reading it never
+  /// perturbs the cache.
+  const CellStats& cell_stats() const { return cell_stats_; }
+
  private:
   /// One cached edge of the allowance→P-state partition: the exact
   /// double where the P-state search first reaches the state `idx` steps
@@ -199,8 +206,9 @@ class FirmwareGovernor {
   double planned_cached(double allowance_w) const;
 
   /// Edge of cell `idx` for the socket's current state (lazily built,
-  /// cached in cells_).  -inf when every allowance reaches the state,
-  /// +inf when none does.
+  /// cached in cells_; way misses consult the process-wide
+  /// SharedCellCache before falling back to the bisection).  -inf when
+  /// every allowance reaches the state, +inf when none does.
   double cell_edge(std::size_t idx) const;
   /// Smallest allowance for which the P-state search reaches grid state
   /// `idx`, pinned to the exact flipping double by bit-lattice bisection.
@@ -224,6 +232,12 @@ class FirmwareGovernor {
   /// (planned_limit_mhz is const — the lazily built cache is an
   /// invisible memo).
   mutable std::vector<CellSlot> cells_;
+  /// This socket config's SharedCellCache id, interned at construction
+  /// so the in-run cache paths never allocate.
+  std::uint32_t shared_cfg_ = 0;
+  /// Economics counters (see cell_stats()); mutable for the same reason
+  /// cells_ is — the decision paths are const.
+  mutable CellStats cell_stats_;
 
   /// The applied limit's own cell, flattened into members so the calm
   /// test is two comparisons with no cache lookup; revalidated by

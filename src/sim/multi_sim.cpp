@@ -1,0 +1,183 @@
+#include "sim/multi_sim.h"
+
+#include <algorithm>
+#include <future>
+#include <limits>
+#include <stdexcept>
+
+#include "common/expect.h"
+#include "common/thread_pool.h"
+
+namespace dufp::sim {
+
+MultiSim::MultiSim(std::vector<Simulation*> lanes,
+                   const MultiSimOptions& options)
+    : lanes_(std::move(lanes)), options_(options) {
+  DUFP_EXPECT(options_.threads >= 1);
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    if (lanes_[i] == nullptr) {
+      throw std::invalid_argument("MultiSim: null lane");
+    }
+    if (lanes_[i]->options_.socket_threads > 1) {
+      throw std::invalid_argument(
+          "MultiSim: lanes must use socket_threads == 1 (the lane engine "
+          "is the serial engine, interleaved)");
+    }
+    for (std::size_t j = i + 1; j < lanes_.size(); ++j) {
+      if (lanes_[i] == lanes_[j]) {
+        throw std::invalid_argument("MultiSim: duplicate lane");
+      }
+    }
+  }
+  summaries_.resize(lanes_.size());
+}
+
+const RunSummary& MultiSim::summary(std::size_t i) const {
+  DUFP_EXPECT(ran_);
+  DUFP_EXPECT(i < summaries_.size());
+  return summaries_[i];
+}
+
+void MultiSim::run_group(std::size_t begin, std::size_t end) {
+  const std::size_t k = end - begin;
+
+  // One contiguous acc/inc slab for the whole group, each lane rebound
+  // to its slice; restored to the lanes' own storage on every exit path
+  // (a watchdog throw must not leave dangling slab pointers behind).
+  std::vector<std::size_t> offset(k, 0);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    offset[i] = total;
+    total += lanes_[begin + i]->lane_slab_size();
+  }
+  std::vector<double> acc(total, 0.0);
+  std::vector<double> inc(total, 0.0);
+  struct Unbind {
+    MultiSim* ms;
+    std::size_t begin, end;
+    ~Unbind() {
+      for (std::size_t i = begin; i < end; ++i) {
+        ms->lanes_[i]->rebind_lane_storage(nullptr, nullptr);
+      }
+    }
+  } unbind{this, begin, end};
+  for (std::size_t i = 0; i < k; ++i) {
+    lanes_[begin + i]->rebind_lane_storage(acc.data() + offset[i],
+                                           inc.data() + offset[i]);
+  }
+
+  std::vector<std::size_t> active;
+  active.reserve(k);
+  for (std::size_t i = begin; i < end; ++i) {
+    if (!lanes_[i]->finished()) {
+      active.push_back(i);
+    } else {
+      summaries_[i] = lanes_[i]->summarize();
+    }
+  }
+  std::vector<std::int64_t> gap(lanes_.size(), 0);
+  std::vector<std::size_t> staged;
+  staged.reserve(k);
+
+  while (!active.empty()) {
+    // Plan: each active lane's leap horizon, from lane-local state only.
+    for (const std::size_t idx : active) {
+      gap[idx] = lanes_[idx]->compute_leap_gap();
+    }
+
+    // Fused tier-1 sweep: every untraced lane whose planner granted a
+    // leap stages its gather, then one flat pass advances all staged
+    // slabs min-gap ticks together (unstaged lanes contribute zero adds
+    // into dead storage — see rebind_lane_storage's inc invariant).
+    // Each lane then spins its own remainder and commits its *full* gap
+    // as one leap, so per-lane FP sequences and BatchStats entries match
+    // a standalone execute_leap exactly.
+    if (options_.fuse_leaps) {
+      staged.clear();
+      std::int64_t min_gap = std::numeric_limits<std::int64_t>::max();
+      for (const std::size_t idx : active) {
+        if (gap[idx] > 0 && lanes_[idx]->trace_ == nullptr) {
+          staged.push_back(idx);
+          min_gap = std::min(min_gap, gap[idx]);
+        }
+      }
+      if (staged.size() >= 2) {
+        for (const std::size_t idx : staged) lanes_[idx]->stage_leap();
+        {
+          double* __restrict a = acc.data();
+          const double* __restrict ic = inc.data();
+          for (std::int64_t t = 0; t < min_gap; ++t) {
+            for (std::size_t j = 0; j < total; ++j) a[j] += ic[j];
+          }
+        }
+        for (const std::size_t idx : staged) {
+          lanes_[idx]->spin_leap_lanes(gap[idx] - min_gap);
+          lanes_[idx]->finish_leap(gap[idx]);
+          gap[idx] = -1;  // handled this round
+        }
+      }
+    }
+
+    // Per-lane actions for everything the fused sweep did not cover —
+    // one run()-loop iteration each, in lane order.
+    for (std::size_t i = 0; i < active.size();) {
+      const std::size_t idx = active[i];
+      Simulation& lane = *lanes_[idx];
+      if (gap[idx] < 0) {  // fused-leapt above
+        ++i;
+        continue;
+      }
+      if (gap[idx] > 0) {
+        lane.execute_leap(gap[idx]);
+        ++i;
+        continue;
+      }
+      if (lane.fast_stretch()) {
+        ++i;
+        continue;
+      }
+      if (!lane.step()) {
+        // Lane finished; its inc slice stays zeroed (invariant), so
+        // later fused sweeps add +0.0 into its dead acc storage.
+        summaries_[idx] = lane.summarize();
+        active.erase(active.begin() + static_cast<std::ptrdiff_t>(i));
+        continue;
+      }
+      ++i;
+    }
+  }
+}
+
+void MultiSim::run_all() {
+  DUFP_EXPECT(!ran_);
+  ran_ = true;
+  const std::size_t n = lanes_.size();
+  if (n == 0) return;
+
+  const std::size_t groups = std::min<std::size_t>(
+      static_cast<std::size_t>(options_.threads), n);
+  if (groups <= 1) {
+    run_group(0, n);
+    return;
+  }
+
+  // Contiguous whole-lane groups, one worker each: embarrassingly
+  // parallel — no barriers, no shared mutable state beyond the
+  // mutex-guarded shared cell cache.
+  ThreadPool pool(static_cast<int>(groups));
+  std::vector<std::future<void>> futures;
+  futures.reserve(groups);
+  const std::size_t base = n / groups;
+  const std::size_t extra = n % groups;
+  std::size_t begin = 0;
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::size_t len = base + (g < extra ? 1 : 0);
+    const std::size_t end = begin + len;
+    futures.push_back(
+        pool.submit([this, begin, end] { run_group(begin, end); }));
+    begin = end;
+  }
+  for (auto& f : futures) f.get();  // rethrows the first group failure
+}
+
+}  // namespace dufp::sim

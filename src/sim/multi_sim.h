@@ -1,0 +1,83 @@
+// Batched multi-run lane engine (DESIGN.md §7f): drives K *independent*
+// simulations ("lanes") to completion through one interleaved engine
+// loop, with each lane's outputs byte-identical to a standalone
+// Simulation::run().
+//
+// Why interleave at all, when the lanes share nothing?  Three wins:
+//   1. Shared warm state.  Lanes of the same machine config populate the
+//      process-wide cell-edge cache (rapl::SharedCellCache) as they go;
+//      interleaving means lane 2 hits the edges lane 1 pinned moments
+//      ago while both are still mid-run — the dominant cold cost of a
+//      grid disappears after its first lane.
+//   2. Fused leap sweeps.  When several lanes sit at their bitwise fixed
+//      points simultaneously, their SoA accumulator slabs — rebound into
+//      one contiguous block per lane group — advance in a single flat
+//      `acc[j] += inc[j]` pass per tick over K × 11 × sockets doubles,
+//      instead of K separate short loops.
+//   3. Whole-lane threading.  Lane groups are embarrassingly parallel
+//      (no barriers, no shared mutable state beyond the mutex-guarded
+//      shared cache), replacing the barrier-heavy socket-parallel
+//      batching for throughput workloads.
+//
+// Determinism argument.  Each lane's sequence of engine decisions (leap
+// gap, calm stretch, exact tick) is a pure function of lane-local state:
+// compute_leap_gap / fast_stretch / step read only the lane's own clock,
+// governor, workload and models.  The only cross-lane coupling is the
+// shared cell cache, which memoizes a pure function — a hit returns the
+// identical bits the local bisection would produce.  Any interleaving of
+// lane advances therefore reproduces each lane's standalone execution
+// exactly, including its BatchStats: a fused sweep still commits each
+// lane's *own* full gap as one leap (min-gap fused pass + per-lane
+// remainder), so even the stats entries match.  Finished or unstaged
+// lanes keep their inc slab zeroed, so the fused sweep adds +0.0 into
+// their dead acc storage — unobservable by construction.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace dufp::sim {
+
+struct MultiSimOptions {
+  /// Lane-group threads: lanes split into `threads` contiguous groups,
+  /// each owned whole by one worker (1 = serial, the default).  Results
+  /// are byte-identical for any value.
+  int threads = 1;
+
+  /// Fuse simultaneous tier-1 leaps across lanes of a group into one
+  /// flat slab sweep.  Off = every lane leaps through its own
+  /// execute_leap; identical bytes either way (the A/B knob for the
+  /// identity tests).
+  bool fuse_leaps = true;
+};
+
+class MultiSim {
+ public:
+  /// Lanes must be distinct, non-null, not yet run, and configured with
+  /// socket_threads == 1 (the lane engine is the serial engine,
+  /// interleaved).  The simulations are borrowed, not owned, and are
+  /// rebound to the group slabs only for the duration of run_all().
+  explicit MultiSim(std::vector<Simulation*> lanes,
+                    const MultiSimOptions& options = {});
+
+  /// Drives every lane to completion.  After it returns, summary(i)
+  /// holds what lanes[i]->run() would have returned, and each lane's
+  /// observable state (accounting, stats, telemetry feeds, trace stream)
+  /// is byte-identical to a standalone run.
+  void run_all();
+
+  const RunSummary& summary(std::size_t i) const;
+  std::size_t lane_count() const { return lanes_.size(); }
+
+ private:
+  void run_group(std::size_t begin, std::size_t end);
+
+  std::vector<Simulation*> lanes_;
+  MultiSimOptions options_;
+  std::vector<RunSummary> summaries_;
+  bool ran_ = false;
+};
+
+}  // namespace dufp::sim

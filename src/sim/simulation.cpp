@@ -113,6 +113,8 @@ Simulation::Simulation(
   // paths (exact tick and leap alike) stay allocation-free.
   leap_acc_.resize(static_cast<std::size_t>(n) * kLeapLanes, 0.0);
   leap_inc_.resize(static_cast<std::size_t>(n) * kLeapLanes, 0.0);
+  acc_ = leap_acc_.data();
+  inc_ = leap_inc_.data();
   stretch_v_.resize(static_cast<std::size_t>(n), 0.0);
   segment_events_.resize(static_cast<std::size_t>(n), 0);
 }
@@ -250,8 +252,12 @@ void Simulation::integrate_socket_tick(int s, double tick_s,
   // counter is per-socket so parallel workers never share a write target.
   segment_events_[si] += segments - 1;
 
-  fill_tick_record(last_instant, pkg_energy / tick_s,
-                   rapls_[si]->governor().limit(), record);
+  // Trace rows exist for sinks alone; with none attached the record is
+  // never read, so skip building it (floats only — no accumulator state).
+  if (trace_ != nullptr) {
+    fill_tick_record(last_instant, pkg_energy / tick_s,
+                     rapls_[si]->governor().limit(), record);
+  }
 
   // 3. Feed the firmware's running-average window with the tick's
   //    time-averaged power (phase splits included).
@@ -453,8 +459,8 @@ void Simulation::gather_socket_lanes(int s, const hw::SocketInstant& inst) {
   const double tick_s = options_.tick.seconds();
   auto& w = *workloads_[si];
   auto& sock = machine_.socket(s);
-  double* acc = leap_acc_.data() + si * kLeapLanes;
-  double* inc = leap_inc_.data() + si * kLeapLanes;
+  double* acc = acc_ + si * kLeapLanes;
+  double* inc = inc_ + si * kLeapLanes;
 
   const auto a = sock.accumulators();
   acc[0] = a.pkg_energy_j;
@@ -493,9 +499,12 @@ void Simulation::gather_socket_lanes(int s, const hw::SocketInstant& inst) {
   // Cache the trace row: it is constant while the socket stays at this
   // instant (single-segment ticks at a fixed instant produce the same
   // record every tick), and both fast paths re-gather whenever the
-  // instant can change.
-  fill_tick_record(inst, (inst.pkg_power_w * tick_s) / tick_s,
-                   rapls_[si]->governor().limit(), tick_records_[si]);
+  // instant can change.  Skipped when no sink is attached — the row is
+  // only ever read by trace_->on_tick.
+  if (trace_ != nullptr) {
+    fill_tick_record(inst, (inst.pkg_power_w * tick_s) / tick_s,
+                     rapls_[si]->governor().limit(), tick_records_[si]);
+  }
   // The exact value the stepped path would feed record_power(): energy of
   // the tick's single segment divided back by the tick length.
   stretch_v_[si] = (inst.pkg_power_w * tick_s) / tick_s;
@@ -505,7 +514,7 @@ void Simulation::scatter_socket_lanes(int s) {
   const auto si = static_cast<std::size_t>(s);
   auto& w = *workloads_[si];
   auto& sock = machine_.socket(s);
-  const double* acc = leap_acc_.data() + si * kLeapLanes;
+  const double* acc = acc_ + si * kLeapLanes;
   sock.restore_accumulators({acc[0], acc[1], acc[2], acc[3], acc[4], acc[5]});
   if (!w.finished()) {
     PhaseTotals& pt = phase_totals_[si][w.current_phase_idx()];
@@ -516,42 +525,76 @@ void Simulation::scatter_socket_lanes(int s) {
   }
 }
 
-void Simulation::execute_leap(std::int64_t gap) {
-  const int n = socket_count();
+void Simulation::rebind_lane_storage(double* acc, double* inc) {
+  acc_ = acc != nullptr ? acc : leap_acc_.data();
+  inc_ = inc != nullptr ? inc : leap_inc_.data();
+  clear_leap_inc();
+}
 
+void Simulation::clear_leap_inc() {
+  const std::size_t m = lane_slab_size();
+  for (std::size_t j = 0; j < m; ++j) inc_[j] = 0.0;
+}
+
+void Simulation::stage_leap() {
   // Gather.  Every control-loop operation skipped inside the gap
   // (governor decision, window pushes, demand rewrite) is a verified
   // no-op at the fixed point compute_leap_gap established.
+  const int n = socket_count();
   for (int s = 0; s < n; ++s) {
     gather_socket_lanes(s, machine_.socket(s).evaluate());
   }
+}
 
-  // The leap itself: per-chain FP addition order is preserved (each lane
-  // is an independent accumulator chain), so results are bit-identical to
-  // gap stepped ticks; across lanes the loop vectorizes.
+void Simulation::spin_leap_lanes(std::int64_t ticks) {
+  // Per-chain FP addition order is preserved (each lane is an
+  // independent accumulator chain), so results are bit-identical to the
+  // same number of stepped ticks; across lanes the loop vectorizes.
+  double* __restrict acc = acc_;
+  const double* __restrict inc = inc_;
+  const std::size_t m = lane_slab_size();
+  for (std::int64_t k = 0; k < ticks; ++k) {
+    for (std::size_t j = 0; j < m; ++j) acc[j] += inc[j];
+  }
+}
+
+void Simulation::finish_leap(std::int64_t gap) {
+  clock_.advance(SimDuration{gap * options_.tick.micros()});
+  const int n = socket_count();
+  for (int s = 0; s < n; ++s) scatter_socket_lanes(s);
+  clear_leap_inc();
+  ++batch_stats_.leaps;
+  batch_stats_.leapt_ticks += gap;
+  batch_stats_.max_leap = std::max(batch_stats_.max_leap, gap);
+}
+
+void Simulation::execute_leap(std::int64_t gap) {
+  stage_leap();
+
+  if (trace_ == nullptr) {
+    spin_leap_lanes(gap);
+    finish_leap(gap);
+    return;
+  }
+
+  // A sink observes every tick, so the clock advances tick-wise and the
+  // (constant) rows are emitted per tick, exactly as finish_tick would;
+  // periodics and the watchdog are bound-excluded.
   {
-    double* __restrict acc = leap_acc_.data();
-    const double* __restrict inc = leap_inc_.data();
-    const std::size_t m = static_cast<std::size_t>(n) * kLeapLanes;
-    if (trace_ == nullptr) {
-      for (std::int64_t k = 0; k < gap; ++k) {
-        for (std::size_t j = 0; j < m; ++j) acc[j] += inc[j];
-      }
-      clock_.advance(SimDuration{gap * options_.tick.micros()});
-    } else {
-      // A sink observes every tick, so the clock advances tick-wise and
-      // the (constant) rows are emitted per tick, exactly as finish_tick
-      // would; periodics and the watchdog are bound-excluded.
-      for (std::int64_t k = 0; k < gap; ++k) {
-        for (std::size_t j = 0; j < m; ++j) acc[j] += inc[j];
-        const SimTime t = clock_.advance(options_.tick);
-        trace_->on_tick(t, tick_records_);
-      }
+    double* __restrict acc = acc_;
+    const double* __restrict inc = inc_;
+    const std::size_t m = lane_slab_size();
+    for (std::int64_t k = 0; k < gap; ++k) {
+      for (std::size_t j = 0; j < m; ++j) acc[j] += inc[j];
+      const SimTime t = clock_.advance(options_.tick);
+      trace_->on_tick(t, tick_records_);
     }
   }
 
   // Scatter the advanced accumulators back.
+  const int n = socket_count();
   for (int s = 0; s < n; ++s) scatter_socket_lanes(s);
+  clear_leap_inc();
 
   ++batch_stats_.leaps;
   batch_stats_.leapt_ticks += gap;
@@ -614,8 +657,8 @@ bool Simulation::fast_stretch() {
         // Calm tick: the governor kept its limit (verified via the plan
         // band) and pushed the tick's power into its windows; what
         // remains of the stepped tick is the accumulator additions.
-        double* __restrict acc = leap_acc_.data() + si * kLeapLanes;
-        const double* __restrict inc = leap_inc_.data() + si * kLeapLanes;
+        double* __restrict acc = acc_ + si * kLeapLanes;
+        const double* __restrict inc = inc_ + si * kLeapLanes;
         for (std::size_t j = 0; j < kLeapLanes; ++j) acc[j] += inc[j];
       } else {
         // Flip tick: the decision would move the limit.  Hand the socket
@@ -643,6 +686,7 @@ bool Simulation::fast_stretch() {
   close_run();
 
   for (int s = 0; s < n; ++s) scatter_socket_lanes(s);
+  clear_leap_inc();
   return true;
 }
 
@@ -727,20 +771,27 @@ void Simulation::run_parallel() {
   }
 }
 
+bool Simulation::advance_once() {
+  const std::int64_t gap = compute_leap_gap();
+  if (gap > 0) {
+    execute_leap(gap);
+    return true;  // a leap never finishes a workload
+  }
+  if (fast_stretch()) return true;  // a stretch never finishes a workload
+  return step();
+}
+
 RunSummary Simulation::run() {
   if (options_.socket_threads > 1 && socket_count() > 1) {
     run_parallel();
   } else {
-    for (;;) {
-      const std::int64_t gap = compute_leap_gap();
-      if (gap > 0) {
-        execute_leap(gap);
-        continue;  // a leap never finishes a workload
-      }
-      if (fast_stretch()) continue;  // a stretch never finishes a workload
-      if (!step()) break;
+    while (advance_once()) {
     }
   }
+  return summarize();
+}
+
+RunSummary Simulation::summarize() const {
   RunSummary sum;
   sum.exec_seconds = clock_.now().seconds();
   sum.pkg_energy_j = machine_.total_pkg_energy_j();

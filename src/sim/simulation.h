@@ -212,6 +212,19 @@ class Simulation {
   /// streams) is byte-identical to the serial run.
   RunSummary run();
 
+  /// One iteration of the serial run() loop: a full event leap, a
+  /// calm-tick stretch, or one exact tick — whichever the engine state
+  /// selects, exactly as run() would.  Returns false once every workload
+  /// has finished (the final tick fully processed).  A driver calling
+  /// advance_once() until false then summarize() reproduces run()
+  /// byte-for-byte — the entry point the batched multi-run engine
+  /// (MultiSim) interleaves independent simulations through.
+  bool advance_once();
+
+  /// The RunSummary of the current state (what run() returns at the
+  /// end).  Pure reads; callable any time, meaningful once finished().
+  RunSummary summarize() const;
+
   bool finished() const;
 
   /// How the engine spent its ticks so far: leap/step split in both
@@ -277,6 +290,35 @@ class Simulation {
   /// attached).  Pre-sized members only — allocation-free.
   void execute_leap(std::int64_t gap);
 
+  // -- multi-run lane engine hooks (used by MultiSim, see multi_sim.h) -----
+  /// Number of doubles in this simulation's acc/inc lane slabs.
+  std::size_t lane_slab_size() const {
+    return static_cast<std::size_t>(socket_count()) * kLeapLanes;
+  }
+  /// Points the lane slabs at caller-owned storage of lane_slab_size()
+  /// doubles each (nullptr rebinds the simulation's own vectors).  The
+  /// engine treats the slabs as scratch — contents are re-gathered
+  /// before every use — so rebinding mid-run is safe between
+  /// advance_once() calls.  The inc slab is zeroed on rebind and
+  /// restored to zero after every leap/stretch (the invariant MultiSim's
+  /// fused sweep relies on: an unstaged lane contributes +0.0 adds into
+  /// dead acc storage).
+  void rebind_lane_storage(double* acc, double* inc);
+  /// Stages a leap: gathers every socket's lanes (first phase of
+  /// execute_leap).
+  void stage_leap();
+  /// Applies `ticks` per-tick additions over the staged slab (no clock,
+  /// no trace — the untraced leap's inner loop).
+  void spin_leap_lanes(std::int64_t ticks);
+  /// Completes a staged leap of `gap` total ticks whose additions have
+  /// all been applied: advances the clock, scatters, updates stats,
+  /// restores the inc-slab zeros.
+  void finish_leap(std::int64_t gap);
+  /// Zeroes the inc slab (the unstaged-lane invariant).
+  void clear_leap_inc();
+
+  friend class MultiSim;
+
   SimulationOptions options_;
   Rng root_rng_;
   hw::MachineModel machine_;
@@ -306,6 +348,11 @@ class Simulation {
   static constexpr std::size_t kLeapLanes = 11;
   std::vector<double> leap_acc_;
   std::vector<double> leap_inc_;
+  /// Active lane storage: the own vectors above by default, or a
+  /// MultiSim-owned contiguous slab shared with sibling lanes (see
+  /// rebind_lane_storage).  Every engine path goes through these.
+  double* acc_ = nullptr;
+  double* inc_ = nullptr;
   /// Per-socket recorded tick power during a calm stretch — the exact
   /// value the stepped path would feed record_power().
   std::vector<double> stretch_v_;

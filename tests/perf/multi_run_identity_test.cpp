@@ -1,0 +1,283 @@
+// Byte-identity matrix for the batched multi-run lane engine
+// (DESIGN.md §7f): K configs executed as interleaved lanes of one
+// MultiSim pass must produce results byte-identical to K sequential
+// run_once calls — summaries, phase totals, agent stats, health
+// counters, telemetry exports, and full-resolution traces.
+//
+// The matrix covers the coupling surfaces batching introduces: the
+// process-wide shared cell cache (a hit must replay the identical bits
+// the local bisection would produce), the fused cross-lane leap sweep
+// (slab adds must not perturb neighbouring lanes), wave remainders
+// (non-power-of-two K), and lanes of very different lengths (a finished
+// lane's dead slab storage under later fused sweeps).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "golden_util.h"
+#include "harness/runner.h"
+#include "rapl/cell_cache.h"
+#include "sim/multi_sim.h"
+#include "sim/trace.h"
+#include "telemetry/export.h"
+#include "workloads/trace_replay.h"
+
+namespace dufp::perf_test {
+namespace {
+
+/// Every deterministic byte of an already-executed run (no trace file —
+/// traced lanes have their own compare below).
+std::string result_digest(const harness::RunResult& res) {
+  std::string out = summary_text(res);
+  if (res.telemetry.has_value()) {
+    std::ostringstream t;
+    telemetry::write_prometheus(res.telemetry->metrics, t);
+    telemetry::write_chrome_trace(*res.telemetry, t);
+    telemetry::write_jsonl(*res.telemetry, t);
+    out += t.str();
+  }
+  return out;
+}
+
+/// Sequential reference: run_once per config, in order.
+std::vector<std::string> sequential_digests(
+    const std::vector<harness::RunConfig>& configs) {
+  std::vector<std::string> out;
+  out.reserve(configs.size());
+  for (const auto& cfg : configs) {
+    out.push_back(result_digest(harness::run_once(cfg)));
+  }
+  return out;
+}
+
+/// Batched execution through run_batch at the given lane width, digest
+/// per config.
+std::vector<std::string> batched_digests(
+    const std::vector<harness::RunConfig>& configs, int lanes,
+    int threads = 1) {
+  harness::BatchOptions opts;
+  opts.lanes = lanes;
+  opts.threads = threads;
+  const std::vector<harness::RunResult> results =
+      harness::run_batch(configs, opts);
+  std::vector<std::string> out;
+  out.reserve(results.size());
+  for (const auto& res : results) out.push_back(result_digest(res));
+  return out;
+}
+
+void expect_batch_identity(const std::vector<harness::RunConfig>& configs,
+                           int lanes, int threads = 1) {
+  const std::vector<std::string> want = sequential_digests(configs);
+  const std::vector<std::string> got = batched_digests(configs, lanes, threads);
+  ASSERT_EQ(want.size(), got.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_FALSE(want[i].empty());
+    EXPECT_EQ(got[i], want[i])
+        << "lane " << i << " drifted from its sequential run (lanes=" << lanes
+        << ", threads=" << threads << ")";
+  }
+}
+
+/// A K-config grid over the golden reference run: distinct seeds and
+/// tolerances so every lane follows a genuinely different trajectory.
+std::vector<harness::RunConfig> golden_grid(
+    const workloads::WorkloadProfile& profile, std::size_t k,
+    bool storm = false) {
+  std::vector<harness::RunConfig> configs;
+  for (std::size_t i = 0; i < k; ++i) {
+    harness::RunConfig cfg =
+        storm ? golden_storm_config(profile) : golden_config(profile);
+    cfg.seed = 7 + i;
+    cfg.tolerated_slowdown = 0.05 + 0.05 * static_cast<double>(i % 3);
+    configs.push_back(cfg);
+  }
+  return configs;
+}
+
+TEST(MultiRunIdentityTest, PlainGridMatchesSequential) {
+  const auto profile = golden_profile();
+  expect_batch_identity(golden_grid(profile, 4), /*lanes=*/4);
+}
+
+TEST(MultiRunIdentityTest, FaultStormGridMatchesSequential) {
+  const auto profile = golden_profile();
+  expect_batch_identity(golden_grid(profile, 4, /*storm=*/true), /*lanes=*/4);
+}
+
+TEST(MultiRunIdentityTest, TelemetryBytesMatchSequential) {
+  const auto profile = golden_profile();
+  auto configs = golden_grid(profile, 3, /*storm=*/true);
+  for (auto& cfg : configs) cfg.telemetry.enabled = true;
+  expect_batch_identity(configs, /*lanes=*/3);
+}
+
+// Five configs through three lanes: a full wave of 3 plus a remainder
+// wave of 2 — the non-power-of-two shape the wave scheduler must handle.
+TEST(MultiRunIdentityTest, NonPowerOfTwoLaneCountMatches) {
+  const auto profile = golden_profile();
+  expect_batch_identity(golden_grid(profile, 5), /*lanes=*/3);
+}
+
+// Two lane groups on worker threads: whole-lane ownership means the
+// interleaving across groups is arbitrary, and the bytes must not care.
+TEST(MultiRunIdentityTest, ThreadedLaneGroupsMatchSequential) {
+  const auto profile = golden_profile();
+  expect_batch_identity(golden_grid(profile, 4), /*lanes=*/4, /*threads=*/2);
+}
+
+// A replayed measured-style trace per lane, each with its *own* CSV
+// sink: run_batch refuses trace configs (sinks may be shared), so this
+// drives MultiSim directly through prepare_run — interleaved traced
+// lanes must emit byte-identical CSV streams.
+TEST(MultiRunIdentityTest, ReplayedTraceLanesMatchSequential) {
+  constexpr const char* kTraceCsv =
+      "seconds,gflops,gbps,cpu_activity,mem_activity\n"
+      "0.2,55.0,10.0,0.95,0.30\n"
+      "0.2,9.0,80.0,0.55,0.90\n"
+      "0.2,30.0,45.0,0.80,0.70\n"
+      "0.2,48.0,15.0,0.90,0.40\n"
+      "0.2,12.0,70.0,0.60,0.85\n"
+      "0.2,22.0,30.0,0.75,0.60\n";
+  std::istringstream in(kTraceCsv);
+  const workloads::WorkloadProfile profile = workloads::profile_from_trace(
+      workloads::parse_trace_csv(in), {}, "batch-replay");
+
+  constexpr std::size_t kLanes = 3;
+  std::vector<harness::RunConfig> configs;
+  for (std::size_t i = 0; i < kLanes; ++i) {
+    harness::RunConfig cfg;
+    cfg.profile = &profile;
+    cfg.machine.sockets = 4;
+    cfg.mode = harness::PolicyMode::dufp;
+    cfg.tolerated_slowdown = 0.10;
+    cfg.seed = 11 + i;
+    configs.push_back(cfg);
+  }
+
+  // Sequential reference, one trace file per config (the sink must be
+  // destroyed — flushed — before the file is read back).
+  std::vector<std::string> want;
+  for (std::size_t i = 0; i < kLanes; ++i) {
+    const std::string path = temp_path(strf("seq_%zu.csv", i));
+    harness::RunConfig cfg = configs[i];
+    harness::RunResult res;
+    {
+      sim::CsvTraceSink sink(path, /*decimation=*/1);
+      cfg.trace = &sink;
+      res = harness::run_once(cfg);
+    }
+    want.push_back(summary_text(res) + read_file(path));
+  }
+
+  // Interleaved: prepare every lane, drive them through one MultiSim.
+  std::vector<std::string> got;
+  {
+    std::vector<std::string> paths;
+    std::vector<std::unique_ptr<sim::CsvTraceSink>> sinks;
+    std::vector<harness::PreparedRun> lanes;
+    std::vector<sim::Simulation*> sims;
+    for (std::size_t i = 0; i < kLanes; ++i) {
+      paths.push_back(temp_path(strf("lane_%zu.csv", i)));
+      sinks.push_back(
+          std::make_unique<sim::CsvTraceSink>(paths.back(), /*decimation=*/1));
+      harness::RunConfig cfg = configs[i];
+      cfg.trace = sinks.back().get();
+      lanes.push_back(harness::prepare_run(cfg));
+      sims.push_back(&lanes.back().simulation());
+    }
+    sim::MultiSim multi(std::move(sims));
+    multi.run_all();
+    for (std::size_t i = 0; i < kLanes; ++i) {
+      const harness::RunResult res = lanes[i].finish();
+      sinks[i].reset();  // flush before reading back
+      got.push_back(summary_text(res) + read_file(paths[i]));
+    }
+  }
+
+  for (std::size_t i = 0; i < kLanes; ++i) {
+    ASSERT_FALSE(want[i].empty());
+    EXPECT_EQ(got[i], want[i]) << "traced lane " << i << " drifted";
+  }
+}
+
+// Lanes of very different lengths: the short lane finishes waves early
+// and its dead slab storage sits under later fused sweeps — which must
+// not perturb it or the survivors.
+TEST(MultiRunIdentityTest, OneLaneFinishesEarlyMatches) {
+  const auto long_profile = golden_profile();
+  workloads::WorkloadProfile short_profile("golden-short", "one cycle only");
+  {
+    const auto src = golden_profile();
+    for (const auto& p : src.phases()) short_profile.add_phase(p);
+    short_profile.then("stride");  // a fraction of the long lanes' work
+  }
+
+  std::vector<harness::RunConfig> configs = golden_grid(long_profile, 3);
+  harness::RunConfig short_cfg = golden_config(short_profile);
+  short_cfg.seed = 23;
+  configs.insert(configs.begin() + 1, short_cfg);
+
+  expect_batch_identity(configs, /*lanes=*/4);
+}
+
+// The fuse knob is observability-free: lanes advanced through the fused
+// slab sweep and lanes leaping one-by-one emit identical bytes.
+TEST(MultiRunIdentityTest, FusedAndUnfusedLeapsMatch) {
+  const auto profile = golden_profile();
+  const auto configs = golden_grid(profile, 3);
+
+  auto run_with_fuse = [&](bool fuse) {
+    std::vector<harness::PreparedRun> lanes;
+    std::vector<sim::Simulation*> sims;
+    for (const auto& cfg : configs) {
+      lanes.push_back(harness::prepare_run(cfg));
+      sims.push_back(&lanes.back().simulation());
+    }
+    sim::MultiSimOptions opts;
+    opts.fuse_leaps = fuse;
+    sim::MultiSim multi(std::move(sims), opts);
+    multi.run_all();
+    std::vector<std::string> digests;
+    for (auto& lane : lanes) digests.push_back(result_digest(lane.finish()));
+    return digests;
+  };
+
+  const auto fused = run_with_fuse(true);
+  const auto unfused = run_with_fuse(false);
+  ASSERT_EQ(fused.size(), unfused.size());
+  for (std::size_t i = 0; i < fused.size(); ++i) {
+    EXPECT_EQ(fused[i], unfused[i]) << "fused sweep changed lane " << i;
+  }
+}
+
+// The cross-run amortization claim, measured: with the shared cache
+// enabled, a repeat of the same config starts fully warm — zero cold
+// cell-edge builds — and still produces identical bytes.
+TEST(MultiRunIdentityTest, RepeatedConfigRunsWarm) {
+  auto& shared = rapl::SharedCellCache::instance();
+  const bool was_enabled = shared.enabled();
+  shared.set_enabled(true);
+  shared.clear();
+
+  const auto profile = golden_profile();
+  const harness::RunConfig cfg = golden_config(profile);
+  const harness::RunResult first = harness::run_once(cfg);
+  const harness::RunResult second = harness::run_once(cfg);
+
+  EXPECT_GT(first.cell_stats.cold_builds, 0u)
+      << "cold run built nothing — the warm check proves nothing";
+  EXPECT_EQ(second.cell_stats.cold_builds, 0u)
+      << "repetition 2 of an identical config must start fully warm";
+  EXPECT_GT(second.cell_stats.shared_hits + second.cell_stats.local_hits, 0u);
+  EXPECT_EQ(result_digest(first), result_digest(second));
+
+  shared.set_enabled(was_enabled);
+}
+
+}  // namespace
+}  // namespace dufp::perf_test
